@@ -1,0 +1,55 @@
+"""CL-S4: the asynchronous adversary (paper Section 4), beyond the triangle.
+
+Paper: an adaptive scheduling adversary can force non-termination.  We
+certify it on every odd cycle C3..C11 with the convergecast-hold
+strategy, check the synchronous control still terminates, and decide
+the tree case exhaustively (no adversary wins on trees).
+"""
+
+from repro.asynchrony import (
+    AsyncOutcome,
+    ConvergecastHoldAdversary,
+    SynchronousAdversary,
+    find_nonterminating_schedule,
+    run_async,
+)
+from repro.graphs import cycle_graph, path_graph
+from repro.experiments.workloads import odd_cycles
+
+from conftest import record
+
+
+def test_cl_s4_odd_cycle_sweep(benchmark):
+    def sweep():
+        outcomes = {}
+        for label, graph in odd_cycles():
+            adversarial = run_async(
+                graph, [0], ConvergecastHoldAdversary(), max_steps=2000
+            )
+            control = run_async(
+                graph, [0], SynchronousAdversary(), max_steps=2000
+            )
+            outcomes[label] = (adversarial.outcome, control.outcome)
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    for label, (adversarial, control) in outcomes.items():
+        assert adversarial is AsyncOutcome.CYCLE_DETECTED, label
+        assert control is AsyncOutcome.TERMINATED, label
+    record(
+        benchmark,
+        expected="adversary loops forever; synchronous control terminates",
+        cycles_certified=list(outcomes),
+    )
+
+
+def test_cl_s4_exhaustive_tree_control(benchmark):
+    """Exhaustively verify NO schedule loops on a path (trees are safe)."""
+    graph = path_graph(5)
+    lasso = benchmark(find_nonterminating_schedule, graph, [0])
+    assert lasso is None
+    record(
+        benchmark,
+        expected="no non-terminating schedule exists on trees",
+        result="search exhausted configuration space, no cycle",
+    )

@@ -1,0 +1,39 @@
+"""CL-L21 / CL-C22: the bipartite termination claims over the suite.
+
+Paper: on a connected bipartite graph, AF terminates in exactly the
+source's eccentricity (Lemma 2.1) and hence within the diameter
+(Corollary 2.2), visiting every node exactly once.
+"""
+
+from repro.analysis import check_corollary_2_2, check_lemma_2_1
+from repro.experiments.workloads import bipartite_suite
+
+from conftest import record
+
+
+def test_cl_l21_lemma_sweep(benchmark):
+    suite = bipartite_suite()
+    evidence = benchmark(check_lemma_2_1, suite)
+    assert evidence
+    assert all(e.holds for e in evidence)
+    record(
+        benchmark,
+        expected="rounds == e(source), single receipt per node",
+        instances=len(evidence),
+        all_hold=True,
+    )
+
+
+def test_cl_c22_corollary_sweep(benchmark):
+    suite = bipartite_suite()
+    evidence = benchmark(check_corollary_2_2, suite)
+    assert evidence
+    assert all(e.holds for e in evidence)
+    assert all(e.rounds <= e.diameter for e in evidence)
+    record(
+        benchmark,
+        expected="rounds <= D on every bipartite instance",
+        instances=len(evidence),
+        max_rounds=max(e.rounds for e in evidence),
+        max_diameter=max(e.diameter for e in evidence),
+    )

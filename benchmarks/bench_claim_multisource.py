@@ -1,0 +1,58 @@
+"""CL-MULTI: multi-source amnesiac flooding (full-paper extension).
+
+Bounds: bipartite graphs terminate in exactly
+max(e(I ∩ X), e(I ∩ Y)); general graphs within e(I) + D + 1.  The
+pair sweep also charts how termination time falls as sources spread.
+"""
+
+from repro.core import all_pairs_termination, multi_source_bounds, simulate
+from repro.graphs import cycle_graph, grid_graph
+from repro.experiments.workloads import mixed_suite
+
+from conftest import record
+
+
+def test_cl_multi_bounds_sweep(benchmark):
+    def sweep():
+        checked = 0
+        for label, graph in mixed_suite():
+            nodes = graph.nodes()
+            for sources in ([nodes[0]], list(nodes[:2]), list(nodes[: max(1, len(nodes) // 3)])):
+                bounds = multi_source_bounds(graph, sources)
+                run = simulate(graph, sources)
+                assert run.terminated, label
+                assert bounds.lower <= run.termination_round <= bounds.upper, label
+                if bounds.exact is not None:
+                    assert run.termination_round == bounds.exact, label
+                checked += 1
+        return checked
+
+    checked = benchmark(sweep)
+    record(
+        benchmark,
+        expected="all multi-source bounds hold (exact on bipartite)",
+        instances=checked,
+    )
+
+
+def test_cl_multi_pair_sweep_grid(benchmark):
+    """Two-source termination over all node pairs of a 4x4 grid."""
+    graph = grid_graph(4, 4)
+    results = benchmark(all_pairs_termination, graph)
+    assert len(results) == 16 * 15 // 2
+    single = simulate(graph, [graph.nodes()[0]]).termination_round
+    assert min(rounds for _, rounds in results) <= single
+    record(
+        benchmark,
+        pairs=len(results),
+        fastest_pair_rounds=min(r for _, r in results),
+        slowest_pair_rounds=max(r for _, r in results),
+    )
+
+
+def test_cl_multi_saturation(benchmark):
+    """All-nodes-as-sources floods one round then silences (C12)."""
+    graph = cycle_graph(12)
+    run = benchmark(simulate, graph, list(graph.nodes()))
+    assert run.termination_round == 1
+    record(benchmark, expected_rounds=1, measured_rounds=run.termination_round)

@@ -1,0 +1,44 @@
+"""CL-T33: Theorem 3.3 -- non-bipartite termination within 2D + 1.
+
+Paper: on connected non-bipartite graphs AF terminates by round
+2D + 1 (and the odd-cycle echo pushes it past the eccentricity, unlike
+the bipartite case).  The sweep also records where in (e(v), 2D + 1]
+each instance lands; odd cycles are the extremal family that meets the
+bound exactly (C_n terminates in n = 2D + 1 rounds).
+"""
+
+from repro.analysis import check_theorem_3_3
+from repro.core import termination_round
+from repro.graphs import cycle_graph
+from repro.experiments.workloads import nonbipartite_suite
+
+from conftest import record
+
+
+def test_cl_t33_nonbipartite_sweep(benchmark):
+    suite = nonbipartite_suite()
+    evidence = benchmark(check_theorem_3_3, suite)
+    assert evidence
+    assert all(e.holds for e in evidence)
+    exceeding = sum(1 for e in evidence if e.rounds > e.diameter)
+    record(
+        benchmark,
+        expected="rounds <= 2D + 1 on every non-bipartite instance",
+        instances=len(evidence),
+        instances_exceeding_diameter=exceeding,
+    )
+
+
+def test_cl_t33_odd_cycles_meet_bound(benchmark):
+    """Odd cycles are tight: C_n takes exactly n = 2D + 1 rounds."""
+
+    def sweep():
+        return {n: termination_round(cycle_graph(n), 0) for n in (3, 5, 7, 9, 11, 13)}
+
+    rounds = benchmark(sweep)
+    assert all(rounds[n] == n for n in rounds)
+    record(
+        benchmark,
+        expected="C_n terminates in exactly n = 2D + 1 rounds",
+        measured={f"C{n}": r for n, r in rounds.items()},
+    )

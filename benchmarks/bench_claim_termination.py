@@ -1,0 +1,40 @@
+"""CL-T31: Theorem 3.1 -- AF terminates on every graph, every source.
+
+Swept over the full mixed suite (bipartite + non-bipartite, regular +
+random); also benchmarks the fast simulator on the largest instances to
+show the sweep's cost is dominated by graph breadth, not simulation.
+"""
+
+from repro.analysis import check_theorem_3_1
+from repro.core import simulate
+from repro.graphs import erdos_renyi
+from repro.experiments.workloads import mixed_suite
+
+from conftest import record
+
+
+def test_cl_t31_mixed_sweep(benchmark):
+    suite = mixed_suite()
+    evidence = benchmark(check_theorem_3_1, suite)
+    assert evidence
+    assert all(e.holds for e in evidence)
+    record(
+        benchmark,
+        expected="every instance terminates",
+        instances=len(evidence),
+        max_rounds=max(e.rounds for e in evidence),
+    )
+
+
+def test_cl_t31_large_random_graph(benchmark):
+    """Termination on a 2000-node random graph (single flood timing)."""
+    graph = erdos_renyi(2000, 0.004, seed=42, connected=True)
+    run = benchmark(simulate, graph, [0])
+    assert run.terminated
+    record(
+        benchmark,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        measured_rounds=run.termination_round,
+        measured_messages=run.total_messages,
+    )

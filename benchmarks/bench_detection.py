@@ -1,0 +1,58 @@
+"""EXT-DETECT: the paper's proposed bipartiteness-detection application.
+
+The introduction suggests AF for "topology detection (e.g. to
+detect/test non-bipartiteness)".  We benchmark all three detectors over
+the mixed suite and compare the flooding-based odd-girth computation
+against the BFS one.
+"""
+
+from repro.analysis import (
+    detect_at_source,
+    detect_by_receipt_counts,
+    detect_by_termination_time,
+    odd_girth_via_flooding,
+)
+from repro.graphs import odd_girth, petersen_graph, wheel_graph
+from repro.experiments.workloads import mixed_suite
+
+from conftest import record
+
+
+def test_ext_detect_three_detectors(benchmark):
+    def sweep():
+        checked = 0
+        for label, graph in mixed_suite():
+            source = graph.nodes()[0]
+            for detector in (
+                detect_by_receipt_counts,
+                detect_by_termination_time,
+                detect_at_source,
+            ):
+                result = detector(graph, source)
+                assert result.correct, (label, result.method)
+                checked += 1
+        return checked
+
+    checked = benchmark(sweep)
+    record(
+        benchmark,
+        expected="every detector agrees with 2-colouring ground truth",
+        verdicts_checked=checked,
+    )
+
+
+def test_ext_detect_odd_girth_via_flooding(benchmark):
+    def compute():
+        return {
+            "petersen": odd_girth_via_flooding(petersen_graph()),
+            "wheel-7": odd_girth_via_flooding(wheel_graph(7)),
+        }
+
+    measured = benchmark(compute)
+    assert measured["petersen"] == odd_girth(petersen_graph()) == 5
+    assert measured["wheel-7"] == odd_girth(wheel_graph(7)) == 3
+    record(
+        benchmark,
+        expected={"petersen": 5, "wheel-7": 3},
+        measured=measured,
+    )

@@ -1,0 +1,61 @@
+"""EXT-ECHO: the price of knowing you are done.
+
+Amnesiac flooding terminates but no node ever observes termination;
+the echo algorithm detects completion at the source for roughly double
+the rounds and one extra message per tree edge, plus O(log n) bits of
+state.  These benches chart the detection overhead across topologies.
+"""
+
+import pytest
+
+from repro.apps import Strategy, broadcast_matrix, detection_overhead, echo_broadcast
+from repro.graphs import cycle_graph, grid_graph, petersen_graph
+
+from conftest import record
+
+
+@pytest.mark.parametrize(
+    "label,graph,source",
+    [
+        ("cycle-16", cycle_graph(16), 0),
+        ("grid-5x5", grid_graph(5, 5), (0, 0)),
+        ("petersen", petersen_graph(), 0),
+    ],
+    ids=["c16", "grid", "petersen"],
+)
+def test_ext_echo_detection(benchmark, label, graph, source):
+    result = benchmark(echo_broadcast, graph, source)
+    assert result.detected
+    assert len(result.tree_edges()) == graph.num_nodes - 1
+    record(
+        benchmark,
+        graph=label,
+        detection_round=result.detection_round,
+        messages=result.trace.total_messages(),
+    )
+
+
+def test_ext_echo_overhead_vs_amnesiac(benchmark):
+    overhead = benchmark(detection_overhead, grid_graph(4, 6), (0, 0))
+    assert overhead["round_ratio"] > 1.0
+    record(
+        benchmark,
+        expected="detection costs extra rounds and messages",
+        round_ratio=round(overhead["round_ratio"], 2),
+        message_ratio=round(overhead["message_ratio"], 2),
+    )
+
+
+def test_ext_echo_strategy_matrix(benchmark):
+    outcomes = benchmark(
+        broadcast_matrix, cycle_graph(15), 0, list(Strategy), 3
+    )
+    by_strategy = {o.strategy: o for o in outcomes}
+    assert all(o.reached_all for o in outcomes)
+    assert by_strategy[Strategy.AMNESIAC].memory_bits_per_node == 0
+    assert by_strategy[Strategy.ECHO].detects_completion
+    record(
+        benchmark,
+        rounds={o.strategy.value: o.rounds for o in outcomes},
+        messages={o.strategy.value: o.messages for o in outcomes},
+    )

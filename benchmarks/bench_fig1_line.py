@@ -1,0 +1,34 @@
+"""FIG1: amnesiac flooding on the line a-b-c-d from b (paper Figure 1).
+
+Paper: terminates in 2 rounds, less than the diameter 3, visiting each
+node once (bipartite case, Lemma 2.1 mechanism).
+"""
+
+from repro.graphs import paper_line
+from repro.core import simulate
+from repro.experiments.figures import figure1
+
+from conftest import record
+
+
+def test_fig1_simulation(benchmark):
+    """Time the raw figure-1 flood and assert the paper's outcome."""
+    graph = paper_line()
+    run = benchmark(simulate, graph, ["b"])
+    assert run.terminated
+    assert run.termination_round == 2
+    assert run.total_messages == graph.num_edges == 3
+    record(
+        benchmark,
+        expected_rounds=2,
+        measured_rounds=run.termination_round,
+        expected_messages=3,
+        measured_messages=run.total_messages,
+    )
+
+
+def test_fig1_full_reproduction(benchmark):
+    """Time the complete figure reproduction (render + checks)."""
+    result = benchmark(figure1)
+    assert result.passed
+    record(benchmark, expected=result.expected, observed=result.observed)

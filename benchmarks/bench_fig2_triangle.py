@@ -1,0 +1,33 @@
+"""FIG2: amnesiac flooding on the triangle from b (paper Figure 2).
+
+Paper: terminates in 3 = 2D + 1 rounds (D = 1); a and c exchange M in
+round 2 and both deliver it back to b in round 3.
+"""
+
+from repro.graphs import paper_triangle
+from repro.core import simulate
+from repro.experiments.figures import figure2
+
+from conftest import record
+
+
+def test_fig2_simulation(benchmark):
+    graph = paper_triangle()
+    run = benchmark(simulate, graph, ["b"])
+    assert run.termination_round == 3
+    assert set(run.sender_sets[1]) == {"a", "c"}
+    assert set(run.sender_sets[2]) == {"a", "c"}
+    assert run.total_messages == 2 * graph.num_edges
+    record(
+        benchmark,
+        expected_rounds="3 (= 2D+1, D=1)",
+        measured_rounds=run.termination_round,
+        expected_messages=6,
+        measured_messages=run.total_messages,
+    )
+
+
+def test_fig2_full_reproduction(benchmark):
+    result = benchmark(figure2)
+    assert result.passed
+    record(benchmark, expected=result.expected, observed=result.observed)

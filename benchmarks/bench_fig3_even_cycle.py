@@ -1,0 +1,36 @@
+"""FIG3: amnesiac flooding on the even cycle C6 (paper Figure 3).
+
+Paper: terminates in exactly D = 3 rounds from every source (bipartite
+case of Corollary 2.2, tight because every node of a cycle has
+eccentricity D).
+"""
+
+from repro.graphs import paper_even_cycle
+from repro.core import simulate
+from repro.experiments.figures import figure3
+
+from conftest import record
+
+
+def _all_sources():
+    graph = paper_even_cycle()
+    return {
+        source: simulate(graph, [source]).termination_round
+        for source in graph.nodes()
+    }
+
+
+def test_fig3_all_sources(benchmark):
+    rounds = benchmark(_all_sources)
+    assert set(rounds.values()) == {3}
+    record(
+        benchmark,
+        expected_rounds="3 from every source (= D)",
+        measured_rounds=sorted(rounds.items()),
+    )
+
+
+def test_fig3_full_reproduction(benchmark):
+    result = benchmark(figure3)
+    assert result.passed
+    record(benchmark, expected=result.expected, observed=result.observed)

@@ -1,0 +1,40 @@
+"""FIG4: the Theorem 3.1 proof structure, checked on real traces.
+
+Paper Figure 4 illustrates why a minimal even-duration round-set
+recurrence contradicts itself.  The executable rendition sweeps random
+connected graphs and asserts the structure the proof predicts on every
+trace: the family Re is empty, nodes appear in at most two round-sets,
+and repeat appearances alternate parity.
+"""
+
+from repro.core import analyze_run, simulate
+from repro.experiments.figures import figure4
+from repro.experiments.workloads import random_instances
+
+from conftest import record
+
+
+def _sweep():
+    checked = 0
+    for label, graph in random_instances(12, size=14, extra_edge_prob=0.25, base_seed=77):
+        for source in graph.nodes():
+            report = analyze_run(simulate(graph, [source]))
+            assert report.satisfies_theorem, (label, source)
+            checked += 1
+    return checked
+
+
+def test_fig4_roundset_structure_sweep(benchmark):
+    checked = benchmark(_sweep)
+    assert checked == 12 * 14
+    record(
+        benchmark,
+        expected="0 even-duration recurrences on every trace",
+        traces_checked=checked,
+    )
+
+
+def test_fig4_full_reproduction(benchmark):
+    result = benchmark(figure4, 10)
+    assert result.passed
+    record(benchmark, expected=result.expected, observed=result.observed)

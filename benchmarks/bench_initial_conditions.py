@@ -1,0 +1,71 @@
+"""EXT-INIT: termination as a property of the initial configuration.
+
+Theorem 3.1 concerns source-style starting states.  Arbitrary states
+behave differently: a lone message circulates forever on any cycle,
+every configuration dies on trees, and an exact census of the triangle
+shows only 19/63 non-empty configurations terminate.
+"""
+
+from repro.core import (
+    classify_all_configurations,
+    evolve,
+    source_configuration,
+)
+from repro.graphs import cycle_graph, paper_triangle, path_graph, star_graph
+
+from conftest import record
+
+
+def test_ext_init_triangle_census(benchmark):
+    census = benchmark(classify_all_configurations, paper_triangle())
+    assert census.total == 63
+    assert census.terminating == 19
+    record(
+        benchmark,
+        expected="only a minority of arbitrary states terminate",
+        terminating=census.terminating,
+        total=census.total,
+    )
+
+
+def test_ext_init_tree_census(benchmark):
+    def census_both():
+        return (
+            classify_all_configurations(path_graph(3)),
+            classify_all_configurations(star_graph(3)),
+        )
+
+    path_census, star_census = benchmark(census_both)
+    assert path_census.terminating == path_census.total
+    assert star_census.terminating == star_census.total
+    record(
+        benchmark,
+        expected="trees terminate from every configuration",
+        path_total=path_census.total,
+        star_total=star_census.total,
+    )
+
+
+def test_ext_init_lone_message_cycle(benchmark):
+    graph = cycle_graph(9)
+    result = benchmark(evolve, graph, [(0, 1)])
+    assert not result.terminates
+    assert result.cycle_length == 9
+    record(
+        benchmark,
+        expected="lone message laps the cycle forever (period n)",
+        measured_period=result.cycle_length,
+    )
+
+
+def test_ext_init_source_state_matches_simulator(benchmark):
+    graph = cycle_graph(11)
+    config = source_configuration(graph, [0])
+    result = benchmark(evolve, graph, config)
+    assert result.terminates
+    assert result.steps_to_outcome == 11  # 2D + 1 on C11
+    record(
+        benchmark,
+        expected_steps=11,
+        measured_steps=result.steps_to_outcome,
+    )

@@ -1,0 +1,54 @@
+"""EXT-KMEM: the memory/termination-time ablation.
+
+How much memory does termination need?  k = 0 (no memory at all)
+diverges; k = 1 (the paper's AF) terminates in 2D + 1; k = 2 already
+cancels the odd-cycle echo earlier.  Expected shape: a cliff between
+k = 0 and k = 1, then diminishing returns.
+"""
+
+from repro.graphs import complete_graph, cycle_graph, paper_triangle
+from repro.variants import memory_sweep
+
+from conftest import record
+
+
+def test_ext_kmem_triangle_sweep(benchmark):
+    points = benchmark(
+        memory_sweep, paper_triangle(), "b", [0, 1, 2, 3], 40
+    )
+    by_k = {p.k: p for p in points}
+    assert not by_k[0].terminated          # amnesia below AF diverges
+    assert by_k[1].terminated and by_k[1].rounds == 3
+    assert by_k[2].terminated and by_k[2].rounds == 2
+    record(
+        benchmark,
+        expected="k=0 diverges; k=1 -> 3 rounds; k=2 -> 2 rounds",
+        measured={p.k: (p.terminated, p.rounds) for p in points},
+    )
+
+
+def test_ext_kmem_odd_cycle_sweep(benchmark):
+    graph = cycle_graph(9)
+    points = benchmark(memory_sweep, graph, 0, [1, 2, 4, 8], None)
+    rounds = {p.k: p.rounds for p in points}
+    assert all(p.terminated for p in points)
+    assert rounds[1] == 9  # AF: 2D + 1
+    assert min(rounds.values()) >= 4  # e(source) is a hard floor
+    record(
+        benchmark,
+        expected="k=1 hits 2D+1; larger k approaches e(source)",
+        measured_rounds=rounds,
+    )
+
+
+def test_ext_kmem_clique_messages(benchmark):
+    graph = complete_graph(8)
+    points = benchmark(memory_sweep, graph, 0, [1, 2, 3], None)
+    messages = {p.k: p.messages for p in points}
+    assert messages[2] <= messages[1]
+    assert messages[3] <= messages[2]
+    record(
+        benchmark,
+        expected="message count non-increasing in memory window",
+        measured_messages=messages,
+    )

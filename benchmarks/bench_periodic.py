@@ -1,0 +1,64 @@
+"""EXT-PERIODIC: re-injection phase diagram + multi-source receipt census.
+
+Two boundary-mapping extensions: (a) a source that re-sends every p
+rounds can splice waves into a genuine limit cycle on some graphs --
+re-injection escapes Theorem 3.1's envelope; (b) multi-source floods
+can deliver twice even on bipartite graphs (cross-side sources flood
+both copies of the double cover).
+"""
+
+from repro.core import receipt_census, simulate
+from repro.graphs import cycle_graph, paper_triangle, path_graph
+from repro.graphs.random_graphs import random_connected_graph
+from repro.variants import injection_phase_diagram, periodic_injection_flood
+
+from conftest import record
+
+
+def test_ext_periodic_symmetric_topologies_settle(benchmark):
+    def sweep():
+        verdicts = {}
+        for label, graph in (
+            ("triangle", paper_triangle()),
+            ("c5", cycle_graph(5)),
+            ("c6", cycle_graph(6)),
+        ):
+            verdicts[label] = injection_phase_diagram(
+                graph, graph.nodes()[0], [1, 2, 3, 4], injections=4
+            )
+        return verdicts
+
+    verdicts = benchmark(sweep)
+    assert all(all(d.values()) for d in verdicts.values())
+    record(
+        benchmark,
+        expected="all symmetric-topology schedules settle",
+        topologies=list(verdicts),
+    )
+
+
+def test_ext_periodic_spliced_limit_cycle(benchmark):
+    graph = random_connected_graph(12, extra_edge_prob=0.3, seed=2)
+    run = benchmark(
+        periodic_injection_flood, graph, graph.nodes()[0], 3, 3
+    )
+    assert not run.terminates
+    assert run.limit_cycle_length == 4
+    record(
+        benchmark,
+        expected="period-3 injection loops forever on the witness graph",
+        limit_cycle=run.limit_cycle_length,
+    )
+
+
+def test_ext_census_bipartite_double_delivery(benchmark):
+    graph = path_graph(3)
+    census = benchmark(receipt_census, graph, [0, 1])
+    assert census.counts()[2] == 1  # node 2 hears it twice
+    run = simulate(graph, [0, 1])
+    assert run.receive_counts()[2] == 2
+    record(
+        benchmark,
+        expected="cross-side sources deliver twice on a bipartite graph",
+        double_receivers=list(census.twice),
+    )

@@ -1,0 +1,88 @@
+"""EXT-ROBUST: what breaks Theorem 3.1 -- loss and random delay phases.
+
+Findings first established by this reproduction's test suite:
+
+* message loss on dense graphs makes AF a supercritical branching
+  process (self-sustaining, non-terminating);
+* oblivious random delays do the same on K5 and denser;
+* sparse (degree <= 2) topologies stay robust under both.
+
+These benches time the surveys that chart both phase diagrams.
+"""
+
+from repro.asynchrony import AsyncOutcome, RandomDelayAdversary, run_async
+from repro.graphs import complete_graph, cycle_graph
+from repro.variants import lossy_survey, random_delay_survey
+
+from conftest import record
+
+
+def test_ext_robust_loss_subcritical_cycle(benchmark):
+    summary = benchmark(
+        lossy_survey, cycle_graph(12), 0, 0.3, 25, 11
+    )
+    assert summary.termination_rate == 1.0
+    record(
+        benchmark,
+        expected="100% termination on degree-2 graphs under loss",
+        termination_rate=summary.termination_rate,
+        coverage=summary.coverage,
+    )
+
+
+def test_ext_robust_loss_supercritical_clique(benchmark):
+    def survey():
+        from repro.variants import lossy_flood
+
+        survived = 0
+        for seed in range(5):
+            trace = lossy_flood(
+                complete_graph(6), 0, loss_rate=0.25, seed=seed, max_rounds=200
+            )
+            if not trace.terminated:
+                survived += 1
+        return survived
+
+    survived = benchmark(survey)
+    assert survived == 5
+    record(
+        benchmark,
+        expected="lossy flood self-sustains on K6 at 25% loss",
+        runs_surviving_200_rounds=survived,
+    )
+
+
+def test_ext_robust_random_delay_sparse(benchmark):
+    summary = benchmark(
+        random_delay_survey, cycle_graph(9), 0, 0.5, 20, 13
+    )
+    assert summary.termination_rate == 1.0
+    record(
+        benchmark,
+        expected="random delays terminate on cycles",
+        mean_steps=summary.mean_steps,
+    )
+
+
+def test_ext_robust_random_delay_dense_metastable(benchmark):
+    def survey():
+        stalled = 0
+        for seed in range(3):
+            run = run_async(
+                complete_graph(5),
+                [0],
+                RandomDelayAdversary(0.5, seed=seed),
+                max_steps=5_000,
+                detect_cycles=False,
+            )
+            if run.outcome is AsyncOutcome.INCONCLUSIVE:
+                stalled += 1
+        return stalled
+
+    stalled = benchmark(survey)
+    assert stalled == 3
+    record(
+        benchmark,
+        expected="random delays stall K5 past any practical horizon",
+        runs_stalled=stalled,
+    )

@@ -1,0 +1,79 @@
+"""EXT-SCALE: what amnesia costs -- AF vs classic flooding vs BFS.
+
+The ablation behind the paper's motivation: amnesiac flooding uses zero
+persistent bits but pays up to 2x messages and up to 2D + 1 rounds on
+non-bipartite graphs, while the seen-flag baseline stops within
+e(source) + 1 rounds with one transmission per node.  Expected shape:
+overhead factor 1.0 on bipartite families, approaching 2x messages on
+odd cycles and cliques.
+"""
+
+import pytest
+
+from repro.baselines import compare_on
+from repro.core import simulate
+from repro.graphs import cycle_graph, erdos_renyi
+
+from conftest import record
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_ext_scale_af_on_growing_er_graphs(benchmark, n):
+    """Raw simulator throughput on growing ER graphs."""
+    graph = erdos_renyi(n, min(1.0, 8.0 / n), seed=n, connected=True)
+    run = benchmark(simulate, graph, [0])
+    assert run.terminated
+    record(
+        benchmark,
+        nodes=n,
+        edges=graph.num_edges,
+        measured_rounds=run.termination_round,
+    )
+
+
+def test_ext_scale_overhead_bipartite_vs_not(benchmark):
+    """The headline comparison: overhead factors by parity class."""
+
+    def sweep():
+        rows = {
+            "even-cycle-64": compare_on(cycle_graph(64), 0, "even-cycle-64"),
+            "odd-cycle-63": compare_on(cycle_graph(63), 0, "odd-cycle-63"),
+        }
+        return rows
+
+    rows = benchmark(sweep)
+    even, odd = rows["even-cycle-64"], rows["odd-cycle-63"]
+    # bipartite: no overhead at all
+    assert even.round_overhead() == 1.0
+    assert even.message_overhead() == 1.0
+    # odd cycle: ~2x both (the paper's echo effect)
+    assert odd.message_overhead() == pytest.approx(2.0, rel=0.05)
+    assert odd.round_overhead() > 1.8
+    record(
+        benchmark,
+        expected="1.0x overhead bipartite, ~2x on odd cycles",
+        even_cycle_msg_overhead=even.message_overhead(),
+        odd_cycle_msg_overhead=odd.message_overhead(),
+        odd_cycle_round_overhead=odd.round_overhead(),
+    )
+
+
+def test_ext_scale_memory_vs_messages_table(benchmark):
+    """Memory bits vs message cost across algorithms (the trade-off row)."""
+
+    def build():
+        return compare_on(cycle_graph(33), 0, "odd-cycle-33")
+
+    row = benchmark(build)
+    assert row.amnesiac.memory_bits == 0
+    assert row.classic.memory_bits == 1
+    assert row.amnesiac.messages == 2 * row.edges
+    assert row.classic.messages <= 2 * row.edges
+    record(
+        benchmark,
+        amnesiac_bits=row.amnesiac.memory_bits,
+        classic_bits=row.classic.memory_bits,
+        bfs_bits=row.bfs.memory_bits,
+        amnesiac_messages=row.amnesiac.messages,
+        classic_messages=row.classic.messages,
+    )

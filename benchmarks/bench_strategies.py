@@ -1,0 +1,89 @@
+"""EXT-SCHED: scheduling policies vs termination.
+
+Beyond the adaptive adversary: *neutral* scheduling policies from the
+systems world. Serialising schedulers (FIFO oldest-first, TDMA
+round-robin) already break termination on cycles -- batch simultaneity,
+not fault-freedom, is what lets converging waves cancel -- while
+starving a node merges wavefronts and terminates *faster* than
+synchrony.
+"""
+
+from repro.asynchrony import (
+    AsyncOutcome,
+    GreedyDamageAdversary,
+    OldestFirstAdversary,
+    RoundRobinEdgeAdversary,
+    StarveNodeAdversary,
+    run_async,
+)
+from repro.core import simulate
+from repro.graphs import cycle_graph, paper_triangle
+
+from conftest import record
+
+
+def test_ext_sched_fifo_breaks_triangle(benchmark):
+    graph = paper_triangle()
+
+    def run():
+        return run_async(graph, ["b"], OldestFirstAdversary(), max_steps=500)
+
+    result = benchmark(run)
+    assert result.outcome is AsyncOutcome.CYCLE_DETECTED
+    record(
+        benchmark,
+        expected="FIFO serialisation alone forces a loop",
+        steps_to_cycle=result.steps,
+    )
+
+
+def test_ext_sched_round_robin_breaks_even_cycle(benchmark):
+    graph = cycle_graph(6)
+
+    def run():
+        return run_async(
+            graph, [0], RoundRobinEdgeAdversary(graph), max_steps=2000
+        )
+
+    result = benchmark(run)
+    assert result.outcome is AsyncOutcome.CYCLE_DETECTED
+    record(
+        benchmark,
+        expected="TDMA link schedule loops even on a bipartite cycle",
+        steps_to_cycle=result.steps,
+    )
+
+
+def test_ext_sched_greedy_no_search_needed(benchmark):
+    graph = paper_triangle()
+
+    def run():
+        return run_async(
+            graph, ["b"], GreedyDamageAdversary(graph), max_steps=500
+        )
+
+    result = benchmark(run)
+    assert result.outcome is AsyncOutcome.CYCLE_DETECTED
+    record(
+        benchmark,
+        expected="lookahead-1 greedy finds a loop without search",
+        steps_to_cycle=result.steps,
+    )
+
+
+def test_ext_sched_starvation_accelerates(benchmark):
+    graph = paper_triangle()
+
+    def run():
+        return run_async(graph, ["b"], StarveNodeAdversary("a"), max_steps=100)
+
+    result = benchmark(run)
+    sync_rounds = simulate(graph, ["b"]).termination_round
+    assert result.outcome is AsyncOutcome.TERMINATED
+    assert result.steps < sync_rounds
+    record(
+        benchmark,
+        expected="starving one node terminates faster than synchrony",
+        starved_steps=result.steps,
+        synchronous_rounds=sync_rounds,
+    )

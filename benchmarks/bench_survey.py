@@ -1,0 +1,50 @@
+"""EXT-SURVEY: typical-case termination times over graph ensembles.
+
+The paper proves worst cases; this bench charts typical behaviour --
+the "Table 1" a full evaluation would print: termination rounds,
+messages and the normalised rounds/D position per family and size.
+Expected shape: trees/sparse at rounds/D <= 1..2, dense non-bipartite
+ensembles between 1 and 3, nothing ever above 3 (the 2D + 1 bound).
+"""
+
+from repro.experiments import check_survey_invariants, run_survey, survey_table
+
+from conftest import record
+
+
+def test_ext_survey_grid(benchmark):
+    cells = benchmark(run_survey, (16, 32), 6, None, 77)
+    violations = check_survey_invariants(cells)
+    assert violations == []
+    table = survey_table(cells)
+    assert "tree" in table
+    record(
+        benchmark,
+        expected="rounds/D within (0, 3]; trees exactly <= 1",
+        families=sorted({cell.family for cell in cells}),
+        max_rounds_over_diameter=max(
+            cell.rounds_over_diameter.maximum for cell in cells
+        ),
+    )
+
+
+def test_ext_survey_fairness_bound(benchmark):
+    """Minimal delay bound that defeats termination: 1 on odd cycles."""
+    from repro.asynchrony import ConvergecastHoldAdversary, minimal_breaking_bound
+    from repro.graphs import cycle_graph
+
+    def sweep():
+        return {
+            n: minimal_breaking_bound(
+                cycle_graph(n), 0, ConvergecastHoldAdversary
+            )
+            for n in (3, 5, 7)
+        }
+
+    bounds = benchmark(sweep)
+    assert all(value == 1 for value in bounds.values())
+    record(
+        benchmark,
+        expected="bound 1 (weakest asynchrony) already breaks termination",
+        measured_bounds=bounds,
+    )

@@ -1,0 +1,59 @@
+"""EXT-WAVE: per-round receiver-set prediction and the two-wave anatomy.
+
+The double cover predicts not just when AF ends but the exact receiver
+set of every round.  This bench times the per-round verification sweep
+and the wave decomposition on the workload suites.
+"""
+
+from repro.analysis import (
+    load_summary,
+    verify_round_sets_against_simulation,
+    wave_decomposition,
+)
+from repro.graphs import complete_graph, is_bipartite, petersen_graph
+from repro.experiments.workloads import mixed_suite
+
+from conftest import record
+
+
+def test_ext_wave_round_sets_sweep(benchmark):
+    def sweep():
+        checked = 0
+        for label, graph in mixed_suite():
+            source = graph.nodes()[0]
+            assert verify_round_sets_against_simulation(graph, source), label
+            checked += 1
+        return checked
+
+    checked = benchmark(sweep)
+    record(
+        benchmark,
+        expected="R_i == {u : d_cover(u, i mod 2) == i} on every instance",
+        instances=checked,
+    )
+
+
+def test_ext_wave_decomposition_petersen(benchmark):
+    graph = petersen_graph()
+    decomposition = benchmark(wave_decomposition, graph, 0)
+    assert decomposition.has_echo
+    # girth 5: distance-2 nodes on a pentagon through the source get
+    # their opposite-parity walk at length 3, so the echo starts there.
+    assert decomposition.first_echo_round == 3
+    record(
+        benchmark,
+        expected="echo wave on every non-bipartite node",
+        first_echo_round=decomposition.first_echo_round,
+    )
+
+
+def test_ext_wave_load_summary(benchmark):
+    graph = complete_graph(10)
+    summary = benchmark(load_summary, graph, 0)
+    assert summary.total_messages == 2 * graph.num_edges
+    assert summary.rounds == 3
+    record(
+        benchmark,
+        peak_edges=summary.peak_edges_per_round,
+        total_messages=summary.total_messages,
+    )

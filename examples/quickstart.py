@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: amnesiac flooding in five minutes.
+
+Reproduces the paper's three synchronous figures on your terminal,
+shows the exact double-cover predictions, and prints the termination
+bounds that the paper proves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.graphs import paper_even_cycle, paper_line, paper_triangle, diameter
+from repro.core import predict_single, simulate, theoretical_bounds
+from repro.viz import receive_timeline, render_run
+
+
+def show(title: str, graph, source) -> None:
+    print()
+    print("#" * 64)
+    print(f"# {title}")
+    print("#" * 64)
+
+    run = simulate(graph, [source])
+    print(render_run(graph, run, title=f"{graph.describe()}, source {source!r}"))
+
+    bounds = theoretical_bounds(graph, [source])
+    kind = "bipartite" if bounds.bipartite else "non-bipartite"
+    print()
+    print(f"graph is {kind}; diameter D = {diameter(graph)}")
+    print(
+        f"paper's bound: {bounds.lower} <= termination <= {bounds.upper}"
+        + (f" (exact: {bounds.exact})" if bounds.exact is not None else "")
+    )
+
+    prediction = predict_single(graph, source)
+    print(
+        f"double-cover oracle: terminates in round "
+        f"{prediction.termination_round} with {prediction.total_messages} messages"
+    )
+    assert prediction.termination_round == run.termination_round
+
+    print()
+    print(receive_timeline(run))
+
+
+def main() -> None:
+    print("Amnesiac Flooding (Hussak & Trehan, PODC 2019) -- quickstart")
+
+    # Figure 1: a line (bipartite) -- terminates in e(b) = 2 < D rounds.
+    show("Figure 1: line a-b-c-d from b", paper_line(), "b")
+
+    # Figure 2: the triangle (smallest non-bipartite graph) -- the
+    # message echoes and returns to the source: 3 = 2D + 1 rounds.
+    show("Figure 2: triangle from b", paper_triangle(), "b")
+
+    # Figure 3: the even cycle C6 -- bipartite, D rounds from anywhere.
+    show("Figure 3: even cycle C6 from a", paper_even_cycle(), "a")
+
+    print()
+    print("All oracle predictions matched the simulations exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Beyond the paper: the robustness phase diagram of amnesiac flooding.
+
+Theorem 3.1 guarantees termination in the synchronous fault-free model.
+This example charts what happens when each assumption is relaxed --
+findings established by this reproduction's test suite:
+
+* message loss on dense graphs turns the flood into a supercritical
+  branching process that never dies;
+* low-degree topologies are robust at any loss rate;
+* the k-memory ablation shows one round of memory is exactly the
+  termination threshold (k = 0 diverges, k = 1 is the paper).
+
+Run:  python examples/robustness_phase_diagram.py
+"""
+
+from repro.graphs import complete_graph, cycle_graph, grid_graph
+from repro.variants import loss_sweep, memory_sweep
+
+
+def main() -> None:
+    print("=== loss phase diagram: termination rate by (graph, loss) ===")
+    print()
+    workloads = [
+        ("cycle C12 (deg 2)", cycle_graph(12), 0),
+        ("grid 4x4 (deg <=4)", grid_graph(4, 4), (0, 0)),
+        ("clique K6 (deg 5)", complete_graph(6), 0),
+    ]
+    rates = [0.0, 0.1, 0.25, 0.5, 0.75]
+    header = f"{'workload':<20}" + "".join(f"{r:>8.2f}" for r in rates)
+    print(header)
+    print("-" * len(header))
+    for label, graph, source in workloads:
+        summaries = loss_sweep(graph, source, rates, trials=15, seed=99)
+        cells = "".join(f"{s.termination_rate:>8.0%}" for s in summaries)
+        print(f"{label:<20}{cells}")
+    print()
+    print(
+        "K6 at moderate loss never terminates within budget: each receipt\n"
+        "spawns ~5 forwards surviving at 75-90%, a branching factor > 1.\n"
+        "Degree-2 graphs cannot amplify, so loss only shortens their runs."
+    )
+
+    print()
+    print("=== coverage under loss (fraction of users reached, C12) ===")
+    print()
+    for summary in loss_sweep(cycle_graph(12), 0, rates, trials=15, seed=7):
+        bar = "#" * round(summary.coverage * 40)
+        print(f"  loss {summary.loss_rate:>4.0%}: {bar} {summary.coverage:.0%}")
+
+    print()
+    print("=== the memory threshold: k-memory flooding on the triangle ===")
+    print()
+    points = memory_sweep(
+        complete_graph(3), 0, ks=[0, 1, 2, 3], max_rounds=50
+    )
+    for point in points:
+        if point.terminated:
+            status = f"terminates in {point.rounds} rounds ({point.messages} messages)"
+        else:
+            status = "DIVERGES (message ping-pongs forever)"
+        note = {0: "  <- below the paper", 1: "  <- the paper's AF"}.get(point.k, "")
+        print(f"  k = {point.k}: {status}{note}")
+
+    print()
+    print(
+        "one round of memory is exactly the termination threshold --\n"
+        "which is the paper's point, made quantitative."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs where the `wheel`
+package is unavailable (PEP 660 editable builds need bdist_wheel).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""Analysis layer: metrics, bound sweeps, detection and verification.
+
+* :mod:`~repro.analysis.metrics` -- per-run metric bundles.
+* :mod:`~repro.analysis.bounds` -- claim sweeps (Lemma 2.1 through
+  Theorem 3.3) over graph suites.
+* :mod:`~repro.analysis.bipartite_detect` -- the paper's proposed
+  topology-detection application.
+* :mod:`~repro.analysis.statistics` -- small dependency-free stats.
+* :mod:`~repro.analysis.verify` -- cross-validation of simulator,
+  engine and double-cover oracle.
+"""
+
+from repro.analysis.bipartite_detect import (
+    DetectionResult,
+    detect_at_source,
+    detect_by_receipt_counts,
+    detect_by_termination_time,
+    odd_girth_estimate_from_echo,
+    odd_girth_via_flooding,
+)
+from repro.analysis.bounds import (
+    BoundEvidence,
+    check_corollary_2_2,
+    check_lemma_2_1,
+    check_theorem_3_1,
+    check_theorem_3_3,
+    evidence_summary,
+)
+from repro.analysis.metrics import (
+    FloodMetrics,
+    flood_metrics,
+    metrics_for_all_sources,
+    round_profile,
+    worst_case_rounds,
+)
+from repro.analysis.statistics import (
+    SampleSummary,
+    histogram,
+    histogram_bar_chart,
+    quantile,
+    ratio_series,
+    summarize,
+)
+from repro.analysis.wavefront import (
+    LoadSummary,
+    last_receivers,
+    WaveDecomposition,
+    frontier_profile,
+    load_summary,
+    predicted_round_sets,
+    verify_round_sets_against_simulation,
+    wave_decomposition,
+)
+from repro.analysis.verify import (
+    VerificationReport,
+    check_engine_against_simulator,
+    check_run_against_oracle,
+    check_theorem_structure,
+    full_cross_check,
+)
+
+__all__ = [
+    "DetectionResult",
+    "detect_at_source",
+    "detect_by_receipt_counts",
+    "detect_by_termination_time",
+    "odd_girth_estimate_from_echo",
+    "odd_girth_via_flooding",
+    "BoundEvidence",
+    "check_corollary_2_2",
+    "check_lemma_2_1",
+    "check_theorem_3_1",
+    "check_theorem_3_3",
+    "evidence_summary",
+    "FloodMetrics",
+    "flood_metrics",
+    "metrics_for_all_sources",
+    "round_profile",
+    "worst_case_rounds",
+    "SampleSummary",
+    "histogram",
+    "histogram_bar_chart",
+    "quantile",
+    "ratio_series",
+    "summarize",
+    "LoadSummary",
+    "last_receivers",
+    "WaveDecomposition",
+    "frontier_profile",
+    "load_summary",
+    "predicted_round_sets",
+    "verify_round_sets_against_simulation",
+    "wave_decomposition",
+    "VerificationReport",
+    "check_engine_against_simulator",
+    "check_run_against_oracle",
+    "check_theorem_structure",
+    "full_cross_check",
+]

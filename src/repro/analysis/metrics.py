@@ -1,0 +1,115 @@
+"""Trace and run metrics shared by experiments and reports.
+
+A thin, well-typed layer over :class:`~repro.core.amnesiac.FloodingRun`
+and :class:`~repro.sync.trace.ExecutionTrace` that computes the
+quantities the paper reasons about: termination round, receive
+multiplicities, per-round activity and how the run sits relative to the
+graph's eccentricity/diameter structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import is_bipartite, is_connected
+from repro.graphs.traversal import diameter, eccentricity
+from repro.core.amnesiac import FloodingRun, simulate
+from repro.sync.trace import ExecutionTrace
+
+Run = Union[FloodingRun, ExecutionTrace]
+
+
+def run_rounds(run: Run) -> int:
+    """Termination round of either run representation."""
+    return run.termination_round
+
+
+def run_messages(run: Run) -> int:
+    """Total messages of either run representation."""
+    if isinstance(run, FloodingRun):
+        return run.total_messages
+    return run.total_messages()
+
+
+def run_receive_rounds(run: Run) -> Dict[Node, Tuple[int, ...]]:
+    """Per-node receive rounds of either run representation."""
+    if isinstance(run, FloodingRun):
+        return run.receive_rounds
+    return run.receive_rounds()
+
+
+@dataclass(frozen=True)
+class FloodMetrics:
+    """The metric bundle for one (graph, source) amnesiac flood.
+
+    Attributes mirror the paper's quantities:
+
+    * ``rounds`` -- termination round;
+    * ``eccentricity`` -- ``e(source)``, the bipartite exact value and
+      the universal lower bound;
+    * ``diameter`` -- ``D`` (``None`` when the graph is disconnected);
+    * ``slack_vs_diameter`` -- ``rounds - D``: <= 0 for bipartite
+      sources (Corollary 2.2), in ``[1 - D, D + 1]`` for non-bipartite
+      (Theorem 3.3 upper bound ``2D + 1``);
+    * ``max_receipts`` -- 1 on bipartite components, 2 otherwise;
+    * ``coverage`` -- fraction of the source's component reached.
+    """
+
+    source: Node
+    rounds: int
+    messages: int
+    eccentricity: int
+    diameter: Optional[int]
+    bipartite: bool
+    max_receipts: int
+    coverage: float
+
+    @property
+    def slack_vs_diameter(self) -> Optional[int]:
+        if self.diameter is None:
+            return None
+        return self.rounds - self.diameter
+
+    @property
+    def slack_vs_eccentricity(self) -> int:
+        return self.rounds - self.eccentricity
+
+
+def flood_metrics(graph: Graph, source: Node) -> FloodMetrics:
+    """Simulate AF from ``source`` and compute the metric bundle."""
+    from repro.graphs.traversal import bfs_distances
+
+    run = simulate(graph, [source])
+    component = set(bfs_distances(graph, source))
+    counts = run.receive_counts()
+    reached = run.nodes_reached()
+    return FloodMetrics(
+        source=source,
+        rounds=run.termination_round,
+        messages=run.total_messages,
+        eccentricity=eccentricity(graph, source),
+        diameter=diameter(graph) if is_connected(graph) else None,
+        bipartite=is_bipartite(graph),
+        max_receipts=max(counts.values()) if counts else 0,
+        coverage=len(reached & component) / len(component) if component else 1.0,
+    )
+
+
+def metrics_for_all_sources(graph: Graph) -> List[FloodMetrics]:
+    """Flood metrics from every node of the graph (deterministic order)."""
+    return [flood_metrics(graph, source) for source in graph.nodes()]
+
+
+def worst_case_rounds(graph: Graph) -> int:
+    """The maximum termination round over all sources."""
+    return max(m.rounds for m in metrics_for_all_sources(graph))
+
+
+def round_profile(graph: Graph) -> Dict[Node, int]:
+    """Termination round per source -- the per-node landscape used by FIG3."""
+    return {
+        source: simulate(graph, [source]).termination_round
+        for source in graph.nodes()
+    }

@@ -1,0 +1,90 @@
+"""Spectral cross-validation of the bipartiteness dichotomy.
+
+A third, entirely different road to the property that governs amnesiac
+flooding's behaviour: a connected graph is bipartite iff the spectrum
+of its adjacency matrix is symmetric about zero (equivalently, iff
+``-lambda_max`` is an eigenvalue).  This gives the test suite an
+algebraic validator, independent from both the BFS 2-colouring and the
+flooding-based detectors.
+
+numpy is used here (and only here in the analysis layer); the module
+degrades gracefully if numpy is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import is_connected
+
+_TOLERANCE = 1e-8
+
+
+def adjacency_matrix(graph: Graph) -> Tuple["object", List[Node]]:
+    """The dense adjacency matrix and its node ordering."""
+    import numpy as np
+
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    matrix = np.zeros((len(nodes), len(nodes)))
+    for u, v in graph.edges():
+        matrix[index[u], index[v]] = 1.0
+        matrix[index[v], index[u]] = 1.0
+    return matrix, nodes
+
+
+def adjacency_spectrum(graph: Graph) -> List[float]:
+    """Eigenvalues of the adjacency matrix, descending."""
+    import numpy as np
+
+    if graph.num_nodes == 0:
+        return []
+    matrix, _ = adjacency_matrix(graph)
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    return sorted((float(v) for v in eigenvalues), reverse=True)
+
+
+def spectral_is_bipartite(graph: Graph, tolerance: float = _TOLERANCE) -> bool:
+    """Bipartiteness by spectral symmetry (connected graphs only).
+
+    For a connected graph: bipartite iff ``lambda_min == -lambda_max``.
+    Raises :class:`DisconnectedGraphError` otherwise, because the
+    criterion is per-component.
+    """
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            "the spectral criterion applies per connected component"
+        )
+    if graph.num_edges == 0:
+        return True
+    spectrum = adjacency_spectrum(graph)
+    return abs(spectrum[0] + spectrum[-1]) <= tolerance * max(1.0, spectrum[0])
+
+
+def spectral_gap(graph: Graph) -> Optional[float]:
+    """``lambda_1 - lambda_2`` of the adjacency spectrum.
+
+    A crude expansion proxy: bigger gaps mean faster mixing, which for
+    flooding shows up as smaller diameters and shorter runs.  ``None``
+    for graphs with fewer than two nodes.
+    """
+    spectrum = adjacency_spectrum(graph)
+    if len(spectrum) < 2:
+        return None
+    return spectrum[0] - spectrum[1]
+
+
+def spectral_report(graph: Graph) -> Dict[str, object]:
+    """Bundle of spectral facts used by reports and tests."""
+    spectrum = adjacency_spectrum(graph)
+    report: Dict[str, object] = {
+        "nodes": graph.num_nodes,
+        "lambda_max": spectrum[0] if spectrum else None,
+        "lambda_min": spectrum[-1] if spectrum else None,
+        "gap": spectral_gap(graph),
+    }
+    if is_connected(graph):
+        report["bipartite_spectral"] = spectral_is_bipartite(graph)
+    return report

@@ -1,0 +1,105 @@
+"""Descriptive statistics over flooding measurements.
+
+Dependency-free summaries (mean/median/stdev/quantiles/histograms) used
+by the survey experiments: termination-time distributions across
+sources, seeds and graph families.  Kept deliberately simple -- the
+quantities are small integer samples, not big data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number-style summary of a numeric sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def format(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.2f}{suffix} "
+            f"sd={self.stdev:.2f} min={self.minimum:g} "
+            f"med={self.median:g} max={self.maximum:g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> SampleSummary:
+    """Summary statistics of a non-empty sample."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ConfigurationError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n if n > 1 else 0.0
+    mid = n // 2
+    median = data[mid] if n % 2 == 1 else (data[mid - 1] + data[mid]) / 2
+    return SampleSummary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        median=median,
+        maximum=data[-1],
+    )
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (nearest-rank with linear interpolation)."""
+    if not values:
+        raise ConfigurationError("cannot take a quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("q must be within [0, 1]")
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    position = q * (len(data) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return data[low]
+    weight = position - low
+    return data[low] * (1 - weight) + data[high] * weight
+
+
+def histogram(values: Iterable[int]) -> Dict[int, int]:
+    """Exact integer histogram (value -> count), sorted by value."""
+    counts: Dict[int, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def histogram_bar_chart(values: Iterable[int], width: int = 40) -> str:
+    """A fixed-width ASCII bar chart of an integer histogram."""
+    counts = histogram(values)
+    if not counts:
+        return "(empty sample)"
+    peak = max(counts.values())
+    lines = []
+    for value, count in counts.items():
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"{value:>6} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def ratio_series(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> List[float]:
+    """Element-wise ratios, guarding zero denominators as ratio 1.0."""
+    if len(numerators) != len(denominators):
+        raise ConfigurationError("series must have equal length")
+    return [
+        n / d if d else 1.0 for n, d in zip(numerators, denominators)
+    ]

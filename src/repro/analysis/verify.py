@@ -1,0 +1,150 @@
+"""Cross-validation of simulator, engine and oracle.
+
+Three independent computations of the same process exist in this
+package:
+
+1. the fast frontier simulator (:func:`repro.core.amnesiac.simulate`),
+2. the message-passing engine run of
+   :class:`~repro.core.amnesiac.AmnesiacFlooding`,
+3. the double-cover oracle (:func:`repro.core.oracle.predict`).
+
+This module checks them against each other on any given instance and
+reports the first discrepancy in detail.  The property-based tests
+drive these checks over thousands of random graphs; the experiment
+harness runs them once per figure as a sanity gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.graphs.graph import Graph, Node
+from repro.core.amnesiac import flood_trace, simulate
+from repro.core.oracle import predict
+from repro.core.roundsets import analyze_run
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of cross-validating one (graph, sources) instance.
+
+    ``ok`` is True when every check passed; ``failures`` lists
+    human-readable descriptions of each mismatch.
+    """
+
+    graph: Graph
+    sources: tuple
+    ok: bool = True
+    failures: List[str] = field(default_factory=list)
+
+    def _fail(self, message: str) -> None:
+        self.ok = False
+        self.failures.append(message)
+
+
+def check_run_against_oracle(
+    graph: Graph, sources: Iterable[Node]
+) -> VerificationReport:
+    """Fast simulator vs double-cover oracle: rounds, receipts, messages."""
+    source_list = list(sources)
+    report = VerificationReport(graph=graph, sources=tuple(source_list))
+    run = simulate(graph, source_list)
+    prediction = predict(graph, source_list)
+
+    if not run.terminated:
+        report._fail("simulation did not terminate within budget")
+        return report
+    if run.termination_round != prediction.termination_round:
+        report._fail(
+            f"termination round: simulated {run.termination_round}, "
+            f"oracle {prediction.termination_round}"
+        )
+    if run.total_messages != prediction.total_messages:
+        report._fail(
+            f"messages: simulated {run.total_messages}, "
+            f"oracle {prediction.total_messages}"
+        )
+    if run.receive_rounds != prediction.receive_rounds:
+        diffs = [
+            f"{node!r}: sim {run.receive_rounds[node]} vs "
+            f"oracle {prediction.receive_rounds[node]}"
+            for node in graph.nodes()
+            if run.receive_rounds[node] != prediction.receive_rounds[node]
+        ]
+        report._fail("receive rounds differ: " + "; ".join(diffs[:5]))
+    return report
+
+
+def check_engine_against_simulator(
+    graph: Graph, sources: Iterable[Node]
+) -> VerificationReport:
+    """Message-passing engine vs fast simulator: full per-round agreement."""
+    source_list = list(sources)
+    report = VerificationReport(graph=graph, sources=tuple(source_list))
+    run = simulate(graph, source_list)
+    trace = flood_trace(graph, source_list)
+
+    if trace.termination_round != run.termination_round:
+        report._fail(
+            f"rounds: engine {trace.termination_round}, "
+            f"simulator {run.termination_round}"
+        )
+    if trace.total_messages() != run.total_messages:
+        report._fail(
+            f"messages: engine {trace.total_messages()}, "
+            f"simulator {run.total_messages}"
+        )
+    if trace.receive_rounds() != run.receive_rounds:
+        report._fail("per-node receive rounds differ between engine and simulator")
+    for round_number in range(1, run.termination_round + 1):
+        engine_senders = trace.senders_in_round(round_number)
+        sim_senders = (
+            set(run.sender_sets[round_number - 1])
+            if round_number - 1 < len(run.sender_sets)
+            else set()
+        )
+        if engine_senders != sim_senders:
+            report._fail(
+                f"round {round_number} senders: engine {sorted(engine_senders, key=repr)}, "
+                f"simulator {sorted(sim_senders, key=repr)}"
+            )
+            break
+    return report
+
+
+def check_theorem_structure(graph: Graph, sources: Iterable[Node]) -> VerificationReport:
+    """Round-set structure of Theorem 3.1 on a fresh run."""
+    source_list = list(sources)
+    report = VerificationReport(graph=graph, sources=tuple(source_list))
+    run = simulate(graph, source_list)
+    if not run.terminated:
+        report._fail("simulation did not terminate within budget")
+        return report
+    structure = analyze_run(run)
+    if not structure.satisfies_theorem:
+        report._fail(
+            f"round-set structure violated: even recurrences "
+            f"{structure.even_recurrence_count}, max appearances "
+            f"{structure.max_appearances}, parity consistent "
+            f"{structure.parity_consistent}"
+        )
+    return report
+
+
+def full_cross_check(graph: Graph, sources: Iterable[Node]) -> VerificationReport:
+    """All three pairwise checks; aggregates every failure found."""
+    source_list = list(sources)
+    combined = VerificationReport(graph=graph, sources=tuple(source_list))
+    for check in (
+        check_run_against_oracle,
+        check_engine_against_simulator,
+        check_theorem_structure,
+    ):
+        result = check(graph, source_list)
+        if not result.ok:
+            combined.ok = False
+            combined.failures.extend(
+                f"{check.__name__}: {failure}" for failure in result.failures
+            )
+    return combined

@@ -1,0 +1,34 @@
+"""Application layer: what you build on top of (and around) flooding.
+
+* :mod:`~repro.apps.broadcast` -- one facade over all five broadcast
+  strategies with a uniform cost/capability result.
+* :mod:`~repro.apps.echo_algorithm` -- the classic broadcast-and-
+  convergecast echo algorithm: the termination-*detection* machinery
+  the paper's introduction contrasts amnesiac flooding with.
+"""
+
+from repro.apps.broadcast import (
+    BroadcastOutcome,
+    Strategy,
+    broadcast,
+    broadcast_matrix,
+    matrix_table,
+)
+from repro.apps.echo_algorithm import (
+    EchoAlgorithm,
+    EchoResult,
+    detection_overhead,
+    echo_broadcast,
+)
+
+__all__ = [
+    "BroadcastOutcome",
+    "Strategy",
+    "broadcast",
+    "broadcast_matrix",
+    "matrix_table",
+    "EchoAlgorithm",
+    "EchoResult",
+    "detection_overhead",
+    "echo_broadcast",
+]

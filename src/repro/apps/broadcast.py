@@ -1,0 +1,168 @@
+"""A uniform broadcast facade over every algorithm in this package.
+
+Downstream users who just want "send M to everyone and tell me what it
+cost" should not need to know five module paths.  ``broadcast`` runs
+any of the implemented strategies on any topology and returns one
+result type; ``broadcast_matrix`` sweeps strategies for comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+
+class Strategy(enum.Enum):
+    """Available broadcast strategies.
+
+    ``AMNESIAC`` -- the paper's zero-memory flooding.
+    ``CLASSIC`` -- seen-flag flooding (1 bit/node).
+    ``BFS_TREE`` -- broadcast that also builds a spanning tree.
+    ``ECHO`` -- broadcast with source-side termination detection.
+    ``GOSSIP_PUSH`` -- one random neighbour per round (randomized).
+    """
+
+    AMNESIAC = "amnesiac"
+    CLASSIC = "classic"
+    BFS_TREE = "bfs-tree"
+    ECHO = "echo"
+    GOSSIP_PUSH = "gossip-push"
+
+
+@dataclass(frozen=True)
+class BroadcastOutcome:
+    """What one broadcast run did, uniformly across strategies.
+
+    ``rounds`` is rounds-until-quiescence for the deterministic
+    strategies, rounds-until-everyone-informed for gossip, and
+    rounds-until-source-detection for echo.  ``detects_completion``
+    records whether any node *knows* the broadcast finished.
+    """
+
+    strategy: Strategy
+    rounds: int
+    messages: int
+    reached_all: bool
+    memory_bits_per_node: Optional[int]
+    detects_completion: bool
+
+
+def broadcast(
+    graph: Graph,
+    source: Node,
+    strategy: Strategy = Strategy.AMNESIAC,
+    seed: Optional[int] = None,
+) -> BroadcastOutcome:
+    """Broadcast from ``source`` with the chosen strategy.
+
+    ``seed`` only affects the randomized gossip strategy.
+    """
+    component = set(bfs_distances(graph, source))
+
+    if strategy is Strategy.AMNESIAC:
+        from repro.core.amnesiac import simulate
+
+        run = simulate(graph, [source])
+        return BroadcastOutcome(
+            strategy=strategy,
+            rounds=run.termination_round,
+            messages=run.total_messages,
+            reached_all=run.nodes_reached() >= component,
+            memory_bits_per_node=0,
+            detects_completion=False,
+        )
+    if strategy is Strategy.CLASSIC:
+        from repro.baselines.classic_flooding import classic_flood_trace
+
+        trace = classic_flood_trace(graph, source)
+        return BroadcastOutcome(
+            strategy=strategy,
+            rounds=trace.termination_round,
+            messages=trace.total_messages(),
+            reached_all=trace.nodes_reached() >= component,
+            memory_bits_per_node=1,
+            detects_completion=False,
+        )
+    if strategy is Strategy.BFS_TREE:
+        import math
+
+        from repro.baselines.bfs_broadcast import bfs_broadcast
+
+        result = bfs_broadcast(graph, source)
+        log_n = max(1, math.ceil(math.log2(max(graph.num_nodes, 2))))
+        return BroadcastOutcome(
+            strategy=strategy,
+            rounds=result.trace.termination_round,
+            messages=result.trace.total_messages(),
+            reached_all=set(result.depths) >= component,
+            memory_bits_per_node=2 * log_n,
+            detects_completion=False,
+        )
+    if strategy is Strategy.ECHO:
+        import math
+
+        from repro.apps.echo_algorithm import echo_broadcast
+
+        result = echo_broadcast(graph, source)
+        log_n = max(1, math.ceil(math.log2(max(graph.num_nodes, 2))))
+        return BroadcastOutcome(
+            strategy=strategy,
+            rounds=result.detection_round,
+            messages=result.trace.total_messages(),
+            reached_all=set(result.parents) | {source} >= component,
+            memory_bits_per_node=3 * log_n,
+            detects_completion=True,
+        )
+    if strategy is Strategy.GOSSIP_PUSH:
+        from repro.baselines.rumor import push_rumor
+
+        result = push_rumor(graph, source, seed=seed)
+        rounds = (
+            result.rounds_to_all
+            if result.rounds_to_all is not None
+            else len(result.informed_per_round)
+        )
+        return BroadcastOutcome(
+            strategy=strategy,
+            rounds=rounds,
+            messages=result.total_contacts,
+            reached_all=result.rounds_to_all is not None,
+            memory_bits_per_node=1,
+            detects_completion=False,
+        )
+    raise ConfigurationError(f"unknown strategy {strategy!r}")
+
+
+def broadcast_matrix(
+    graph: Graph,
+    source: Node,
+    strategies: Optional[Iterable[Strategy]] = None,
+    seed: Optional[int] = None,
+) -> List[BroadcastOutcome]:
+    """Run several strategies on the same instance, in declared order."""
+    chosen = list(strategies) if strategies is not None else list(Strategy)
+    return [broadcast(graph, source, strategy, seed=seed) for strategy in chosen]
+
+
+def matrix_table(outcomes: List[BroadcastOutcome]) -> str:
+    """Fixed-width text table of a strategy matrix."""
+    header = (
+        f"{'strategy':<14} {'rounds':>7} {'messages':>9} {'all':>4} "
+        f"{'bits':>5} {'detects':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        bits = "-" if outcome.memory_bits_per_node is None else str(
+            outcome.memory_bits_per_node
+        )
+        lines.append(
+            f"{outcome.strategy.value:<14} {outcome.rounds:>7} "
+            f"{outcome.messages:>9} {'yes' if outcome.reached_all else 'NO':>4} "
+            f"{bits:>5} {'yes' if outcome.detects_completion else 'no':>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The echo (broadcast-and-convergecast) algorithm with termination detection.
+
+The paper's framing: flooding "is often implemented with a flag ... and
+with other mechanisms to detect termination of the process" (citing
+Attiya & Welch).  This module implements the classic such mechanism --
+Chang's echo algorithm -- on the synchronous engine:
+
+* the wave phase floods ``M`` and builds a spanning tree (first-sender
+  parent adoption);
+* every node, once all its tree children have acknowledged, sends an
+  ``ack`` to its parent;
+* when the source has collected acks from all its children, it *knows*
+  the broadcast has completed everywhere.
+
+This is precisely the capability amnesiac flooding gives up: AF
+terminates, but no node ever knows it has.  The comparison experiments
+quantify the price of that knowledge (roughly double the rounds, one
+extra message per tree edge, and O(log n) bits of state per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+from repro.sync.engine import SynchronousEngine
+from repro.sync.message import Message, Send
+from repro.sync.node import NodeContext
+from repro.sync.trace import ExecutionTrace
+
+WAVE = "wave"
+ACK = "ack"
+
+
+@dataclass
+class EchoState:
+    """Per-node state of the echo algorithm.
+
+    ``parent`` is adopted from the first wave sender; ``expected_acks``
+    counts neighbours that did not send the wave to us (potential
+    children plus cross edges, which ack back immediately); ``done`` is
+    set on the source when the last ack arrives.
+    """
+
+    is_root: bool = False
+    parent: Optional[Node] = None
+    seen_wave: bool = False
+    expected_acks: int = 0
+    received_acks: int = 0
+    acked_parent: bool = False
+    done_round: Optional[int] = None
+
+
+class EchoAlgorithm:
+    """Chang's echo algorithm as a :class:`NodeAlgorithm`.
+
+    Wave messages carry ``WAVE``; acknowledgments carry ``ACK``.  A
+    node that receives the wave from several neighbours at once adopts
+    the deterministically smallest as parent and immediately acks the
+    rest.  Leaves (nodes whose every neighbour already has the wave)
+    ack their parent in the next round.
+    """
+
+    def initial_state(self, node: Node, graph: Graph) -> EchoState:
+        return EchoState()
+
+    def on_start(self, state: EchoState, ctx: NodeContext) -> List[Send]:
+        state.is_root = True
+        state.seen_wave = True
+        state.expected_acks = len(ctx.neighbors)
+        return [Send(neighbour, WAVE) for neighbour in ctx.neighbors]
+
+    def on_receive(
+        self, state: EchoState, inbox: List[Message], ctx: NodeContext
+    ) -> List[Send]:
+        sends: List[Send] = []
+        wave_senders = sorted(
+            (m.sender for m in inbox if m.payload == WAVE), key=repr
+        )
+        ack_count = sum(1 for m in inbox if m.payload == ACK)
+        state.received_acks += ack_count
+
+        if wave_senders and not state.seen_wave:
+            state.seen_wave = True
+            state.parent = wave_senders[0]
+            others = [n for n in ctx.neighbors if n not in wave_senders]
+            state.expected_acks = len(others)
+            sends.extend(Send(n, WAVE) for n in others)
+            # Ack every simultaneous wave sender except the adopted parent.
+            sends.extend(Send(n, ACK) for n in wave_senders[1:])
+        elif wave_senders and state.seen_wave:
+            # Late wave over a cross edge: ack it straight back.
+            sends.extend(Send(n, ACK) for n in wave_senders)
+
+        if (
+            state.seen_wave
+            and state.received_acks >= state.expected_acks
+            and not state.acked_parent
+        ):
+            if state.parent is not None:
+                state.acked_parent = True
+                sends.append(Send(state.parent, ACK))
+            elif state.is_root and state.done_round is None:
+                state.done_round = ctx.round_number
+        return sends
+
+
+@dataclass
+class EchoResult:
+    """Outcome of one echo run.
+
+    ``detection_round`` is when the source *knew* the broadcast was
+    complete; ``parents`` the spanning tree the wave built; ``trace``
+    the full engine trace (wave + ack messages).
+    """
+
+    source: Node
+    detection_round: Optional[int]
+    parents: Dict[Node, Node]
+    trace: ExecutionTrace
+
+    @property
+    def detected(self) -> bool:
+        return self.detection_round is not None
+
+    def tree_edges(self) -> List[Tuple[Node, Node]]:
+        return sorted(
+            ((parent, child) for child, parent in self.parents.items()), key=repr
+        )
+
+
+def echo_broadcast(
+    graph: Graph, source: Node, max_rounds: Optional[int] = None
+) -> EchoResult:
+    """Run the echo algorithm; source learns when broadcast completed.
+
+    Raises :class:`SimulationError` if the run is cut off before the
+    source detects completion (cannot happen on connected graphs with
+    the default budget).
+    """
+    states: Dict[Node, EchoState] = {}
+
+    class _Recording(EchoAlgorithm):
+        def initial_state(self, node: Node, graph_: Graph) -> EchoState:
+            state = super().initial_state(node, graph_)
+            states[node] = state
+            return state
+
+    engine = SynchronousEngine(graph, _Recording())
+    trace = engine.run([source], max_rounds=max_rounds)
+    root_state = states[source]
+
+    # A single-node graph detects instantly (no neighbours to wait for).
+    detection_round = root_state.done_round
+    if detection_round is None and not graph.neighbors(source):
+        detection_round = 0
+    if detection_round is None and trace.terminated:
+        raise SimulationError(
+            "echo run terminated without the source detecting completion"
+        )
+    parents = {
+        node: state.parent
+        for node, state in states.items()
+        if state.parent is not None
+    }
+    return EchoResult(
+        source=source,
+        detection_round=detection_round,
+        parents=parents,
+        trace=trace,
+    )
+
+
+def detection_overhead(graph: Graph, source: Node) -> Dict[str, float]:
+    """Echo vs amnesiac flooding: the price of knowing you are done.
+
+    Returns a dict with rounds/messages of both and the ratios.  AF's
+    rounds are its termination round -- which *no participant observes*;
+    echo's rounds are until the source has proof.
+    """
+    from repro.core.amnesiac import simulate
+
+    amnesiac = simulate(graph, [source])
+    echo = echo_broadcast(graph, source)
+    return {
+        "amnesiac_rounds": amnesiac.termination_round,
+        "amnesiac_messages": amnesiac.total_messages,
+        "echo_detection_round": echo.detection_round,
+        "echo_messages": echo.trace.total_messages(),
+        "round_ratio": (
+            echo.detection_round / amnesiac.termination_round
+            if amnesiac.termination_round
+            else 1.0
+        ),
+        "message_ratio": (
+            echo.trace.total_messages() / amnesiac.total_messages
+            if amnesiac.total_messages
+            else 1.0
+        ),
+    }

@@ -1,0 +1,81 @@
+"""Asynchronous amnesiac flooding (Section 4 of the paper).
+
+The synchronous process provably terminates; this subpackage shows the
+asynchronous variant does not have to.  It provides the configuration
+model, a strategy interface for scheduling adversaries (including the
+Figure 5 strategy), an execution engine that extracts non-termination
+certificates, and an exhaustive schedule search that *decides*
+adversarial non-termination on small topologies.
+"""
+
+from repro.asynchrony.adversary import (
+    Adversary,
+    ConvergecastHoldAdversary,
+    FixedScheduleAdversary,
+    HoldEdgeAdversary,
+    RandomDelayAdversary,
+    SynchronousAdversary,
+)
+from repro.asynchrony.configurations import (
+    Configuration,
+    DirectedMessage,
+    EMPTY_CONFIGURATION,
+    Lasso,
+    apply_delivery,
+    initial_configuration,
+    synchronous_closure,
+)
+from repro.asynchrony.fairness import (
+    BoundedDelayAdversary,
+    ScheduleAudit,
+    audit_schedule,
+    minimal_breaking_bound,
+)
+from repro.asynchrony.engine import (
+    AsyncOutcome,
+    AsyncRun,
+    run_async,
+    synchronous_async_equivalence,
+)
+from repro.asynchrony.strategies import (
+    GreedyDamageAdversary,
+    OldestFirstAdversary,
+    RoundRobinEdgeAdversary,
+    StarveNodeAdversary,
+)
+from repro.asynchrony.search import (
+    adversary_can_win,
+    delivery_choices,
+    find_nonterminating_schedule,
+)
+
+__all__ = [
+    "Adversary",
+    "ConvergecastHoldAdversary",
+    "FixedScheduleAdversary",
+    "HoldEdgeAdversary",
+    "RandomDelayAdversary",
+    "SynchronousAdversary",
+    "Configuration",
+    "DirectedMessage",
+    "EMPTY_CONFIGURATION",
+    "Lasso",
+    "apply_delivery",
+    "initial_configuration",
+    "synchronous_closure",
+    "BoundedDelayAdversary",
+    "ScheduleAudit",
+    "audit_schedule",
+    "minimal_breaking_bound",
+    "AsyncOutcome",
+    "AsyncRun",
+    "run_async",
+    "synchronous_async_equivalence",
+    "GreedyDamageAdversary",
+    "OldestFirstAdversary",
+    "RoundRobinEdgeAdversary",
+    "StarveNodeAdversary",
+    "adversary_can_win",
+    "delivery_choices",
+    "find_nonterminating_schedule",
+]

@@ -1,0 +1,170 @@
+"""Scheduling adversaries for asynchronous amnesiac flooding.
+
+An adversary is a strategy choosing, at each step, which in-transit
+messages to deliver and which to delay.  The paper's Section 4 claims a
+scheduling adversary "can always ensure non-termination"; we implement:
+
+* :class:`SynchronousAdversary` -- delivers everything; equals the
+  synchronous process (used as a cross-check and as the fairness
+  baseline that *does* terminate).
+* :class:`ConvergecastHoldAdversary` -- the Figure 5 strategy,
+  generalised from the triangle to any graph: whenever the wavefronts
+  converge (several messages aimed at a single node), deliver one and
+  hold the rest for one step.  On odd cycles this provably recreates an
+  earlier configuration, looping forever while holding each message at
+  most one step (a *fair* schedule).
+* :class:`RandomDelayAdversary` -- each message independently delayed
+  with probability ``p`` (non-adversarial asynchrony; empirically this
+  almost always terminates, sharpening the contrast with the adaptive
+  adversary).
+* :class:`FixedScheduleAdversary` -- replays an explicit schedule, used
+  to execute certificates found by the searching adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.asynchrony.configurations import Configuration, DirectedMessage
+
+
+class Adversary(Protocol):
+    """Strategy interface: split the in-transit set into deliver/hold.
+
+    Implementations must return a non-empty ``deliver`` subset whenever
+    the configuration is non-empty (time must progress).  A strategy
+    that depends only on ``configuration`` (not ``step``) is
+    *memoryless*; repeated configurations under memoryless strategies
+    certify non-termination.
+    """
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        """The batch of messages to deliver at this step."""
+        ...
+
+
+class SynchronousAdversary:
+    """Deliver every in-transit message immediately.
+
+    Under this schedule the asynchronous engine executes the exact
+    synchronous process, providing an end-to-end consistency check
+    between the two engines.
+    """
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        return configuration
+
+
+class ConvergecastHoldAdversary:
+    """The Figure 5 strategy: break up converging wavefronts.
+
+    When every in-transit message targets one common node (the flood's
+    two wavefronts meeting, which is where synchronous AF would die
+    out), deliver only the deterministically-first message and hold the
+    rest one step.  The receiver then echoes the message back towards
+    the held wavefront, re-creating an earlier configuration.
+
+    On the triangle this reproduces the paper's Figure 5 schedule
+    verbatim; on every odd cycle it yields a configuration cycle (the
+    CL-S4 experiment checks C3 through C11).  Each message is held at
+    most one consecutive step, so the resulting infinite schedule is
+    fair.
+    """
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        if not configuration:
+            return configuration
+        targets = {receiver for _, receiver in configuration}
+        if len(targets) == 1 and len(configuration) > 1:
+            first = min(configuration, key=repr)
+            return frozenset({first})
+        return configuration
+
+
+class RandomDelayAdversary:
+    """Oblivious random delays: hold each message with probability ``p``.
+
+    At least one message is always delivered (a uniformly chosen one if
+    the coin flips held everything), keeping the schedule progressing.
+    """
+
+    def __init__(self, delay_probability: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= delay_probability < 1.0:
+            raise ConfigurationError("delay_probability must be in [0, 1)")
+        self.delay_probability = delay_probability
+        self._rng = random.Random(seed)
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        if not configuration:
+            return configuration
+        deliver = {
+            message
+            for message in sorted(configuration, key=repr)
+            if self._rng.random() >= self.delay_probability
+        }
+        if not deliver:
+            deliver = {self._rng.choice(sorted(configuration, key=repr))}
+        return frozenset(deliver)
+
+
+class FixedScheduleAdversary:
+    """Replay an explicit list of delivery batches, then deliver all.
+
+    Used to execute lasso certificates: the stem-plus-cycle schedule is
+    passed in and repeated from ``loop_from`` once exhausted.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[FrozenSet[DirectedMessage]],
+        loop_from: Optional[int] = None,
+    ) -> None:
+        if loop_from is not None and not 0 <= loop_from < len(schedule):
+            raise ConfigurationError("loop_from must index into the schedule")
+        self.schedule = [frozenset(batch) for batch in schedule]
+        self.loop_from = loop_from
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        index = step - 1
+        if index < len(self.schedule):
+            return self.schedule[index]
+        if self.loop_from is None:
+            return configuration
+        cycle_length = len(self.schedule) - self.loop_from
+        return self.schedule[
+            self.loop_from + (index - len(self.schedule)) % cycle_length
+        ]
+
+
+class HoldEdgeAdversary:
+    """Persistently delay messages on the given directed edges by one step.
+
+    A simple targeted strategy used in tests: messages crossing a
+    watched edge are held for one step whenever anything else can make
+    progress, then released.
+    """
+
+    def __init__(self, watched: Sequence[DirectedMessage]) -> None:
+        self.watched: Set[DirectedMessage] = set(watched)
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        deliver = frozenset(m for m in configuration if m not in self.watched)
+        if deliver:
+            return deliver
+        return configuration

@@ -1,0 +1,152 @@
+"""The asynchronous execution engine (Section 4 of the paper).
+
+Drives a configuration (set of in-transit messages) under an
+:class:`~repro.asynchrony.adversary.Adversary` strategy, recording the
+orbit.  Detects two outcomes:
+
+* **termination** -- the configuration empties;
+* **certified non-termination** -- a configuration repeats; for
+  memoryless adversaries the run is then provably periodic forever, and
+  the engine extracts the :class:`~repro.asynchrony.configurations.Lasso`
+  certificate (stem, cycle, delivery schedule).
+
+If neither happens within ``max_steps`` the run is *inconclusive*
+(possible with randomized adversaries, whose choices are not a function
+of the configuration).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.asynchrony.adversary import Adversary, SynchronousAdversary
+from repro.asynchrony.configurations import (
+    Configuration,
+    DirectedMessage,
+    Lasso,
+    apply_delivery,
+    initial_configuration,
+)
+
+
+class AsyncOutcome(enum.Enum):
+    """How an asynchronous run ended."""
+
+    TERMINATED = "terminated"
+    CYCLE_DETECTED = "cycle-detected"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class AsyncRun:
+    """Record of an asynchronous execution.
+
+    Attributes
+    ----------
+    graph, sources:
+        Inputs.
+    outcome:
+        Terminated, certified non-terminating, or inconclusive.
+    configurations:
+        The orbit, starting with the initial configuration; for a
+        terminated run the final element is the empty set.
+    deliveries:
+        ``deliveries[i]`` is the batch delivered when leaving
+        ``configurations[i]``.
+    lasso:
+        The non-termination certificate when ``outcome`` is
+        ``CYCLE_DETECTED`` (memoryless adversaries only).
+    steps:
+        Number of delivery steps executed.
+    """
+
+    graph: Graph
+    sources: Tuple[Node, ...]
+    outcome: AsyncOutcome
+    configurations: List[Configuration] = field(default_factory=list)
+    deliveries: List[FrozenSet[DirectedMessage]] = field(default_factory=list)
+    lasso: Optional[Lasso] = None
+
+    @property
+    def steps(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def terminated(self) -> bool:
+        return self.outcome is AsyncOutcome.TERMINATED
+
+    @property
+    def certified_nonterminating(self) -> bool:
+        return self.outcome is AsyncOutcome.CYCLE_DETECTED
+
+    def total_messages_delivered(self) -> int:
+        """Messages delivered over the (finite) observed prefix."""
+        return sum(len(batch) for batch in self.deliveries)
+
+
+def run_async(
+    graph: Graph,
+    sources: Iterable[Node],
+    adversary: Adversary,
+    max_steps: int = 10_000,
+    detect_cycles: bool = True,
+) -> AsyncRun:
+    """Execute asynchronous amnesiac flooding under ``adversary``.
+
+    ``detect_cycles`` enables configuration memoisation; disable it for
+    randomized adversaries where a repeated configuration does not
+    certify anything (their next choice may differ).
+    """
+    if max_steps < 1:
+        raise ConfigurationError("max_steps must be >= 1")
+    source_list = list(sources)
+    configuration = initial_configuration(graph, source_list)
+    run = AsyncRun(
+        graph=graph,
+        sources=tuple(source_list),
+        outcome=AsyncOutcome.INCONCLUSIVE,
+        configurations=[configuration],
+    )
+    first_seen: Dict[Configuration, int] = {configuration: 0}
+
+    for step in range(1, max_steps + 1):
+        if not configuration:
+            run.outcome = AsyncOutcome.TERMINATED
+            return run
+        batch = frozenset(adversary.choose(configuration, step))
+        configuration = apply_delivery(graph, configuration, batch)
+        run.deliveries.append(batch)
+        run.configurations.append(configuration)
+
+        if detect_cycles and configuration:
+            if configuration in first_seen:
+                start = first_seen[configuration]
+                run.outcome = AsyncOutcome.CYCLE_DETECTED
+                run.lasso = Lasso(
+                    stem=tuple(run.configurations[:start]),
+                    cycle=tuple(run.configurations[start:-1]),
+                    deliveries=tuple(run.deliveries),
+                )
+                return run
+            first_seen[configuration] = len(run.configurations) - 1
+
+    if not configuration:
+        run.outcome = AsyncOutcome.TERMINATED
+    return run
+
+
+def synchronous_async_equivalence(
+    graph: Graph, sources: Iterable[Node], max_steps: int = 10_000
+) -> AsyncRun:
+    """Run the async engine under the deliver-everything schedule.
+
+    The resulting step count must equal the synchronous termination
+    round; the cross-check lives in the integration tests.
+    """
+    return run_async(
+        graph, sources, SynchronousAdversary(), max_steps=max_steps
+    )

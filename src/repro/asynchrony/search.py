@@ -1,0 +1,135 @@
+"""Exhaustive search for non-terminating asynchronous schedules.
+
+The paper asserts an adaptive adversary "can always ensure
+non-termination".  For small graphs we can *decide* whether such a
+schedule exists: the configuration space of asynchronous amnesiac
+flooding is finite (subsets of directed edges), and the adversary wins
+iff some configuration reachable from the initial one lies on a cycle
+of the reachability graph whose moves it controls.
+
+:func:`find_nonterminating_schedule` performs a depth-first search over
+(configuration, chosen-batch) successors and returns an explicit
+:class:`~repro.asynchrony.configurations.Lasso` certificate, or ``None``
+when *every* schedule terminates (as happens on trees -- messages only
+ever move away from the source, so no adversary can loop).
+
+The search is exponential in the number of simultaneously in-transit
+messages; guard rails (``max_configurations``, ``max_batch_choices``)
+keep it usable on the small topologies the experiments probe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.asynchrony.configurations import (
+    Configuration,
+    DirectedMessage,
+    Lasso,
+    apply_delivery,
+    initial_configuration,
+)
+
+
+def delivery_choices(
+    configuration: Configuration, max_batch_choices: Optional[int] = None
+) -> List[FrozenSet[DirectedMessage]]:
+    """All legal delivery batches: non-empty subsets of the configuration.
+
+    Enumerated in a deterministic order, largest batches first -- the
+    synchronous choice is explored first so terminating branches are
+    found quickly and the search spends its budget on near-synchronous
+    deviations (which is where Figure 5's schedule lives).
+    """
+    messages = sorted(configuration, key=repr)
+    batches: List[FrozenSet[DirectedMessage]] = []
+    for size in range(len(messages), 0, -1):
+        for combo in itertools.combinations(messages, size):
+            batches.append(frozenset(combo))
+            if max_batch_choices is not None and len(batches) >= max_batch_choices:
+                return batches
+    return batches
+
+
+def find_nonterminating_schedule(
+    graph: Graph,
+    sources: Iterable[Node],
+    max_configurations: int = 20_000,
+    max_batch_choices: Optional[int] = None,
+) -> Optional[Lasso]:
+    """Search for a schedule that revisits a configuration.
+
+    Returns a replayable :class:`Lasso` certificate if the adversary
+    can force non-termination from the given sources, ``None`` if the
+    reachable configuration space was exhausted without finding a cycle
+    (no adversary wins), and raises :class:`ConfigurationError` when
+    the exploration budget is exceeded before either conclusion.
+    """
+    source_list = list(sources)
+    start = initial_configuration(graph, source_list)
+    if not start:
+        return None
+
+    # Iterative DFS over configurations; ``on_path`` tracks the current
+    # stack so a back-edge to it is a certified cycle.
+    path: List[Configuration] = [start]
+    batch_history: List[FrozenSet[DirectedMessage]] = []
+    on_path: Dict[Configuration, int] = {start: 0}
+    fully_explored: Set[Configuration] = set()
+    choice_stack: List[List[FrozenSet[DirectedMessage]]] = [
+        delivery_choices(start, max_batch_choices)
+    ]
+    visited_count = 1
+
+    while path:
+        if not choice_stack[-1]:
+            done = path.pop()
+            fully_explored.add(done)
+            del on_path[done]
+            choice_stack.pop()
+            if batch_history:
+                batch_history.pop()
+            continue
+
+        batch = choice_stack[-1].pop()
+        current = path[-1]
+        successor = apply_delivery(graph, current, batch)
+        if not successor:
+            continue  # terminating move; no cycle this way
+        if successor in on_path:
+            loop_start = on_path[successor]
+            stem = tuple(path[:loop_start])
+            cycle = tuple(path[loop_start:])
+            deliveries = tuple(batch_history) + (batch,)
+            return Lasso(stem=stem, cycle=cycle, deliveries=deliveries)
+        if successor in fully_explored:
+            continue
+
+        visited_count += 1
+        if visited_count > max_configurations:
+            raise ConfigurationError(
+                f"configuration search budget ({max_configurations}) exceeded"
+            )
+        path.append(successor)
+        batch_history.append(batch)
+        on_path[successor] = len(path) - 1
+        choice_stack.append(delivery_choices(successor, max_batch_choices))
+
+    return None
+
+
+def adversary_can_win(
+    graph: Graph,
+    sources: Iterable[Node],
+    max_configurations: int = 20_000,
+) -> bool:
+    """Whether some schedule is non-terminating (decided exhaustively)."""
+    return (
+        find_nonterminating_schedule(
+            graph, sources, max_configurations=max_configurations
+        )
+        is not None
+    )

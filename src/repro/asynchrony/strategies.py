@@ -1,0 +1,140 @@
+"""Additional adversary strategies for the asynchronous experiments.
+
+:mod:`repro.asynchrony.adversary` carries the paper-aligned strategies
+(synchronous, the Figure 5 convergecast-hold, random).  This module
+adds scheduling policies from the systems side of the literature --
+age-ordered delivery, node starvation, greedy damage maximisation --
+to chart how *policy* (not just adversarial intent) interacts with
+termination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.asynchrony.configurations import (
+    Configuration,
+    DirectedMessage,
+    apply_delivery,
+)
+
+
+class OldestFirstAdversary:
+    """Deliver only the longest-waiting message(s) each step.
+
+    A serialising scheduler: every step delivers the single oldest
+    message (deterministic tie-break).  Models a fully sequential
+    network where no two deliveries ever coincide.  Note: sequential
+    delivery dismantles the batch-complement rule -- each receipt is
+    answered in isolation -- so floods behave like token walks.
+    """
+
+    def __init__(self) -> None:
+        self._ages: Dict[DirectedMessage, int] = {}
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        if not configuration:
+            return frozenset()
+        self._ages = {
+            message: self._ages.get(message, 0) + 1 for message in configuration
+        }
+        oldest_age = max(self._ages[m] for m in configuration)
+        candidates = sorted(
+            (m for m in configuration if self._ages[m] == oldest_age), key=repr
+        )
+        chosen = candidates[0]
+        self._ages.pop(chosen, None)
+        return frozenset({chosen})
+
+
+class StarveNodeAdversary:
+    """Delay every message addressed to one victim node when possible.
+
+    Messages towards ``victim`` are held whenever some other message
+    can progress; they are released only when they are all that is
+    left.  Tests whether targeted unfairness (rather than global
+    reordering) threatens termination.
+    """
+
+    def __init__(self, victim: Node) -> None:
+        self.victim = victim
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        others = frozenset(
+            m for m in configuration if m[1] != self.victim
+        )
+        return others if others else configuration
+
+
+class GreedyDamageAdversary:
+    """Pick the delivery batch whose successor configuration is largest.
+
+    A bounded lookahead-1 adversary: enumerates up to
+    ``max_batch_choices`` candidate batches and plays the one producing
+    the most in-transit messages next step (ties broken towards later
+    enumeration order staying deterministic).  Greedy damage is a
+    natural heuristic opponent to compare with the exhaustive search:
+    it often finds loops without any search at all.
+    """
+
+    def __init__(self, graph: Graph, max_batch_choices: int = 64) -> None:
+        if max_batch_choices < 1:
+            raise ConfigurationError("max_batch_choices must be >= 1")
+        self.graph = graph
+        self.max_batch_choices = max_batch_choices
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        if not configuration:
+            return frozenset()
+        from repro.asynchrony.search import delivery_choices
+
+        best: Optional[FrozenSet[DirectedMessage]] = None
+        best_size = -1
+        for batch in delivery_choices(configuration, self.max_batch_choices):
+            successor = apply_delivery(self.graph, configuration, batch)
+            if len(successor) > best_size:
+                best = batch
+                best_size = len(successor)
+        assert best is not None  # configuration non-empty => some batch exists
+        return best
+
+
+class RoundRobinEdgeAdversary:
+    """Serve directed edges in a fixed rotating order, one per step.
+
+    Another serialising policy, but keyed to edges rather than message
+    ages: conceptually a TDMA-style link schedule.  Deterministic and
+    memoryless given the step number, so configuration repeats under it
+    certify non-termination.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        order = []
+        for u, v in graph.edges():
+            order.append((u, v))
+            order.append((v, u))
+        self._order: Tuple[DirectedMessage, ...] = tuple(
+            sorted(order, key=repr)
+        )
+        if not self._order:
+            raise ConfigurationError("graph has no edges to schedule")
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        if not configuration:
+            return frozenset()
+        start = (step - 1) % len(self._order)
+        for offset in range(len(self._order)):
+            candidate = self._order[(start + offset) % len(self._order)]
+            if candidate in configuration:
+                return frozenset({candidate})
+        return configuration

@@ -1,0 +1,43 @@
+"""Baselines the paper compares or cites against amnesiac flooding.
+
+* :mod:`~repro.baselines.classic_flooding` -- flooding with a seen-flag
+  (one persistent bit), the textbook termination mechanism.
+* :mod:`~repro.baselines.bfs_broadcast` -- broadcast that additionally
+  builds a BFS spanning tree (flooding's classic payoff).
+* :mod:`~repro.baselines.rumor` -- randomized push / push-pull rumor
+  spreading, including the avoid-last-choice memory-one variant.
+* :mod:`~repro.baselines.compare` -- the rounds/messages/memory
+  comparison harness used by the scaling benchmarks.
+"""
+
+from repro.baselines.bfs_broadcast import BfsBroadcast, BfsBroadcastResult, bfs_broadcast
+from repro.baselines.classic_flooding import (
+    ClassicFlooding,
+    classic_flood_trace,
+    classic_message_complexity,
+    classic_termination_round,
+)
+from repro.baselines.compare import (
+    AlgorithmMetrics,
+    ComparisonRow,
+    compare_on,
+    comparison_table,
+)
+from repro.baselines.rumor import RumorResult, expected_rounds_estimate, push_rumor
+
+__all__ = [
+    "BfsBroadcast",
+    "BfsBroadcastResult",
+    "bfs_broadcast",
+    "ClassicFlooding",
+    "classic_flood_trace",
+    "classic_message_complexity",
+    "classic_termination_round",
+    "AlgorithmMetrics",
+    "ComparisonRow",
+    "compare_on",
+    "comparison_table",
+    "RumorResult",
+    "expected_rounds_estimate",
+    "push_rumor",
+]

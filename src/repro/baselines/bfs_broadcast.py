@@ -1,0 +1,137 @@
+"""BFS-layer broadcast with spanning-tree construction.
+
+Flooding's classic payoff (quoting the Aspnes notes the paper cites) is
+that it "gives you both a broadcast mechanism and a way to build rooted
+spanning trees".  This baseline makes that concrete on the synchronous
+engine: the message carries its BFS depth, each node adopts its first
+sender as parent, and the parent pointers form a BFS spanning tree of
+the source's component.
+
+Amnesiac flooding *cannot* build this tree -- nodes have no memory to
+store a parent in -- which is exactly the trade-off the comparison
+experiments quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+from repro.sync.engine import SynchronousEngine
+from repro.sync.message import Message, Send
+from repro.sync.node import NodeContext
+from repro.sync.trace import ExecutionTrace
+
+
+@dataclass
+class BfsState:
+    """Per-node BFS state: adopted parent and depth (None until reached)."""
+
+    parent: Optional[Node] = None
+    depth: Optional[int] = None
+    is_root: bool = False
+
+
+class BfsBroadcast:
+    """Broadcast that records parents/depths, building a spanning tree.
+
+    The payload is the sender's depth; a node accepts the first round
+    in which the message reaches it, picks the deterministically
+    smallest sender of that round as parent, and forwards depth+1.
+    """
+
+    #: Persistent state: a parent pointer and an integer depth.  The
+    #: harness reports parent pointers as ~log2(n) bits.
+    memory_bits = None  # reported as O(log n) by the comparison harness
+
+    def initial_state(self, node: Node, graph: Graph) -> BfsState:
+        return BfsState()
+
+    def on_start(self, state: BfsState, ctx: NodeContext) -> List[Send]:
+        state.is_root = True
+        state.depth = 0
+        return [Send(neighbour, 0) for neighbour in ctx.neighbors]
+
+    def on_receive(
+        self, state: BfsState, inbox: List[Message], ctx: NodeContext
+    ) -> List[Send]:
+        if state.depth is not None:
+            return []
+        depths = [m.payload for m in inbox if isinstance(m.payload, int)]
+        if not depths:
+            return []
+        best = min(depths)
+        state.depth = best + 1
+        state.parent = min(
+            (m.sender for m in inbox if m.payload == best), key=repr
+        )
+        return [Send(neighbour, state.depth) for neighbour in ctx.neighbors]
+
+
+@dataclass
+class BfsBroadcastResult:
+    """Outcome of a BFS broadcast run.
+
+    ``parents`` maps every reached non-root node to its tree parent;
+    ``depths`` maps every reached node to its BFS depth; ``trace`` is
+    the underlying engine trace.
+    """
+
+    source: Node
+    parents: Dict[Node, Node]
+    depths: Dict[Node, int]
+    trace: ExecutionTrace
+
+    def tree_edges(self) -> List[Tuple[Node, Node]]:
+        """The spanning-tree edges as (parent, child) pairs."""
+        return sorted(
+            ((parent, child) for child, parent in self.parents.items()),
+            key=repr,
+        )
+
+    def verify_is_bfs_tree(self, graph: Graph) -> bool:
+        """Check depths equal true BFS distances and parents are one level up."""
+        true_distances = bfs_distances(graph, self.source)
+        if self.depths != true_distances:
+            return False
+        for child, parent in self.parents.items():
+            if self.depths[child] != self.depths[parent] + 1:
+                return False
+            if not graph.has_edge(child, parent):
+                return False
+        return True
+
+
+def bfs_broadcast(
+    graph: Graph, source: Node, max_rounds: Optional[int] = None
+) -> BfsBroadcastResult:
+    """Run the BFS broadcast and harvest the spanning tree it built."""
+    algorithm = BfsBroadcast()
+    states: Dict[Node, BfsState] = {}
+
+    class _Recording(BfsBroadcast):
+        """Same behaviour, but exposes the engine's state objects."""
+
+        def initial_state(self, node: Node, graph_: Graph) -> BfsState:
+            state = super().initial_state(node, graph_)
+            states[node] = state
+            return state
+
+    engine = SynchronousEngine(graph, _Recording())
+    trace = engine.run([source], max_rounds=max_rounds)
+    if not trace.terminated:
+        raise SimulationError("BFS broadcast failed to terminate within budget")
+    parents = {
+        node: state.parent
+        for node, state in states.items()
+        if state.parent is not None
+    }
+    depths = {
+        node: state.depth for node, state in states.items() if state.depth is not None
+    }
+    return BfsBroadcastResult(
+        source=source, parents=parents, depths=depths, trace=trace
+    )

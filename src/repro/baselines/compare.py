@@ -1,0 +1,133 @@
+"""Head-to-head comparison harness: amnesiac vs classic vs BFS broadcast.
+
+Quantifies the trade-off the paper's introduction frames: amnesiac
+flooding needs **zero persistent bits** per node but pays extra rounds
+and messages on non-bipartite graphs, where the classic seen-flag
+flooding stops within ``e(source) + 1`` rounds with one transmission
+per node.  The EXT-SCALE benchmark sweeps this comparison over growing
+topologies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import is_bipartite
+from repro.graphs.traversal import eccentricity
+from repro.core.amnesiac import simulate
+from repro.baselines.bfs_broadcast import bfs_broadcast
+from repro.baselines.classic_flooding import classic_flood_trace
+
+
+@dataclass(frozen=True)
+class AlgorithmMetrics:
+    """Round/message/memory cost of one broadcast run.
+
+    ``memory_bits`` is per-node persistent state: 0 for amnesiac
+    flooding, 1 for the seen-flag baseline, and ceil(log2 n) + parent
+    pointer (reported as ``2 * ceil(log2 n)``) for BFS broadcast.
+    """
+
+    algorithm: str
+    rounds: int
+    messages: int
+    memory_bits: int
+    reached_all: bool
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """All algorithms on one (graph, source) instance."""
+
+    graph_label: str
+    nodes: int
+    edges: int
+    bipartite: bool
+    source_eccentricity: int
+    amnesiac: AlgorithmMetrics
+    classic: AlgorithmMetrics
+    bfs: AlgorithmMetrics
+
+    def round_overhead(self) -> float:
+        """Amnesiac rounds divided by classic rounds (>= 1)."""
+        if self.classic.rounds == 0:
+            return 1.0
+        return self.amnesiac.rounds / self.classic.rounds
+
+    def message_overhead(self) -> float:
+        """Amnesiac messages divided by classic messages (>= 1)."""
+        if self.classic.messages == 0:
+            return 1.0
+        return self.amnesiac.messages / self.classic.messages
+
+
+def compare_on(graph: Graph, source: Node, label: str = "") -> ComparisonRow:
+    """Run all three broadcast algorithms from ``source`` and tabulate.
+
+    ``reached_all`` is measured against the source's connected
+    component (broadcast cannot cross components).
+    """
+    from repro.graphs.traversal import bfs_distances
+
+    component = set(bfs_distances(graph, source))
+    log_n = max(1, math.ceil(math.log2(max(graph.num_nodes, 2))))
+
+    amnesiac_run = simulate(graph, [source])
+    amnesiac = AlgorithmMetrics(
+        algorithm="amnesiac",
+        rounds=amnesiac_run.termination_round,
+        messages=amnesiac_run.total_messages,
+        memory_bits=0,
+        reached_all=amnesiac_run.nodes_reached() >= component,
+    )
+
+    classic_trace = classic_flood_trace(graph, source)
+    classic = AlgorithmMetrics(
+        algorithm="classic",
+        rounds=classic_trace.termination_round,
+        messages=classic_trace.total_messages(),
+        memory_bits=1,
+        reached_all=classic_trace.nodes_reached() >= component,
+    )
+
+    bfs_result = bfs_broadcast(graph, source)
+    bfs = AlgorithmMetrics(
+        algorithm="bfs-broadcast",
+        rounds=bfs_result.trace.termination_round,
+        messages=bfs_result.trace.total_messages(),
+        memory_bits=2 * log_n,
+        reached_all=set(bfs_result.depths) >= component,
+    )
+
+    return ComparisonRow(
+        graph_label=label or graph.describe(),
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        bipartite=is_bipartite(graph),
+        source_eccentricity=eccentricity(graph, source),
+        amnesiac=amnesiac,
+        classic=classic,
+        bfs=bfs,
+    )
+
+
+def comparison_table(rows: List[ComparisonRow]) -> str:
+    """Render comparison rows as a fixed-width text table."""
+    header = (
+        f"{'graph':<28} {'n':>5} {'m':>6} {'bip':>4} "
+        f"{'AF rnd':>7} {'CL rnd':>7} {'AF msg':>8} {'CL msg':>8} "
+        f"{'rnd x':>6} {'msg x':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.graph_label:<28.28} {row.nodes:>5} {row.edges:>6} "
+            f"{'yes' if row.bipartite else 'no':>4} "
+            f"{row.amnesiac.rounds:>7} {row.classic.rounds:>7} "
+            f"{row.amnesiac.messages:>8} {row.classic.messages:>8} "
+            f"{row.round_overhead():>6.2f} {row.message_overhead():>6.2f}"
+        )
+    return "\n".join(lines)

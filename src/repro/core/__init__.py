@@ -1,0 +1,124 @@
+"""The paper's primary contribution: amnesiac flooding and its analysis.
+
+* :mod:`~repro.core.amnesiac` -- the algorithm (message-passing form and
+  fast frontier simulator).
+* :mod:`~repro.core.termination` -- termination predicates and the
+  paper's bounds (Lemma 2.1, Corollary 2.2, Theorems 3.1/3.3).
+* :mod:`~repro.core.roundsets` -- the round-set machinery of Theorem
+  3.1's proof, executable on traces.
+* :mod:`~repro.core.oracle` -- exact closed-form predictions via the
+  bipartite double cover.
+* :mod:`~repro.core.multisource` -- the multi-source extension.
+"""
+
+from repro.core.amnesiac import (
+    AmnesiacFlooding,
+    FloodingRun,
+    flood_trace,
+    initial_frontier,
+    message_complexity,
+    simulate,
+    step_frontier,
+    termination_round,
+)
+from repro.core.knowledge import (
+    LocalTranscript,
+    infers_nonbipartite,
+    knowledge_census,
+    local_transcripts,
+    odd_walk_bound,
+    termination_is_locally_invisible,
+)
+from repro.core.initial_conditions import (
+    ConfigurationCensus,
+    EvolutionResult,
+    classify_all_configurations,
+    configuration_terminates,
+    evolve,
+    single_message_orbit,
+    source_configuration,
+)
+from repro.core.multisource import (
+    MultiSourceBounds,
+    ReceiptCensus,
+    receipt_census,
+    all_pairs_termination,
+    flood_from_set,
+    multi_source_bounds,
+    predict_multi_source,
+)
+from repro.core.oracle import (
+    OraclePrediction,
+    parity_signature,
+    predict,
+    predict_single,
+)
+from repro.core.roundsets import (
+    Recurrence,
+    RoundSetReport,
+    analyze_round_sets,
+    analyze_run,
+    even_recurrences,
+    minimal_even_recurrence,
+    node_appearances,
+    recurrences,
+    round_sets_of,
+)
+from repro.core.termination import (
+    TerminationBounds,
+    bipartite_exactness_gap,
+    oracle_round,
+    respects_bounds,
+    terminates,
+    theoretical_bounds,
+)
+
+__all__ = [
+    "AmnesiacFlooding",
+    "LocalTranscript",
+    "infers_nonbipartite",
+    "knowledge_census",
+    "local_transcripts",
+    "odd_walk_bound",
+    "termination_is_locally_invisible",
+    "ConfigurationCensus",
+    "EvolutionResult",
+    "classify_all_configurations",
+    "configuration_terminates",
+    "evolve",
+    "single_message_orbit",
+    "source_configuration",
+    "FloodingRun",
+    "flood_trace",
+    "initial_frontier",
+    "message_complexity",
+    "simulate",
+    "step_frontier",
+    "termination_round",
+    "MultiSourceBounds",
+    "ReceiptCensus",
+    "receipt_census",
+    "all_pairs_termination",
+    "flood_from_set",
+    "multi_source_bounds",
+    "predict_multi_source",
+    "OraclePrediction",
+    "parity_signature",
+    "predict",
+    "predict_single",
+    "Recurrence",
+    "RoundSetReport",
+    "analyze_round_sets",
+    "analyze_run",
+    "even_recurrences",
+    "minimal_even_recurrence",
+    "node_appearances",
+    "recurrences",
+    "round_sets_of",
+    "TerminationBounds",
+    "bipartite_exactness_gap",
+    "oracle_round",
+    "respects_bounds",
+    "terminates",
+    "theoretical_bounds",
+]

@@ -1,0 +1,194 @@
+"""Synchronous amnesiac flooding from *arbitrary* initial configurations.
+
+The paper starts the flood in a specific state: all edges out of the
+source(s) carry ``M``.  A natural follow-up question (in the spirit of
+the paper's open questions) is what happens when the synchronous
+process starts from an **arbitrary** set of in-transit directed
+messages -- e.g. the residue of a partially completed flood, or a state
+injected by a transient fault.
+
+The answer is *not* "it always terminates":
+
+* a single directed message on a cycle circulates forever (each
+  receiver forwards to its one other neighbour, round after round);
+* on trees every initial configuration terminates (messages only ever
+  move away from their starting points and fall off the leaves);
+* source-style configurations (all out-edges of a node set) always
+  terminate -- that is Theorem 3.1.
+
+So the termination theorem is a statement about *reachable* initial
+conditions, and this module makes the boundary explorable: evolve any
+configuration, decide termination by cycle detection (the state space
+is finite and the dynamics deterministic), and exhaustively classify
+all configurations of small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.graph import Graph, Node
+from repro.core.amnesiac import step_frontier
+
+DirectedEdge = Tuple[Node, Node]
+Configuration = FrozenSet[DirectedEdge]
+
+
+def validate_configuration(graph: Graph, configuration: Iterable[DirectedEdge]) -> Configuration:
+    """Freeze and validate a configuration against the topology."""
+    config = frozenset(configuration)
+    for sender, receiver in config:
+        if not graph.has_edge(sender, receiver):
+            raise SimulationError(
+                f"configuration contains non-edge message {sender!r}->{receiver!r}"
+            )
+    return config
+
+
+@dataclass(frozen=True)
+class EvolutionResult:
+    """Outcome of evolving one initial configuration synchronously.
+
+    ``terminates`` is decided exactly: the dynamics are deterministic
+    over a finite state space, so the orbit either reaches the empty
+    configuration or enters a cycle.  ``steps_to_outcome`` is the number
+    of rounds until the empty configuration (if terminating) or until
+    the first repeated configuration (if not).  ``cycle_length`` is the
+    period of the limit cycle for non-terminating orbits (``None``
+    otherwise).
+    """
+
+    initial: Configuration
+    terminates: bool
+    steps_to_outcome: int
+    cycle_length: Optional[int]
+    max_configuration_size: int
+
+
+def evolve(graph: Graph, initial: Iterable[DirectedEdge]) -> EvolutionResult:
+    """Evolve a configuration under synchronous AF until a decision.
+
+    Termination is decided exactly by memoising the orbit; there is no
+    budget to tune because the state space is finite (though
+    exponential, so keep graphs small for adversarially dense inputs --
+    orbits of source-style states are short).
+    """
+    config = validate_configuration(graph, initial)
+    seen: Dict[Configuration, int] = {config: 0}
+    current = config
+    peak = len(config)
+    step = 0
+    while current:
+        current = frozenset(step_frontier(graph, set(current)))
+        step += 1
+        peak = max(peak, len(current))
+        if current in seen:
+            return EvolutionResult(
+                initial=config,
+                terminates=False,
+                steps_to_outcome=seen[current],
+                cycle_length=step - seen[current],
+                max_configuration_size=peak,
+            )
+        seen[current] = step
+    return EvolutionResult(
+        initial=config,
+        terminates=True,
+        steps_to_outcome=step,
+        cycle_length=None,
+        max_configuration_size=peak,
+    )
+
+
+def configuration_terminates(graph: Graph, initial: Iterable[DirectedEdge]) -> bool:
+    """Whether synchronous AF from this configuration reaches silence."""
+    return evolve(graph, initial).terminates
+
+
+def source_configuration(graph: Graph, sources: Iterable[Node]) -> Configuration:
+    """The paper's initial condition: all out-edges of the source set."""
+    config: Set[DirectedEdge] = set()
+    for source in sources:
+        for neighbour in graph.neighbors(source):
+            config.add((source, neighbour))
+    return frozenset(config)
+
+
+@dataclass
+class ConfigurationCensus:
+    """Exhaustive classification of every configuration of a graph.
+
+    ``total`` counts all non-empty subsets of directed edges;
+    ``terminating`` how many of them reach the empty configuration.
+    ``nonterminating_examples`` holds a few smallest witnesses.
+    """
+
+    graph: Graph
+    total: int
+    terminating: int
+    nonterminating_examples: List[Configuration]
+
+    @property
+    def nonterminating(self) -> int:
+        return self.total - self.terminating
+
+    @property
+    def terminating_fraction(self) -> float:
+        return self.terminating / self.total if self.total else 1.0
+
+
+def classify_all_configurations(
+    graph: Graph, max_directed_edges: int = 14
+) -> ConfigurationCensus:
+    """Evolve every non-empty configuration of a small graph.
+
+    Raises :class:`ConfigurationError` if the graph has more than
+    ``max_directed_edges`` directed edges (the census is exponential).
+    """
+    directed: List[DirectedEdge] = []
+    for u, v in graph.edges():
+        directed.append((u, v))
+        directed.append((v, u))
+    if len(directed) > max_directed_edges:
+        raise ConfigurationError(
+            f"census over {len(directed)} directed edges is too large "
+            f"(cap: {max_directed_edges})"
+        )
+    total = 0
+    terminating = 0
+    witnesses: List[Configuration] = []
+    for size in range(1, len(directed) + 1):
+        for combo in combinations(directed, size):
+            total += 1
+            if evolve(graph, combo).terminates:
+                terminating += 1
+            elif len(witnesses) < 5:
+                witnesses.append(frozenset(combo))
+    return ConfigurationCensus(
+        graph=graph,
+        total=total,
+        terminating=terminating,
+        nonterminating_examples=witnesses,
+    )
+
+
+def single_message_orbit(
+    graph: Graph, edge: DirectedEdge, max_steps: int = 200
+) -> List[Configuration]:
+    """The orbit of one lone in-transit message (for demos and tests).
+
+    On a cycle this walks forever (the result is truncated at
+    ``max_steps``); on a tree it slides to a leaf and vanishes.
+    """
+    config = validate_configuration(graph, [edge])
+    orbit = [config]
+    current = config
+    for _ in range(max_steps):
+        if not current:
+            break
+        current = frozenset(step_frontier(graph, set(current)))
+        orbit.append(current)
+    return orbit

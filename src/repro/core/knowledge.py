@@ -1,0 +1,155 @@
+"""Node-local knowledge: what a single participant can infer.
+
+Amnesiac flooding's paradox is that the *system* terminates while no
+*node* can tell.  This module makes the epistemics precise: it extracts
+per-node **local transcripts** (everything one node observes -- the
+rounds it received in and from whom) and implements inference rules
+that consume only a transcript:
+
+* a node that receives in two different rounds has **proof the graph is
+  non-bipartite** (double receipt cannot happen on a bipartite
+  component) and the gap/parity of its receipt rounds bounds the
+  nearest odd cycle;
+* the *source* additionally learns the component is non-bipartite from
+  a single receipt (any echo at all) -- and learns nothing, ever, on a
+  bipartite component;
+* no transcript can certify termination: receipt histories of live and
+  finished runs coincide (``termination_is_locally_invisible``
+  exhibits the witness pair).
+
+This operationalises the paper's "topology detection" application at
+the right granularity -- individual nodes, zero extra state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.graphs.graph import Graph, Node
+from repro.core.amnesiac import FloodingRun, flood_trace, simulate
+from repro.sync.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class LocalTranscript:
+    """Everything one node observes during a flood.
+
+    ``receipts`` is the per-round view: (round, senders) pairs in
+    ascending round order.  ``was_source`` marks the distinguished
+    node, which also knows it sent in round 1.
+    """
+
+    node: Node
+    was_source: bool
+    receipts: Tuple[Tuple[int, FrozenSet[Node]], ...]
+
+    @property
+    def receipt_rounds(self) -> Tuple[int, ...]:
+        return tuple(r for r, _ in self.receipts)
+
+    @property
+    def receipt_count(self) -> int:
+        return len(self.receipts)
+
+
+def local_transcripts(graph: Graph, sources: List[Node]) -> Dict[Node, LocalTranscript]:
+    """Run AF (message-passing form) and extract every node's view."""
+    trace = flood_trace(graph, sources)
+    per_node: Dict[Node, List[Tuple[int, FrozenSet[Node]]]] = {
+        node: [] for node in graph.nodes()
+    }
+    for round_number in range(1, trace.rounds_executed + 1):
+        by_receiver: Dict[Node, List[Node]] = {}
+        for message in trace.sent_in_round(round_number):
+            by_receiver.setdefault(message.receiver, []).append(message.sender)
+        for receiver, senders in by_receiver.items():
+            per_node[receiver].append((round_number, frozenset(senders)))
+    source_set = set(sources)
+    return {
+        node: LocalTranscript(
+            node=node,
+            was_source=node in source_set,
+            receipts=tuple(per_node[node]),
+        )
+        for node in graph.nodes()
+    }
+
+
+def infers_nonbipartite(transcript: LocalTranscript) -> bool:
+    """Whether this node alone can *prove* the component is non-bipartite.
+
+    Single-source rules (sound, and complete across all nodes jointly):
+
+    * any node receiving in two rounds -- impossible on a bipartite
+      component, where AF is a single BFS wave;
+    * the source receiving at all -- the echo only exists if the double
+      cover is connected.
+    """
+    if transcript.was_source:
+        return transcript.receipt_count >= 1
+    return transcript.receipt_count >= 2
+
+
+def odd_walk_bound(transcript: LocalTranscript) -> Optional[int]:
+    """A node-local upper bound on the shortest odd closed walk length.
+
+    For the source: its first receipt round is exactly the shortest odd
+    closed walk through it.  For other double-receivers: the sum of the
+    two receipt rounds bounds an odd closed walk through the source
+    (down one parity, back the other), hence bounds the graph's odd
+    girth plus twice the node's distance -- still a sound certificate
+    of odd-cycle existence with a concrete length.
+    """
+    if transcript.was_source and transcript.receipt_count >= 1:
+        return transcript.receipt_rounds[0]
+    if transcript.receipt_count >= 2:
+        return transcript.receipt_rounds[0] + transcript.receipt_rounds[1]
+    return None
+
+
+def knowledge_census(graph: Graph, source: Node) -> Dict[str, object]:
+    """How many nodes end up knowing what, after one flood."""
+    transcripts = local_transcripts(graph, [source])
+    knowers = [
+        node
+        for node, transcript in transcripts.items()
+        if infers_nonbipartite(transcript)
+    ]
+    bounds = {
+        node: odd_walk_bound(transcript)
+        for node, transcript in transcripts.items()
+        if odd_walk_bound(transcript) is not None
+    }
+    return {
+        "nodes": graph.num_nodes,
+        "nonbipartite_knowers": sorted(knowers, key=repr),
+        "knower_count": len(knowers),
+        "odd_walk_bounds": bounds,
+        "best_odd_walk_bound": min(bounds.values()) if bounds else None,
+    }
+
+
+def termination_is_locally_invisible(graph: Graph, source: Node) -> bool:
+    """Exhibit that no node's transcript distinguishes "flood finished"
+    from "flood still running elsewhere".
+
+    Construction: compare each node's transcript truncated at any round
+    ``r < T`` with a full transcript on the same graph -- for every node
+    there exists a cut round at which its observations are already
+    complete while messages are still in flight elsewhere.  Returns
+    True when such a witness exists for at least one non-source node
+    (always, whenever the run lasts >= 2 rounds).
+    """
+    run = simulate(graph, [source])
+    if run.termination_round < 2:
+        return False
+    transcripts = local_transcripts(graph, [source])
+    for node, transcript in transcripts.items():
+        if node == source:
+            continue
+        rounds = transcript.receipt_rounds
+        if rounds and rounds[-1] < run.termination_round:
+            # This node's view was already final while the flood lived on.
+            return True
+    return False

@@ -1,0 +1,90 @@
+"""Exact closed-form predictions for amnesiac flooding.
+
+The double cover of the topology (see
+:mod:`repro.graphs.double_cover`) yields exact, simulation-free
+predictions of everything the simulator measures: termination round,
+per-node receive rounds, receive counts and message complexity.  The
+predictions are packaged as :class:`OraclePrediction` and compared
+against real runs by :func:`repro.analysis.verify.check_run_against_oracle`
+and by the hypothesis property tests.
+
+Because the oracle is plain BFS on a different graph, agreement with
+the round-by-round simulator is meaningful evidence that both are
+correct -- they cannot share a bug in the flooding rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graphs.double_cover import (
+    cover_distances,
+    predicted_message_complexity,
+    predicted_receive_rounds,
+    predicted_termination_round,
+)
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass(frozen=True)
+class OraclePrediction:
+    """Closed-form prediction of an amnesiac flooding run.
+
+    Attributes
+    ----------
+    termination_round:
+        The exact round after which no edge carries the message.
+    receive_rounds:
+        Ascending receive rounds per node (length 0, 1 or 2).
+    total_messages:
+        Exact point-to-point message count.
+    """
+
+    termination_round: int
+    receive_rounds: Dict[Node, Tuple[int, ...]]
+    total_messages: int
+
+    def receive_counts(self) -> Dict[Node, int]:
+        """Predicted number of receipts per node (0, 1 or 2)."""
+        return {node: len(rounds) for node, rounds in self.receive_rounds.items()}
+
+    def max_receipts(self) -> int:
+        """The largest per-node receipt count (2 iff non-bipartite reach)."""
+        counts = self.receive_counts()
+        return max(counts.values()) if counts else 0
+
+
+def predict(graph: Graph, sources: Iterable[Node]) -> OraclePrediction:
+    """Predict the complete behaviour of amnesiac flooding from ``sources``.
+
+    The prediction is exact for the synchronous fault-free model of the
+    paper; it says nothing about the asynchronous variant (Section 4),
+    which has no termination round to predict.
+    """
+    source_list = list(sources)
+    return OraclePrediction(
+        termination_round=predicted_termination_round(graph, source_list),
+        receive_rounds=predicted_receive_rounds(graph, source_list),
+        total_messages=predicted_message_complexity(graph, source_list),
+    )
+
+
+def predict_single(graph: Graph, source: Node) -> OraclePrediction:
+    """Single-source convenience wrapper for :func:`predict`."""
+    return predict(graph, [source])
+
+
+def parity_signature(graph: Graph, source: Node) -> Dict[Node, Tuple[int, ...]]:
+    """The per-node parity pattern of receive rounds.
+
+    On any graph a node receives at most once at an even round and at
+    most once at an odd round (the double cover has one copy per
+    parity); this function returns those parities and is used by the
+    round-set analysis (no even-duration recurrence, Theorem 3.1's
+    pivotal fact).
+    """
+    rounds = predicted_receive_rounds(graph, [source])
+    return {
+        node: tuple(sorted(r % 2 for r in value)) for node, value in rounds.items()
+    }

@@ -1,0 +1,118 @@
+"""Termination predicates and the paper's theoretical bounds.
+
+This module turns the paper's four termination statements into
+executable checks:
+
+* Theorem 3.1 -- AF terminates on every finite graph
+  (:func:`terminates`, which is also verified structurally by the
+  round-set analysis in :mod:`repro.core.roundsets`).
+* Lemma 2.1 -- on a connected bipartite graph AF terminates in exactly
+  the source's eccentricity (:func:`theoretical_bounds` reports
+  ``exact``).
+* Corollary 2.2 -- hence at most the diameter.
+* Theorem 3.3 -- on a connected non-bipartite graph AF terminates by
+  round ``2D + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import is_bipartite, is_connected
+from repro.graphs.traversal import diameter, eccentricity, set_eccentricity
+from repro.core.amnesiac import simulate
+from repro.core.oracle import predict
+
+
+@dataclass(frozen=True)
+class TerminationBounds:
+    """The paper's bounds for one (graph, source-set) instance.
+
+    Attributes
+    ----------
+    lower:
+        A proven lower bound on the termination round: the flood cannot
+        stop before the farthest reachable node has been reached, so
+        this is the source(-set) eccentricity.
+    upper:
+        The paper's upper bound: ``e(source)`` on bipartite graphs
+        (Lemma 2.1, tight) and ``2D + 1`` otherwise (Theorem 3.3).
+    exact:
+        The exact round where known in closed form: equals ``lower`` on
+        bipartite graphs; ``None`` for the general case (the oracle
+        still predicts it exactly -- see :func:`oracle_round` -- but not
+        via a formula of ``e`` and ``D`` alone).
+    bipartite:
+        Whether the bounds came from the bipartite case.
+    """
+
+    lower: int
+    upper: int
+    exact: Optional[int]
+    bipartite: bool
+
+
+def terminates(graph: Graph, source: Node, max_rounds: Optional[int] = None) -> bool:
+    """Whether AF from ``source`` terminates within its (generous) budget.
+
+    Theorem 3.1 says this is always true; the function exists so the
+    claim is *checked*, not assumed, throughout the experiments.
+    """
+    return simulate(graph, [source], max_rounds=max_rounds).terminated
+
+
+def theoretical_bounds(graph: Graph, sources: Iterable[Node]) -> TerminationBounds:
+    """The paper's termination bounds for AF from ``sources``.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the graph is not connected -- the paper states its bounds for
+        connected graphs (on a disconnected graph, apply per component).
+    """
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            "the paper's termination bounds are stated for connected graphs"
+        )
+    source_list = list(sources)
+    ecc = set_eccentricity(graph, source_list)
+    if is_bipartite(graph):
+        return TerminationBounds(lower=ecc, upper=ecc, exact=ecc, bipartite=True)
+    d = diameter(graph)
+    return TerminationBounds(
+        lower=ecc, upper=2 * d + 1, exact=None, bipartite=False
+    )
+
+
+def oracle_round(graph: Graph, sources: Iterable[Node]) -> int:
+    """The exact termination round, from the double-cover oracle."""
+    return predict(graph, list(sources)).termination_round
+
+
+def respects_bounds(graph: Graph, source: Node) -> bool:
+    """Simulate AF from ``source`` and check it lands inside the bounds.
+
+    This is the single-instance building block of the CL-L21 / CL-C22 /
+    CL-T33 claim experiments.
+    """
+    bounds = theoretical_bounds(graph, [source])
+    run = simulate(graph, [source])
+    if not run.terminated:
+        return False
+    if bounds.exact is not None and run.termination_round != bounds.exact:
+        return False
+    return bounds.lower <= run.termination_round <= bounds.upper
+
+
+def bipartite_exactness_gap(graph: Graph, source: Node) -> int:
+    """``termination_round - e(source)``; zero on connected bipartite graphs.
+
+    On non-bipartite graphs this measures how much the odd-cycle "echo"
+    (the second message wave of the double cover) extends the process
+    beyond plain BFS depth.
+    """
+    run = simulate(graph, [source])
+    return run.termination_round - eccentricity(graph, source)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish graph-construction problems from
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an invalid graph."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph received one that is not."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an invalid internal state."""
+
+
+class NonTerminationError(SimulationError):
+    """A simulation exceeded its round budget without terminating.
+
+    Synchronous amnesiac flooding provably terminates (Theorem 3.1), so in
+    the synchronous engines this error indicates either a bug or a budget
+    that is genuinely too small for the graph; in the asynchronous engine
+    it is an expected outcome under adversarial scheduling (Section 4).
+    """
+
+    def __init__(self, rounds: int, message: str | None = None) -> None:
+        text = message or (
+            f"simulation did not terminate within the budget of {rounds} rounds"
+        )
+        super().__init__(text)
+        self.rounds = rounds
+
+
+class ConfigurationError(ReproError):
+    """An experiment or engine was configured with invalid parameters."""

@@ -1,0 +1,43 @@
+"""Experiment harness: every figure and claim of the paper, runnable.
+
+``python -m repro.experiments`` regenerates the whole evaluation;
+individual experiments are exposed through
+:data:`~repro.experiments.registry.REGISTRY` and reused verbatim by the
+benchmark suite.
+"""
+
+from repro.experiments.claims import ALL_CLAIMS, ClaimResult
+from repro.experiments.figures import ALL_FIGURES, FigureReproduction
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.report import Report, print_report, run_experiments
+from repro.experiments import workloads
+from repro.experiments.survey import (
+    SurveyCell,
+    check_survey_invariants,
+    run_survey,
+    survey_table,
+)
+
+__all__ = [
+    "ALL_CLAIMS",
+    "ClaimResult",
+    "ALL_FIGURES",
+    "FigureReproduction",
+    "REGISTRY",
+    "ExperimentSpec",
+    "experiment_ids",
+    "run_experiment",
+    "Report",
+    "print_report",
+    "run_experiments",
+    "workloads",
+    "SurveyCell",
+    "check_survey_invariants",
+    "run_survey",
+    "survey_table",
+]

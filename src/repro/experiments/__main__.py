@@ -1,0 +1,79 @@
+"""CLI: regenerate the paper's figures and claims.
+
+Usage::
+
+    python -m repro.experiments              # run everything
+    python -m repro.experiments FIG2 CL-T33  # run a subset
+    python -m repro.experiments --list       # show available ids
+
+Exit status is 0 iff every executed experiment passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import REGISTRY, experiment_ids
+from repro.experiments.report import print_report
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the figures and claims of "
+        "'On Termination of a Flooding Process' (PODC 2019).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiment ids and exit",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the results as CSV to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the results as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in experiment_ids():
+            spec = REGISTRY[experiment_id]
+            print(f"{experiment_id:<10} [{spec.kind}] {spec.description}")
+        return 0
+
+    unknown = [i for i in args.ids if i not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    report = print_report(only=args.ids or None)
+
+    if args.csv:
+        from repro.experiments.export import write_csv
+
+        with open(args.csv, "w", newline="") as stream:
+            write_csv(report, stream)
+        print(f"wrote CSV results to {args.csv}")
+    if args.json:
+        from repro.experiments.export import write_json
+
+        with open(args.json, "w") as stream:
+            write_json(report, stream)
+        print(f"wrote JSON results to {args.json}")
+
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

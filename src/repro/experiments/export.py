@@ -1,0 +1,91 @@
+"""Export experiment results as CSV / JSON artefacts.
+
+``python -m repro.experiments`` prints a human report; these helpers
+persist machine-readable versions so downstream tooling (plotting,
+regression tracking across versions) can consume the reproduction's
+output.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.experiments.claims import ClaimResult
+from repro.experiments.figures import FigureReproduction
+from repro.experiments.report import Report
+
+ExperimentResult = Union[FigureReproduction, ClaimResult]
+
+
+def result_to_record(result: ExperimentResult) -> Dict[str, object]:
+    """Flatten either result type into one dict schema."""
+    if isinstance(result, FigureReproduction):
+        return {
+            "id": result.figure_id,
+            "kind": "figure",
+            "statement": result.title,
+            "expected": result.expected,
+            "observed": result.observed,
+            "instances": 1,
+            "passed": result.passed,
+        }
+    return {
+        "id": result.claim_id,
+        "kind": "claim",
+        "statement": result.statement,
+        "expected": result.statement,
+        "observed": result.detail,
+        "instances": result.instances,
+        "passed": result.passed,
+    }
+
+
+def report_to_records(report: Report) -> List[Dict[str, object]]:
+    """All executed experiments as flat records (registry order)."""
+    records = []
+    for entry in report.entries:
+        record = result_to_record(entry.result)
+        record["kind"] = entry.spec.kind
+        records.append(record)
+    return records
+
+
+CSV_FIELDS = ["id", "kind", "statement", "expected", "observed", "instances", "passed"]
+
+
+def write_csv(report: Report, stream: TextIO) -> None:
+    """Write the report as CSV with a fixed column schema."""
+    writer = csv.DictWriter(stream, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for record in report_to_records(report):
+        writer.writerow(record)
+
+
+def write_json(report: Report, stream: TextIO, indent: int = 2) -> None:
+    """Write the report as a JSON document with an aggregate header."""
+    payload = {
+        "paper": "On Termination of a Flooding Process (PODC 2019)",
+        "total": report.total,
+        "passed": report.passed,
+        "all_passed": report.all_passed,
+        "experiments": report_to_records(report),
+    }
+    json.dump(payload, stream, indent=indent, sort_keys=False)
+    stream.write("\n")
+
+
+def render_csv(report: Report) -> str:
+    """The CSV export as a string (convenience for tests/tools)."""
+    buffer = io.StringIO()
+    write_csv(report, buffer)
+    return buffer.getvalue()
+
+
+def render_json(report: Report) -> str:
+    """The JSON export as a string (convenience for tests/tools)."""
+    buffer = io.StringIO()
+    write_json(report, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,197 @@
+"""Extension experiments: mapping the boundary of the termination theorem.
+
+These go beyond the brief announcement's claims.  Each returns a
+:class:`~repro.experiments.claims.ClaimResult` so the registry, report
+runner and CLI treat paper claims and extensions uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.claims import ClaimResult
+from repro.core.amnesiac import simulate
+from repro.core.initial_conditions import (
+    classify_all_configurations,
+    configuration_terminates,
+    source_configuration,
+)
+from repro.analysis.wavefront import (
+    verify_round_sets_against_simulation,
+    wave_decomposition,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    is_bipartite,
+    paper_triangle,
+    path_graph,
+    star_graph,
+)
+from repro.experiments.workloads import mixed_suite
+
+
+def ext_initial_conditions() -> ClaimResult:
+    """Arbitrary start states: termination is a reachability property.
+
+    Source-style configurations always terminate (Theorem 3.1), but a
+    lone message on any cycle circulates forever, while on trees *every*
+    configuration dies out -- verified exhaustively on small graphs.
+    """
+    failures: List[str] = []
+    instances = 0
+
+    # (a) source configurations terminate (spot-check the suite).
+    for label, graph in mixed_suite()[:10]:
+        config = source_configuration(graph, [graph.nodes()[0]])
+        instances += 1
+        if not configuration_terminates(graph, config):
+            failures.append(f"{label}: source configuration failed to terminate")
+
+    # (b) single messages on cycles circulate forever.
+    for n in (3, 4, 5, 6):
+        graph = cycle_graph(n)
+        instances += 1
+        if configuration_terminates(graph, [(0, 1)]):
+            failures.append(f"C{n}: lone message unexpectedly terminated")
+
+    # (c) exhaustive census: trees terminate from every configuration...
+    for label, graph in (("path-3", path_graph(3)), ("star-3", star_graph(3))):
+        census = classify_all_configurations(graph)
+        instances += census.total
+        if census.terminating != census.total:
+            failures.append(f"{label}: {census.nonterminating} configs diverge")
+
+    # ...and the triangle does not (exact census).
+    census = classify_all_configurations(paper_triangle())
+    instances += census.total
+    if census.nonterminating == 0:
+        failures.append("triangle census found no diverging configuration")
+
+    return ClaimResult(
+        claim_id="EXT-INIT",
+        statement="termination depends on the initial configuration: "
+        "source-states and all tree-states terminate; lone cycle "
+        "messages circulate forever",
+        instances=instances,
+        passed=not failures,
+        detail=(
+            f"triangle census: {census.terminating}/{census.total} "
+            f"configurations terminate"
+            if not failures
+            else "; ".join(failures[:3])
+        ),
+    )
+
+
+def ext_wavefront() -> ClaimResult:
+    """Per-round cover prediction and the two-wave decomposition."""
+    failures: List[str] = []
+    instances = 0
+    for label, graph in mixed_suite():
+        source = graph.nodes()[0]
+        instances += 1
+        if not verify_round_sets_against_simulation(graph, source):
+            failures.append(f"{label}: per-round receiver sets mismatch")
+            continue
+        decomposition = wave_decomposition(graph, source)
+        run = simulate(graph, [source])
+        if is_bipartite(graph):
+            if decomposition.has_echo:
+                failures.append(f"{label}: unexpected echo on bipartite graph")
+        else:
+            if not decomposition.has_echo:
+                failures.append(f"{label}: missing echo on non-bipartite graph")
+            elif decomposition.first_echo_round is None or (
+                decomposition.first_echo_round > run.termination_round
+            ):
+                failures.append(f"{label}: echo round outside the run")
+    return ClaimResult(
+        claim_id="EXT-WAVE",
+        statement="double cover predicts every round-set exactly; echo "
+        "wave present iff non-bipartite",
+        instances=instances,
+        passed=not failures,
+        detail="all round sets exact" if not failures else "; ".join(failures[:3]),
+    )
+
+
+def ext_kmemory_threshold() -> ClaimResult:
+    """The k-memory ablation: one round of memory is the threshold."""
+    from repro.variants import k_memory_trace
+
+    failures: List[str] = []
+    instances = 0
+    for graph, source in (
+        (paper_triangle(), "b"),
+        (cycle_graph(5), 0),
+        (complete_graph(4), 0),
+        (path_graph(5), 0),
+    ):
+        instances += 3
+        k0 = k_memory_trace(graph, source, k=0, max_rounds=60)
+        k1 = k_memory_trace(graph, source, k=1)
+        k2 = k_memory_trace(graph, source, k=2)
+        if k0.terminated:
+            failures.append(f"{graph.describe()}: k=0 terminated unexpectedly")
+        if not k1.terminated or not k2.terminated:
+            failures.append(f"{graph.describe()}: k>=1 failed to terminate")
+        elif k2.total_messages() > k1.total_messages():
+            failures.append(f"{graph.describe()}: more memory sent more messages")
+    return ClaimResult(
+        claim_id="EXT-KMEM",
+        statement="k=0 diverges; k=1 (the paper) terminates; more memory "
+        "never costs more messages",
+        instances=instances,
+        passed=not failures,
+        detail="threshold confirmed at k=1" if not failures else "; ".join(failures[:3]),
+    )
+
+
+def ext_local_knowledge() -> ClaimResult:
+    """Node-local epistemics: who can prove what after one flood."""
+    from repro.core.knowledge import (
+        infers_nonbipartite,
+        local_transcripts,
+        termination_is_locally_invisible,
+    )
+
+    failures: List[str] = []
+    instances = 0
+    for label, graph in mixed_suite():
+        source = graph.nodes()[0]
+        transcripts = local_transcripts(graph, [source])
+        knowers = sum(
+            1 for t in transcripts.values() if infers_nonbipartite(t)
+        )
+        instances += 1
+        if is_bipartite(graph):
+            if knowers != 0:
+                failures.append(f"{label}: spurious non-bipartite proof")
+        else:
+            if knowers != graph.num_nodes:
+                failures.append(
+                    f"{label}: only {knowers}/{graph.num_nodes} nodes got proof"
+                )
+    # termination is locally invisible on any multi-round run
+    for graph, source in ((cycle_graph(8), 0), (complete_graph(5), 0)):
+        instances += 1
+        if not termination_is_locally_invisible(graph, source):
+            failures.append(f"{graph.describe()}: found a local termination witness?")
+    return ClaimResult(
+        claim_id="EXT-KNOW",
+        statement="single flood: bipartite graphs leak nothing; "
+        "non-bipartite graphs give every node a parity proof; "
+        "no node ever observes termination",
+        instances=instances,
+        passed=not failures,
+        detail="epistemics as predicted" if not failures else "; ".join(failures[:3]),
+    )
+
+
+ALL_EXTENSIONS = {
+    "EXT-INIT": ext_initial_conditions,
+    "EXT-WAVE": ext_wavefront,
+    "EXT-KMEM": ext_kmemory_threshold,
+    "EXT-KNOW": ext_local_knowledge,
+}

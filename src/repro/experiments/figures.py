@@ -1,0 +1,222 @@
+"""Reproductions of the paper's five figures.
+
+Each ``figureN`` function re-runs the exact instance the figure shows,
+checks the figure's stated outcome programmatically and returns a
+:class:`FigureReproduction` with a textual rendering in the paper's
+circled-sender convention.  The figure benchmarks re-run these; the
+``python -m repro.experiments`` report prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.graphs import generators as gen
+from repro.graphs.traversal import diameter, eccentricity
+from repro.core.amnesiac import simulate
+from repro.core.roundsets import analyze_run
+from repro.asynchrony import (
+    AsyncOutcome,
+    ConvergecastHoldAdversary,
+    run_async,
+)
+from repro.experiments.workloads import random_instances
+from repro.viz.ascii_art import render_run
+from repro.viz.timeline import sender_table
+
+
+@dataclass
+class FigureReproduction:
+    """Result of reproducing one paper figure.
+
+    ``expected`` states the figure's claim; ``observed`` what the rerun
+    measured; ``passed`` their agreement; ``rendering`` a textual
+    version of the figure itself.
+    """
+
+    figure_id: str
+    title: str
+    expected: str
+    observed: str
+    passed: bool
+    rendering: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"[{status}] {self.figure_id}: {self.title}",
+            f"  expected: {self.expected}",
+            f"  observed: {self.observed}",
+        ]
+        if self.rendering:
+            lines.append("")
+            lines.extend("  " + row for row in self.rendering.splitlines())
+        return "\n".join(lines)
+
+
+def figure1() -> FigureReproduction:
+    """Figure 1: AF on the line a-b-c-d from b stops in 2 (< D = 3) rounds."""
+    graph = gen.paper_line()
+    run = simulate(graph, ["b"])
+    d = diameter(graph)
+    expected_rounds = 2
+    passed = (
+        run.terminated
+        and run.termination_round == expected_rounds
+        and run.termination_round < d
+        and run.termination_round == eccentricity(graph, "b")
+    )
+    return FigureReproduction(
+        figure_id="FIG1",
+        title="AF over a line network beginning with node b",
+        expected=f"terminates in {expected_rounds} rounds (< diameter {d}), "
+        f"= eccentricity of b",
+        observed=f"terminated in {run.termination_round} rounds; "
+        f"diameter {d}, e(b) = {eccentricity(graph, 'b')}",
+        passed=passed,
+        rendering=render_run(graph, run, title="line a-b-c-d, source b"),
+    )
+
+
+def figure2() -> FigureReproduction:
+    """Figure 2: AF on the triangle from b stops in 3 = 2D + 1 rounds.
+
+    Also checks the figure's caption dynamics: a and c send to each
+    other in round 2 and both send to b in round 3.
+    """
+    graph = gen.paper_triangle()
+    run = simulate(graph, ["b"])
+    d = diameter(graph)
+    round2 = set(run.sender_sets[1]) if len(run.sender_sets) > 1 else set()
+    round3 = set(run.sender_sets[2]) if len(run.sender_sets) > 2 else set()
+    passed = (
+        run.terminated
+        and run.termination_round == 2 * d + 1 == 3
+        and round2 == {"a", "c"}
+        and round3 == {"a", "c"}
+    )
+    return FigureReproduction(
+        figure_id="FIG2",
+        title="AF over a triangle (odd cycle / clique) beginning with node b",
+        expected="terminates in 3 = 2D+1 rounds (D = 1); "
+        "a and c send to each other in round 2 and to b in round 3",
+        observed=f"terminated in {run.termination_round} rounds; "
+        f"round-2 senders {sorted(round2)}, round-3 senders {sorted(round3)}",
+        passed=passed,
+        rendering=render_run(graph, run, title="triangle a-b-c, source b"),
+    )
+
+
+def figure3() -> FigureReproduction:
+    """Figure 3: AF on the six-cycle terminates in D = 3 rounds from any node."""
+    graph = gen.paper_even_cycle()
+    d = diameter(graph)
+    rounds = {
+        source: simulate(graph, [source]).termination_round
+        for source in graph.nodes()
+    }
+    passed = d == 3 and all(value == d for value in rounds.values())
+    sample = simulate(graph, ["a"])
+    return FigureReproduction(
+        figure_id="FIG3",
+        title="Termination in a bipartite graph (an even cycle) in D = 3 rounds",
+        expected="terminates in exactly D = 3 rounds from every source",
+        observed=f"per-source rounds {dict(sorted(rounds.items()))}",
+        passed=passed,
+        rendering=render_run(graph, sample, title="cycle a..f, source a"),
+    )
+
+
+def figure4(instance_count: int = 25) -> FigureReproduction:
+    """Figure 4: the Theorem 3.1 case analysis, checked on real traces.
+
+    The figure illustrates why a minimal even-duration round-set
+    recurrence is contradictory.  Executable version: over a suite of
+    random connected graphs (plus every source of the paper's own
+    figures), the family ``Re`` must be empty, no node may appear in
+    more than two round-sets, and repeat appearances must alternate
+    parity.
+    """
+    suite = random_instances(instance_count, size=16, extra_edge_prob=0.25, base_seed=400)
+    suite += [
+        ("paper-line", gen.paper_line()),
+        ("paper-triangle", gen.paper_triangle()),
+        ("paper-even-cycle", gen.paper_even_cycle()),
+    ]
+    checked = 0
+    failures: List[str] = []
+    for label, graph in suite:
+        for source in graph.nodes():
+            run = simulate(graph, [source])
+            report = analyze_run(run)
+            checked += 1
+            if not report.satisfies_theorem:
+                failures.append(
+                    f"{label} from {source!r}: "
+                    f"{report.even_recurrence_count} even recurrences, "
+                    f"max appearances {report.max_appearances}"
+                )
+    passed = not failures
+    return FigureReproduction(
+        figure_id="FIG4",
+        title="Theorem 3.1 proof structure: no even-duration recurrence",
+        expected="Re empty on every trace; <= 2 round-set appearances per node, "
+        "alternating parity",
+        observed=(
+            f"{checked} (graph, source) traces checked, all satisfy the structure"
+            if passed
+            else f"violations: {failures[:3]}"
+        ),
+        passed=passed,
+    )
+
+
+def figure5(max_steps: int = 200) -> FigureReproduction:
+    """Figure 5: asynchronous AF on the triangle loops forever.
+
+    Runs the convergecast-hold adversary (the paper's schedule: when
+    both messages aim at one node, deliver one and hold the other) and
+    checks the engine certifies a configuration cycle whose replay is
+    consistent and fair (max hold 1 step).
+    """
+    graph = gen.paper_triangle()
+    run = run_async(graph, ["b"], ConvergecastHoldAdversary(), max_steps=max_steps)
+    certified = run.outcome is AsyncOutcome.CYCLE_DETECTED and run.lasso is not None
+    consistent = bool(certified and run.lasso.replay_is_consistent(graph))
+    fair = bool(certified and run.lasso.max_hold_steps(graph) <= 1)
+    observed = (
+        f"outcome {run.outcome.value}; "
+        + (
+            f"period {run.lasso.period}, replay consistent: {consistent}, "
+            f"max hold {run.lasso.max_hold_steps(graph)} step(s)"
+            if certified
+            else "no certificate"
+        )
+    )
+    rendering_lines = []
+    if certified:
+        rendering_lines.append("configuration cycle (in-transit directed edges):")
+        for config in run.lasso.cycle:
+            arrows = ", ".join(
+                f"{s}->{r}" for s, r in sorted(config, key=repr)
+            )
+            rendering_lines.append(f"  {{{arrows}}}")
+    return FigureReproduction(
+        figure_id="FIG5",
+        title="Asynchronous AF over a triangle: adversary forces non-termination",
+        expected="configuration cycle certified; schedule fair "
+        "(each message held <= 1 step), replay consistent",
+        observed=observed,
+        passed=certified and consistent and fair,
+        rendering="\n".join(rendering_lines),
+    )
+
+
+ALL_FIGURES = {
+    "FIG1": figure1,
+    "FIG2": figure2,
+    "FIG3": figure3,
+    "FIG4": figure4,
+    "FIG5": figure5,
+}

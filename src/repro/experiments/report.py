@@ -1,0 +1,85 @@
+"""Report rendering: run experiments and print paper-style output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, TextIO
+
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentResult,
+    ExperimentSpec,
+    experiment_ids,
+)
+
+
+@dataclass
+class ReportEntry:
+    """One executed experiment with its result."""
+
+    spec: ExperimentSpec
+    result: ExperimentResult
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+
+@dataclass
+class Report:
+    """A batch of executed experiments plus aggregate stats."""
+
+    entries: List[ReportEntry] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.entries)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for entry in self.entries if entry.passed)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total
+
+    def render(self) -> str:
+        sections = [
+            "=" * 72,
+            "Reproduction report: On Termination of a Flooding Process (PODC 2019)",
+            "=" * 72,
+        ]
+        for entry in self.entries:
+            sections.append("")
+            sections.append(entry.result.render())
+        sections.append("")
+        sections.append("-" * 72)
+        sections.append(f"TOTAL: {self.passed}/{self.total} experiments passed")
+        return "\n".join(sections)
+
+
+def run_experiments(only: Optional[Iterable[str]] = None) -> Report:
+    """Run the selected (default: all) experiments and collect a report.
+
+    Unknown ids raise ``KeyError`` immediately, before any experiment
+    runs, so typos fail fast.
+    """
+    wanted = list(only) if only is not None else experiment_ids()
+    specs = [REGISTRY[experiment_id] for experiment_id in wanted]
+    report = Report()
+    for spec in specs:
+        report.entries.append(ReportEntry(spec=spec, result=spec.run()))
+    return report
+
+
+def print_report(
+    only: Optional[Iterable[str]] = None, stream: Optional[TextIO] = None
+) -> Report:
+    """Run experiments and print the rendered report; returns the report."""
+    import sys
+
+    report = run_experiments(only)
+    out = stream if stream is not None else sys.stdout
+    out.write(report.render())
+    out.write("\n")
+    return report

@@ -1,0 +1,154 @@
+"""Termination-time surveys over graph ensembles.
+
+The brief announcement proves worst-case bounds; a full evaluation
+would chart *typical* behaviour.  This module runs those charts:
+termination rounds and message counts across seeded random ensembles,
+grouped by family and size, with summary statistics -- the "Table 1"
+a full systems paper would print.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.analysis.statistics import SampleSummary, summarize
+from repro.core.amnesiac import simulate
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import is_bipartite
+from repro.graphs.traversal import diameter, eccentricity
+from repro.graphs import random_graphs as rnd
+
+GraphFactory = Callable[[int, int], Graph]  # (size, seed) -> graph
+
+
+@dataclass(frozen=True)
+class SurveyCell:
+    """One ensemble cell: a family at one size, many seeds.
+
+    ``rounds``/``messages`` summarise the per-seed measurements;
+    ``rounds_over_diameter`` summarises ``rounds / D``, the normalised
+    position inside the paper's ``(0, 2D + 1]`` window.
+    """
+
+    family: str
+    size: int
+    samples: int
+    bipartite_fraction: float
+    rounds: SampleSummary
+    messages: SampleSummary
+    rounds_over_diameter: SampleSummary
+
+
+#: Default ensembles: name -> (size, seed) -> graph.
+DEFAULT_FAMILIES: Dict[str, GraphFactory] = {
+    "tree": lambda n, seed: rnd.random_tree(n, seed=seed),
+    "sparse": lambda n, seed: rnd.random_connected_graph(
+        n, extra_edge_prob=2.0 / max(n, 2), seed=seed
+    ),
+    "dense": lambda n, seed: rnd.random_connected_graph(
+        n, extra_edge_prob=0.3, seed=seed
+    ),
+    "preferential": lambda n, seed: rnd.barabasi_albert(n, 2, seed=seed),
+    "small-world": lambda n, seed: rnd.watts_strogatz(n, 4, 0.2, seed=seed),
+}
+
+
+def survey_cell(
+    family: str,
+    factory: GraphFactory,
+    size: int,
+    samples: int,
+    base_seed: int,
+) -> SurveyCell:
+    """Measure one (family, size) ensemble cell."""
+    if samples < 1:
+        raise ConfigurationError("samples must be >= 1")
+    rng = random.Random(base_seed)
+    rounds: List[float] = []
+    messages: List[float] = []
+    normalised: List[float] = []
+    bipartite_count = 0
+    for _ in range(samples):
+        graph = factory(size, rng.randrange(2**31))
+        source = graph.nodes()[0]
+        run = simulate(graph, [source])
+        if not run.terminated:
+            raise ConfigurationError(
+                f"survey instance failed to terminate ({family}, n={size})"
+            )
+        rounds.append(run.termination_round)
+        messages.append(run.total_messages)
+        d = diameter(graph)
+        normalised.append(run.termination_round / d if d else 1.0)
+        if is_bipartite(graph):
+            bipartite_count += 1
+    return SurveyCell(
+        family=family,
+        size=size,
+        samples=samples,
+        bipartite_fraction=bipartite_count / samples,
+        rounds=summarize(rounds),
+        messages=summarize(messages),
+        rounds_over_diameter=summarize(normalised),
+    )
+
+
+def run_survey(
+    sizes: Sequence[int] = (16, 32, 64),
+    samples: int = 10,
+    families: Optional[Dict[str, GraphFactory]] = None,
+    base_seed: int = 2019,
+) -> List[SurveyCell]:
+    """The full family x size grid."""
+    chosen = families if families is not None else DEFAULT_FAMILIES
+    cells: List[SurveyCell] = []
+    for family, factory in chosen.items():
+        for size in sizes:
+            cells.append(
+                survey_cell(family, factory, size, samples, base_seed)
+            )
+    return cells
+
+
+def survey_table(cells: Sequence[SurveyCell]) -> str:
+    """Fixed-width table of a survey grid."""
+    header = (
+        f"{'family':<14} {'n':>5} {'bip%':>5} "
+        f"{'rounds (mean/max)':>18} {'msgs (mean)':>12} {'rounds/D':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell.family:<14} {cell.size:>5} "
+            f"{cell.bipartite_fraction:>5.0%} "
+            f"{cell.rounds.mean:>10.1f} / {cell.rounds.maximum:<5g} "
+            f"{cell.messages.mean:>12.1f} "
+            f"{cell.rounds_over_diameter.mean:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def check_survey_invariants(cells: Sequence[SurveyCell]) -> List[str]:
+    """Cross-cell sanity checks; returns human-readable violations.
+
+    * every cell's max normalised rounds must respect the 2D + 1 bound
+      (i.e. rounds/D <= 2 + 1/D <= 3);
+    * tree ensembles must be 100% bipartite with rounds/D <= 1.
+    """
+    violations: List[str] = []
+    for cell in cells:
+        if cell.rounds_over_diameter.maximum > 3.0:
+            violations.append(
+                f"{cell.family}/n={cell.size}: rounds exceeded 3x diameter"
+            )
+        if cell.family == "tree":
+            if cell.bipartite_fraction != 1.0:
+                violations.append(f"tree/n={cell.size}: non-bipartite tree?!")
+            if cell.rounds_over_diameter.maximum > 1.0 + 1e-9:
+                violations.append(
+                    f"tree/n={cell.size}: rounds exceeded the diameter"
+                )
+    return violations

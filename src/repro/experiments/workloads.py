@@ -1,0 +1,134 @@
+"""Graph suites used by the claim experiments and benchmarks.
+
+Every suite is a deterministic list of ``(label, graph)`` pairs;
+randomised members use fixed seeds so experiment output is stable
+across runs and machines.  Sizes are laptop-scale on purpose: the
+paper's claims are exact combinatorial statements, so breadth of
+structure matters more than node count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs import generators as gen
+from repro.graphs import random_graphs as rnd
+
+Suite = List[Tuple[str, Graph]]
+
+
+def bipartite_suite() -> Suite:
+    """Connected bipartite graphs for Lemma 2.1 / Corollary 2.2 sweeps."""
+    suite: Suite = [
+        ("path-2", gen.path_graph(2)),
+        ("path-5", gen.path_graph(5)),
+        ("path-12", gen.path_graph(12)),
+        ("paper-line", gen.paper_line()),
+        ("cycle-4", gen.cycle_graph(4)),
+        ("cycle-6 (paper)", gen.paper_even_cycle()),
+        ("cycle-10", gen.cycle_graph(10)),
+        ("star-8", gen.star_graph(8)),
+        ("complete-bipartite-3-4", gen.complete_bipartite_graph(3, 4)),
+        ("complete-bipartite-5-5", gen.complete_bipartite_graph(5, 5)),
+        ("grid-4x5", gen.grid_graph(4, 5)),
+        ("grid-3x9", gen.grid_graph(3, 9)),
+        ("torus-4x6", gen.torus_graph(4, 6)),
+        ("hypercube-4", gen.hypercube_graph(4)),
+        ("binary-tree-4", gen.binary_tree(4)),
+        ("caterpillar-6x2", gen.caterpillar_graph(6, 2)),
+        ("theta-2-2-4", gen.theta_graph(2, 2, 4)),
+    ]
+    for index, seed in enumerate((11, 23, 47)):
+        suite.append(
+            (f"random-tree-{index}", rnd.random_tree(24, seed=seed))
+        )
+        suite.append(
+            (
+                f"random-bipartite-{index}",
+                rnd.random_bipartite(8, 9, 0.35, seed=seed, connected=True),
+            )
+        )
+    return suite
+
+
+def nonbipartite_suite() -> Suite:
+    """Connected non-bipartite graphs for the Theorem 3.3 sweep."""
+    suite: Suite = [
+        ("triangle (paper)", gen.paper_triangle()),
+        ("cycle-5", gen.cycle_graph(5)),
+        ("cycle-7", gen.cycle_graph(7)),
+        ("cycle-11", gen.cycle_graph(11)),
+        ("complete-4", gen.complete_graph(4)),
+        ("complete-7", gen.complete_graph(7)),
+        ("wheel-6", gen.wheel_graph(6)),
+        ("wheel-9", gen.wheel_graph(9)),
+        ("petersen", gen.petersen_graph()),
+        ("friendship-4", gen.friendship_graph(4)),
+        ("barbell-4x3", gen.barbell_graph(4, 3)),
+        ("lollipop-5x4", gen.lollipop_graph(5, 4)),
+        ("torus-3x5", gen.torus_graph(3, 5)),
+        ("theta-1-2-2", gen.theta_graph(1, 2, 2)),
+        ("cycle-9+chord", gen.cycle_with_chord(9, 0, 4)),
+    ]
+    for index, seed in enumerate((5, 17, 29)):
+        graph = rnd.random_connected_graph(20, extra_edge_prob=0.2, seed=seed)
+        from repro.graphs.properties import is_bipartite
+
+        if not is_bipartite(graph):
+            suite.append((f"random-connected-{index}", graph))
+    return suite
+
+
+def mixed_suite() -> Suite:
+    """Everything together, for Theorem 3.1 and the detection sweep."""
+    return bipartite_suite() + nonbipartite_suite()
+
+
+def scaling_suite(sizes: Sequence[int] = (8, 16, 32, 64, 128)) -> Suite:
+    """Growing instances per family, for the EXT-SCALE comparison."""
+    suite: Suite = []
+    for n in sizes:
+        suite.append((f"path-{n}", gen.path_graph(n)))
+        suite.append((f"even-cycle-{n if n % 2 == 0 else n + 1}",
+                      gen.cycle_graph(n if n % 2 == 0 else n + 1)))
+        suite.append((f"odd-cycle-{n + 1 if n % 2 == 0 else n}",
+                      gen.cycle_graph(n + 1 if n % 2 == 0 else n)))
+        suite.append((f"complete-{min(n, 48)}", gen.complete_graph(min(n, 48))))
+        suite.append(
+            (f"er-{n}", rnd.erdos_renyi(n, min(1.0, 4.0 / n), seed=n, connected=True))
+        )
+    return suite
+
+
+def async_suite() -> Suite:
+    """Small graphs for the exhaustive asynchronous schedule search."""
+    return [
+        ("triangle (paper)", gen.paper_triangle()),
+        ("cycle-4", gen.cycle_graph(4)),
+        ("cycle-5", gen.cycle_graph(5)),
+        ("path-3", gen.path_graph(3)),
+        ("path-4", gen.path_graph(4)),
+        ("star-3", gen.star_graph(3)),
+        ("complete-4", gen.complete_graph(4)),
+    ]
+
+
+def odd_cycles(lengths: Iterable[int] = (3, 5, 7, 9, 11)) -> Suite:
+    """Odd cycles for the convergecast-adversary experiment (CL-S4)."""
+    return [(f"cycle-{n}", gen.cycle_graph(n)) for n in lengths]
+
+
+def random_instances(
+    count: int, size: int, extra_edge_prob: float, base_seed: int
+) -> Suite:
+    """Seeded random connected graphs for bulk structural sweeps."""
+    return [
+        (
+            f"random-{size}-{index}",
+            rnd.random_connected_graph(
+                size, extra_edge_prob=extra_edge_prob, seed=base_seed + index
+            ),
+        )
+        for index in range(count)
+    ]

@@ -1,0 +1,160 @@
+"""Graph substrate: the topology layer the flooding simulators run on.
+
+Public surface:
+
+* :class:`~repro.graphs.graph.Graph` -- immutable undirected simple graph.
+* :mod:`~repro.graphs.generators` -- deterministic families (paths,
+  cycles, cliques, grids, hypercubes, ...), including the exact
+  instances from the paper's figures.
+* :mod:`~repro.graphs.random_graphs` -- seeded random workloads.
+* :mod:`~repro.graphs.properties` -- bipartiteness, components, girth.
+* :mod:`~repro.graphs.traversal` -- BFS, eccentricity, diameter.
+* :mod:`~repro.graphs.double_cover` -- the bipartite double cover used
+  as the independent correctness oracle.
+"""
+
+from repro.graphs.graph import Graph, Node, Edge, degree_sequence, is_regular
+from repro.graphs.generators import (
+    barbell_graph,
+    binary_tree,
+    caterpillar_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    cycle_with_chord,
+    friendship_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    paper_even_cycle,
+    paper_line,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    theta_graph,
+    torus_graph,
+    wheel_graph,
+)
+from repro.graphs.random_graphs import (
+    barabasi_albert,
+    erdos_renyi,
+    random_bipartite,
+    random_connected_graph,
+    random_tree,
+    watts_strogatz,
+)
+from repro.graphs.properties import (
+    bipartition,
+    connected_components,
+    girth,
+    graph_summary,
+    is_bipartite,
+    is_connected,
+    is_tree,
+    odd_girth,
+    triangle_count,
+)
+from repro.graphs.traversal import (
+    all_eccentricities,
+    bfs_distances,
+    bfs_layers,
+    bfs_tree_edges,
+    center,
+    diameter,
+    distance_matrix,
+    eccentricity,
+    multi_source_bfs_distances,
+    periphery,
+    radius,
+    set_eccentricity,
+    shortest_path,
+)
+from repro.graphs.products import (
+    cartesian_product,
+    k2,
+    tensor_double_cover,
+    tensor_product,
+)
+from repro.graphs.double_cover import (
+    cover_distances,
+    double_cover,
+    predicted_message_complexity,
+    predicted_receive_rounds,
+    predicted_termination_round,
+    receives_exactly_once_everywhere,
+)
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Edge",
+    "degree_sequence",
+    "is_regular",
+    # generators
+    "barbell_graph",
+    "binary_tree",
+    "caterpillar_graph",
+    "circulant_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "cycle_with_chord",
+    "friendship_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "lollipop_graph",
+    "paper_even_cycle",
+    "paper_line",
+    "paper_triangle",
+    "path_graph",
+    "petersen_graph",
+    "star_graph",
+    "theta_graph",
+    "torus_graph",
+    "wheel_graph",
+    # random graphs
+    "barabasi_albert",
+    "erdos_renyi",
+    "random_bipartite",
+    "random_connected_graph",
+    "random_tree",
+    "watts_strogatz",
+    # properties
+    "bipartition",
+    "connected_components",
+    "girth",
+    "graph_summary",
+    "is_bipartite",
+    "is_connected",
+    "is_tree",
+    "odd_girth",
+    "triangle_count",
+    # traversal
+    "all_eccentricities",
+    "bfs_distances",
+    "bfs_layers",
+    "bfs_tree_edges",
+    "center",
+    "diameter",
+    "distance_matrix",
+    "eccentricity",
+    "multi_source_bfs_distances",
+    "periphery",
+    "radius",
+    "set_eccentricity",
+    "shortest_path",
+    # products
+    "cartesian_product",
+    "k2",
+    "tensor_double_cover",
+    "tensor_product",
+    # double cover oracle
+    "cover_distances",
+    "double_cover",
+    "predicted_message_complexity",
+    "predicted_receive_rounds",
+    "predicted_termination_round",
+    "receives_exactly_once_everywhere",
+]

@@ -1,0 +1,291 @@
+"""Deterministic graph families used throughout the reproduction.
+
+These are the topologies the paper discusses directly (line, triangle,
+even/odd cycles, cliques) plus the standard families used by the claim
+sweeps (trees, grids, tori, hypercubes, wheels, barbells, theta graphs,
+complete bipartite graphs).  All generators label nodes ``0..n-1``
+unless documented otherwise and return :class:`repro.graphs.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def path_graph(n: int) -> Graph:
+    """The path (line) P_n on ``n`` nodes ``0 - 1 - ... - n-1``.
+
+    Figure 1 of the paper uses P_4 with letter labels; see
+    :func:`paper_line` for that exact instance.
+    """
+    _require(n >= 1, "path_graph requires n >= 1")
+    return Graph.from_edges(
+        ((i, i + 1) for i in range(n - 1)), isolated=range(n)
+    )
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle C_n on ``n >= 3`` nodes.
+
+    Even cycles are bipartite (Figure 3 uses C_6); odd cycles are the
+    canonical non-bipartite examples (Figure 2's triangle is C_3).
+    """
+    _require(n >= 3, "cycle_graph requires n >= 3")
+    return Graph.from_edges((i, (i + 1) % n) for i in range(n))
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique K_n.  K_3 is the paper's triangle."""
+    _require(n >= 1, "complete_graph requires n >= 1")
+    return Graph.from_edges(itertools.combinations(range(n), 2), isolated=range(n))
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star with centre ``0`` and ``leaves`` leaves ``1..leaves``."""
+    _require(leaves >= 0, "star_graph requires leaves >= 0")
+    return Graph.from_edges(((0, i) for i in range(1, leaves + 1)), isolated=[0])
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with parts ``0..a-1`` and ``a..a+b-1``."""
+    _require(a >= 1 and b >= 1, "complete_bipartite_graph requires a, b >= 1")
+    return Graph.from_edges(
+        ((i, a + j) for i in range(a) for j in range(b))
+    )
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid; nodes are ``(r, c)`` tuples.
+
+    Grids are bipartite, so amnesiac flooding behaves as a parallel BFS
+    on them (Lemma 2.1).
+    """
+    _require(rows >= 1 and cols >= 1, "grid_graph requires rows, cols >= 1")
+    edges: List[Tuple[Node, Node]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+    return Graph.from_edges(edges, isolated=((r, c) for r in range(rows) for c in range(cols)))
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (grid with wraparound); nodes ``(r, c)``.
+
+    Bipartite iff both dimensions are even.
+    """
+    _require(rows >= 3 and cols >= 3, "torus_graph requires rows, cols >= 3")
+    edges: List[Tuple[Node, Node]] = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append(((r, c), ((r + 1) % rows, c)))
+            edges.append(((r, c), (r, (c + 1) % cols)))
+    return Graph.from_edges(edges)
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube Q_d; nodes are ints ``0..2^d-1``.
+
+    Hypercubes are bipartite with diameter ``d``.
+    """
+    _require(dimension >= 0, "hypercube_graph requires dimension >= 0")
+    n = 1 << dimension
+    edges = [
+        (x, x ^ (1 << bit)) for x in range(n) for bit in range(dimension) if x < x ^ (1 << bit)
+    ]
+    return Graph.from_edges(edges, isolated=range(n))
+
+
+def wheel_graph(rim: int) -> Graph:
+    """A wheel: cycle C_rim (nodes ``1..rim``) plus hub ``0`` joined to all.
+
+    Wheels are never bipartite (they contain triangles).
+    """
+    _require(rim >= 3, "wheel_graph requires rim >= 3")
+    edges = [(i, i % rim + 1) for i in range(1, rim + 1)]
+    edges.extend((0, i) for i in range(1, rim + 1))
+    return Graph.from_edges(edges)
+
+
+def binary_tree(height: int) -> Graph:
+    """The complete binary tree of the given height (heap-indexed from 1)."""
+    _require(height >= 0, "binary_tree requires height >= 0")
+    n = (1 << (height + 1)) - 1
+    edges = [(i, 2 * i) for i in range(1, n + 1) if 2 * i <= n]
+    edges += [(i, 2 * i + 1) for i in range(1, n + 1) if 2 * i + 1 <= n]
+    return Graph.from_edges(edges, isolated=range(1, n + 1))
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> Graph:
+    """A caterpillar: a path of length ``spine`` with pendant legs.
+
+    Spine nodes are ``0..spine-1``; leg ``j`` of spine node ``i`` is
+    labelled ``spine + i * legs_per_node + j``.
+    """
+    _require(spine >= 1, "caterpillar_graph requires spine >= 1")
+    _require(legs_per_node >= 0, "caterpillar_graph requires legs_per_node >= 0")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    for i in range(spine):
+        for j in range(legs_per_node):
+            edges.append((i, spine + i * legs_per_node + j))
+    return Graph.from_edges(edges, isolated=range(spine))
+
+
+def barbell_graph(clique_size: int, bridge_length: int) -> Graph:
+    """Two K_{clique_size} cliques joined by a path of ``bridge_length`` edges.
+
+    A classic high-diameter, locally dense topology: non-bipartite as
+    soon as ``clique_size >= 3``.
+    """
+    _require(clique_size >= 2, "barbell_graph requires clique_size >= 2")
+    _require(bridge_length >= 1, "barbell_graph requires bridge_length >= 1")
+    k = clique_size
+    left = list(itertools.combinations(range(k), 2))
+    right_offset = k + bridge_length - 1
+    right = [
+        (right_offset + a, right_offset + b) for a, b in itertools.combinations(range(k), 2)
+    ]
+    bridge = [(k - 1 + i, k + i) for i in range(bridge_length)]
+    return Graph.from_edges(left + bridge + right)
+
+
+def lollipop_graph(clique_size: int, tail_length: int) -> Graph:
+    """K_{clique_size} with a pendant path of ``tail_length`` edges."""
+    _require(clique_size >= 2, "lollipop_graph requires clique_size >= 2")
+    _require(tail_length >= 0, "lollipop_graph requires tail_length >= 0")
+    k = clique_size
+    edges = list(itertools.combinations(range(k), 2))
+    edges.extend((k - 1 + i, k + i) for i in range(tail_length))
+    return Graph.from_edges(edges)
+
+
+def theta_graph(length_a: int, length_b: int, length_c: int) -> Graph:
+    """Two terminals joined by three internally disjoint paths.
+
+    The terminals are ``"s"`` and ``"t"``; internal path nodes are
+    ``(path_index, position)`` tuples.  Theta graphs give fine control
+    over odd/even cycle structure: the graph is bipartite iff all three
+    path lengths share the same parity.
+    """
+    for length in (length_a, length_b, length_c):
+        _require(length >= 1, "theta_graph path lengths must be >= 1")
+    lengths = (length_a, length_b, length_c)
+    _require(
+        sorted(lengths)[:2] != [1, 1],
+        "theta_graph needs at most one length-1 path (simple graph)",
+    )
+    edges: List[Tuple[Node, Node]] = []
+    for index, length in enumerate(lengths):
+        previous: Node = "s"
+        for position in range(1, length):
+            current: Node = (index, position)
+            edges.append((previous, current))
+            previous = current
+        edges.append((previous, "t"))
+    return Graph.from_edges(edges)
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> Graph:
+    """The circulant C_n(offsets): node ``i`` joined to ``i +- o (mod n)``.
+
+    Subsumes cycles (``offsets = [1]``) and gives fine control over the
+    odd-cycle structure used in Theorem 3.3 sweeps: e.g. ``C_13(1, 5)``
+    is 4-regular and non-bipartite, while ``C_8(2)`` splits into even
+    components.  Offsets must be in ``1..n//2``.
+    """
+    _require(n >= 3, "circulant_graph requires n >= 3")
+    _require(len(offsets) > 0, "circulant_graph requires at least one offset")
+    for offset in offsets:
+        _require(
+            1 <= offset <= n // 2,
+            "circulant offsets must lie within 1..n//2",
+        )
+    edges: List[Tuple[Node, Node]] = []
+    for i in range(n):
+        for offset in offsets:
+            edges.append((i, (i + offset) % n))
+    return Graph.from_edges(edges, isolated=range(n))
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 10 nodes, 15 edges, girth 5 (non-bipartite)."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph.from_edges(outer + spokes + inner)
+
+
+def friendship_graph(triangles: int) -> Graph:
+    """``triangles`` triangles sharing the single hub node ``0``."""
+    _require(triangles >= 1, "friendship_graph requires triangles >= 1")
+    edges: List[Tuple[Node, Node]] = []
+    for t in range(triangles):
+        u, v = 1 + 2 * t, 2 + 2 * t
+        edges += [(0, u), (0, v), (u, v)]
+    return Graph.from_edges(edges)
+
+
+def cycle_with_chord(n: int, chord_from: int, chord_to: int) -> Graph:
+    """C_n plus one chord; handy for building small non-bipartite cases."""
+    graph = cycle_graph(n)
+    _require(
+        not graph.has_edge(chord_from, chord_to) and chord_from != chord_to,
+        "chord must connect non-adjacent distinct nodes",
+    )
+    return graph.with_edge(chord_from, chord_to)
+
+
+# ----------------------------------------------------------------------
+# Exact instances from the paper's figures
+# ----------------------------------------------------------------------
+
+
+def paper_line() -> Graph:
+    """Figure 1's line network ``a - b - c - d`` (letter labels)."""
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+def paper_triangle() -> Graph:
+    """Figure 2 / Figure 5's triangle on ``a``, ``b``, ``c``."""
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+
+
+def paper_even_cycle() -> Graph:
+    """Figure 3's six-cycle, labelled ``a..f`` in cyclic order."""
+    labels = ["a", "b", "c", "d", "e", "f"]
+    return Graph.from_edges(
+        (labels[i], labels[(i + 1) % 6]) for i in range(6)
+    )
+
+
+FAMILY_BUILDERS = {
+    "path": path_graph,
+    "circulant": circulant_graph,
+    "cycle": cycle_graph,
+    "complete": complete_graph,
+    "star": star_graph,
+    "complete_bipartite": complete_bipartite_graph,
+    "grid": grid_graph,
+    "torus": torus_graph,
+    "hypercube": hypercube_graph,
+    "wheel": wheel_graph,
+    "binary_tree": binary_tree,
+    "caterpillar": caterpillar_graph,
+    "barbell": barbell_graph,
+    "lollipop": lollipop_graph,
+    "theta": theta_graph,
+    "petersen": petersen_graph,
+    "friendship": friendship_graph,
+}
+"""Name -> builder registry used by the experiment workloads."""

@@ -1,0 +1,107 @@
+"""Serialization of graphs: edge lists, adjacency JSON and DOT.
+
+The simulator is file-format agnostic; these helpers exist so that
+experiment outputs (and the example scripts) can persist workloads and
+so externally produced topologies can be replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Node
+
+
+def to_edge_list(graph: Graph) -> str:
+    """Render as whitespace-separated edge list, one ``u v`` pair per line.
+
+    Isolated nodes are appended as single-token lines so the round trip
+    preserves them.
+    """
+    lines = [f"{u} {v}" for u, v in graph.edges()]
+    touched = {u for edge in graph.edges() for u in edge}
+    lines.extend(str(node) for node in graph.nodes() if node not in touched)
+    return "\n".join(lines)
+
+
+def from_edge_list(text: str) -> Graph:
+    """Parse the :func:`to_edge_list` format (node labels become strings).
+
+    Integer-looking tokens are converted back to ``int`` so generated
+    workloads round-trip exactly.
+    """
+
+    def _parse(token: str) -> Node:
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    edges: List[Tuple[Node, Node]] = []
+    isolated: List[Node] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) == 1:
+            isolated.append(_parse(tokens[0]))
+        elif len(tokens) == 2:
+            edges.append((_parse(tokens[0]), _parse(tokens[1])))
+        else:
+            raise GraphError(
+                f"line {line_number}: expected 1 or 2 tokens, got {len(tokens)}"
+            )
+    return Graph.from_edges(edges, isolated=isolated)
+
+
+def to_adjacency_json(graph: Graph) -> str:
+    """Render as a JSON object ``{node: [neighbours...]}`` (labels stringified)."""
+    payload: Dict[str, List[str]] = {
+        str(node): sorted(str(n) for n in graph.neighbors(node))
+        for node in graph.nodes()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def from_adjacency_json(text: str) -> Graph:
+    """Parse the :func:`to_adjacency_json` format (labels stay strings)."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise GraphError("adjacency JSON must be an object")
+    return Graph({node: list(nbrs) for node, nbrs in payload.items()})
+
+
+def to_dot(graph: Graph, name: str = "G", highlight: Tuple[Node, ...] = ()) -> str:
+    """Render as GraphViz DOT; ``highlight`` nodes are drawn filled.
+
+    Used by the figure reproductions to emit per-round snapshots in a
+    format external tooling can draw.
+    """
+    highlighted = set(highlight)
+    lines = [f"graph {json.dumps(name)} {{"]
+    for node in graph.nodes():
+        attrs = ' [style=filled, fillcolor=lightblue]' if node in highlighted else ""
+        lines.append(f"  {json.dumps(str(node))}{attrs};")
+    for u, v in graph.edges():
+        lines.append(f"  {json.dumps(str(u))} -- {json.dumps(str(v))};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_graph(graph: Graph, stream: TextIO, fmt: str = "edgelist") -> None:
+    """Write ``graph`` to ``stream`` in the named format.
+
+    ``fmt`` is one of ``edgelist``, ``json`` or ``dot``.
+    """
+    renderers = {
+        "edgelist": to_edge_list,
+        "json": to_adjacency_json,
+        "dot": to_dot,
+    }
+    if fmt not in renderers:
+        raise GraphError(f"unknown graph format {fmt!r}")
+    stream.write(renderers[fmt](graph))
+    stream.write("\n")

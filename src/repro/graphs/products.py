@@ -1,0 +1,72 @@
+"""Graph products: the algebra behind the double cover.
+
+The bipartite double cover used by the oracle is the **tensor product**
+``G x K2``.  This module provides the two classic products in general
+form -- tensor (categorical) and Cartesian -- both because they
+generate interesting flooding workloads (hypercubes are Cartesian
+powers of K2; tori are Cartesian products of cycles) and because
+``tensor_product(G, K2)`` gives an independent construction to check
+:func:`repro.graphs.double_cover.double_cover` against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Graph, Node
+
+ProductNode = Tuple[Node, Node]
+
+
+def tensor_product(g: Graph, h: Graph) -> Graph:
+    """The tensor (categorical) product ``G x H``.
+
+    ``(u1, v1) ~ (u2, v2)`` iff ``u1 ~ u2`` in G **and** ``v1 ~ v2`` in
+    H.  Connectivity fact used by the oracle: for connected non-trivial
+    G and H, ``G x H`` is connected iff G or H is non-bipartite; with
+    ``H = K2`` this is exactly the double-cover dichotomy.
+    """
+    adjacency: Dict[ProductNode, List[ProductNode]] = {}
+    for gu in g.nodes():
+        for hv in h.nodes():
+            adjacency[(gu, hv)] = [
+                (gn, hn)
+                for gn in g.neighbors(gu)
+                for hn in h.neighbors(hv)
+            ]
+    return Graph(adjacency)
+
+
+def cartesian_product(g: Graph, h: Graph) -> Graph:
+    """The Cartesian product ``G □ H``.
+
+    ``(u1, v1) ~ (u2, v2)`` iff (``u1 == u2`` and ``v1 ~ v2``) or
+    (``u1 ~ u2`` and ``v1 == v2``).  ``K2 □ K2 □ ... □ K2`` is the
+    hypercube; ``C_m □ C_n`` the torus.
+    """
+    adjacency: Dict[ProductNode, List[ProductNode]] = {}
+    for gu in g.nodes():
+        for hv in h.nodes():
+            neighbours: List[ProductNode] = [
+                (gu, hn) for hn in h.neighbors(hv)
+            ]
+            neighbours.extend((gn, hv) for gn in g.neighbors(gu))
+            adjacency[(gu, hv)] = neighbours
+    return Graph(adjacency)
+
+
+def k2() -> Graph:
+    """The single-edge graph on ``{0, 1}`` -- the cover's second factor."""
+    return Graph.from_edges([(0, 1)])
+
+
+def tensor_double_cover(graph: Graph) -> Graph:
+    """``G x K2`` with nodes relabelled ``(node, parity)``.
+
+    Structurally identical to
+    :func:`repro.graphs.double_cover.double_cover`; built through the
+    generic product so the two constructions can cross-check each
+    other in the tests.
+    """
+    product = tensor_product(graph, k2())
+    return product

@@ -1,0 +1,180 @@
+"""Structural graph properties used by the paper's bounds.
+
+Bipartiteness is the pivotal property: Lemma 2.1 / Corollary 2.2 cover
+bipartite graphs (termination in exactly the source's eccentricity,
+hence at most the diameter) while Theorem 3.3 covers non-bipartite
+graphs (termination by round 2D+1).  Odd girth quantifies *how*
+non-bipartite a graph is and governs where in the (D, 2D+1] range the
+observed termination time lands.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Connected components, largest first (ties broken deterministically)."""
+    remaining = set(graph.nodes())
+    components: List[Set[Node]] = []
+    while remaining:
+        start = min(remaining, key=repr)
+        component = {start}
+        queue: deque = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in graph.neighbors(node):
+                if neighbour not in component:
+                    component.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+        remaining -= component
+    components.sort(key=lambda c: (-len(c), repr(sorted(c, key=repr))))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has exactly one connected component.
+
+    The empty graph is treated as connected (flooding on it is trivially
+    terminated at round 0).
+    """
+    if graph.num_nodes == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def bipartition(graph: Graph) -> Optional[Tuple[Set[Node], Set[Node]]]:
+    """A 2-colouring ``(part0, part1)`` if the graph is bipartite else ``None``.
+
+    Works component-by-component via BFS parity colouring; the colouring
+    of each component is anchored at its deterministic minimum node, so
+    the returned partition is reproducible.
+    """
+    colour: Dict[Node, int] = {}
+    for component in connected_components(graph):
+        start = min(component, key=repr)
+        colour[start] = 0
+        queue: deque = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in graph.neighbors(node):
+                if neighbour not in colour:
+                    colour[neighbour] = 1 - colour[node]
+                    queue.append(neighbour)
+                elif colour[neighbour] == colour[node]:
+                    return None
+    part0 = {node for node, c in colour.items() if c == 0}
+    part1 = {node for node, c in colour.items() if c == 1}
+    return part0, part1
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Whether the graph admits a proper 2-colouring (no odd cycles)."""
+    return bipartition(graph) is not None
+
+
+def odd_girth(graph: Graph) -> Optional[int]:
+    """Length of the shortest odd cycle, or ``None`` for bipartite graphs.
+
+    Computed via BFS parity: the shortest odd closed walk through a BFS
+    root has length ``d(u) + d(v) + 1`` minimised over same-layer edges
+    ``{u, v}``; minimising over all roots yields the odd girth.  This is
+    O(n * m) — fine at the simulator's scales.
+    """
+    best: Optional[int] = None
+    for root in graph.nodes():
+        distances: Dict[Node, int] = {root: 0}
+        queue: deque = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbour in graph.neighbors(node):
+                if neighbour not in distances:
+                    distances[neighbour] = distances[node] + 1
+                    queue.append(neighbour)
+        for u, v in graph.edges():
+            if u in distances and v in distances:
+                if (distances[u] + distances[v]) % 2 == 0:
+                    length = distances[u] + distances[v] + 1
+                    if best is None or length < best:
+                        best = length
+    return best
+
+
+def girth(graph: Graph) -> Optional[int]:
+    """Length of the shortest cycle, or ``None`` for forests.
+
+    Standard BFS-per-root cycle detection: the first non-tree edge
+    closing a cycle through the root's BFS gives a candidate of length
+    ``d(u) + d(v) + 1`` (cross edge) or ``d(u) + d(v) + 2`` is not needed
+    because BFS from every root covers all shortest cycles.
+    """
+    best: Optional[int] = None
+    for root in graph.nodes():
+        distances: Dict[Node, int] = {root: 0}
+        parent: Dict[Node, Optional[Node]] = {root: None}
+        queue: deque = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbour in graph.neighbors(node):
+                if neighbour not in distances:
+                    distances[neighbour] = distances[node] + 1
+                    parent[neighbour] = node
+                    queue.append(neighbour)
+                elif parent[node] != neighbour:
+                    length = distances[node] + distances[neighbour] + 1
+                    if best is None or length < best:
+                        best = length
+    return best
+
+
+def is_tree(graph: Graph) -> bool:
+    """Whether the graph is connected and acyclic."""
+    return (
+        is_connected(graph)
+        and graph.num_edges == max(graph.num_nodes - 1, 0)
+    )
+
+
+def is_cycle_graph(graph: Graph) -> bool:
+    """Whether the graph is a single simple cycle (every degree is 2)."""
+    return (
+        graph.num_nodes >= 3
+        and is_connected(graph)
+        and all(graph.degree(node) == 2 for node in graph.nodes())
+    )
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of triangles (3-cliques) in the graph."""
+    count = 0
+    for u, v in graph.edges():
+        count += len(graph.neighbors(u) & graph.neighbors(v))
+    return count // 3
+
+
+def graph_summary(graph: Graph) -> Dict[str, object]:
+    """A property bundle used by reports and experiment logs.
+
+    Diameter/radius are only included for connected graphs because the
+    flooding process (and the paper's bounds) are stated per component.
+    """
+    from repro.graphs.traversal import diameter, radius
+
+    summary: Dict[str, object] = {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "connected": is_connected(graph),
+        "bipartite": is_bipartite(graph),
+        "tree": is_tree(graph),
+        "odd_girth": odd_girth(graph),
+        "triangles": triangle_count(graph),
+    }
+    if summary["connected"] and graph.num_nodes > 0:
+        summary["diameter"] = diameter(graph)
+        summary["radius"] = radius(graph)
+    return summary

@@ -1,0 +1,275 @@
+"""Seeded random graph workload generators.
+
+All generators take an explicit ``seed`` and route randomness through
+``random.Random`` so workloads are exactly reproducible across runs and
+machines.  Connectivity-sensitive generators offer a ``connected=True``
+mode that retries (bounded) or patches the sample into connectivity,
+because the paper's statements concern connected graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import connected_components, is_connected
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def _patch_connected(graph: Graph, rng: random.Random) -> Graph:
+    """Join the components of ``graph`` with uniformly chosen bridge edges."""
+    components = connected_components(graph)
+    while len(components) > 1:
+        first = sorted(components[0], key=repr)
+        second = sorted(components[1], key=repr)
+        graph = graph.with_edge(rng.choice(first), rng.choice(second))
+        components = connected_components(graph)
+    return graph
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    seed: Optional[int] = None,
+    connected: bool = False,
+) -> Graph:
+    """G(n, p): each of the C(n,2) edges present independently with prob. ``p``.
+
+    With ``connected=True`` the sample is patched into connectivity by
+    adding uniformly random bridge edges between components, which keeps
+    the degree distribution essentially intact for the p regimes used in
+    the experiment sweeps.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("erdos_renyi requires 0 <= p <= 1")
+    if n < 1:
+        raise ConfigurationError("erdos_renyi requires n >= 1")
+    rng = _rng(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    graph = Graph.from_edges(edges, isolated=range(n))
+    if connected and not is_connected(graph):
+        graph = _patch_connected(graph, rng)
+    return graph
+
+
+def random_tree(n: int, seed: Optional[int] = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` nodes via Prüfer sequences.
+
+    Trees are the extreme bipartite case: amnesiac flooding on a tree is
+    exactly BFS broadcast and each node receives the message once.
+    """
+    if n < 1:
+        raise ConfigurationError("random_tree requires n >= 1")
+    if n == 1:
+        return Graph({0: []})
+    if n == 2:
+        return Graph.from_edges([(0, 1)])
+    rng = _rng(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for node in prufer:
+        degree[node] += 1
+    edges: List[Tuple[Node, Node]] = []
+    import heapq
+
+    leaves = [node for node in range(n) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for node in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, node))
+        degree[leaf] -= 1
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    last_two = [node for node in range(n) if degree[node] == 1]
+    edges.append((last_two[0], last_two[1]))
+    return Graph.from_edges(edges, isolated=range(n))
+
+
+def random_bipartite(
+    a: int,
+    b: int,
+    p: float,
+    seed: Optional[int] = None,
+    connected: bool = False,
+) -> Graph:
+    """A random bipartite graph with parts ``0..a-1`` and ``a..a+b-1``.
+
+    Each of the ``a * b`` cross edges is present with probability ``p``.
+    With ``connected=True``, bridge edges (always cross-part, preserving
+    bipartiteness) are added until the graph is connected.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("random_bipartite requires 0 <= p <= 1")
+    if a < 1 or b < 1:
+        raise ConfigurationError("random_bipartite requires a, b >= 1")
+    rng = _rng(seed)
+    edges = [
+        (u, a + v)
+        for u in range(a)
+        for v in range(b)
+        if rng.random() < p
+    ]
+    graph = Graph.from_edges(edges, isolated=range(a + b))
+    if connected:
+        while not is_connected(graph):
+            components = connected_components(graph)
+            # Pick one node from each side of the part boundary so the
+            # bridge stays bipartite.
+            left = [node for node in components[0] if node < a]
+            right = [node for node in components[1] if node >= a]
+            if not left or not right:
+                left = [node for node in components[1] if node < a]
+                right = [node for node in components[0] if node >= a]
+            if not left or not right:
+                # Both components live on the same side; connect through
+                # any node of the opposite side in some other component.
+                everything_left = [node for node in graph.nodes() if node < a]
+                everything_right = [node for node in graph.nodes() if node >= a]
+                graph = graph.with_edge(
+                    rng.choice(everything_left), rng.choice(everything_right)
+                )
+                continue
+            graph = graph.with_edge(rng.choice(left), rng.choice(right))
+    return graph
+
+
+def random_regular_even(n: int, degree: int, seed: Optional[int] = None) -> Graph:
+    """An (approximately) random ``degree``-regular graph for even ``degree``.
+
+    Uses the superposition of ``degree / 2`` random Hamiltonian cycles
+    (distinct random circular permutations), which yields a connected
+    ``degree``-regular multigraph whp; parallel/self edges are resampled
+    a bounded number of times and any residue is dropped, so node degrees
+    can occasionally be slightly below ``degree``.
+    """
+    if degree % 2 != 0 or degree < 2:
+        raise ConfigurationError("random_regular_even requires an even degree >= 2")
+    if n <= degree:
+        raise ConfigurationError("random_regular_even requires n > degree")
+    rng = _rng(seed)
+    edges: set = set()
+    for _ in range(degree // 2):
+        for _attempt in range(50):
+            order = list(range(n))
+            rng.shuffle(order)
+            cycle = {
+                tuple(sorted((order[i], order[(i + 1) % n])))
+                for i in range(n)
+            }
+            if not (cycle & edges):
+                edges |= cycle
+                break
+        else:
+            edges |= cycle - edges
+    return Graph.from_edges(edges, isolated=range(n))
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A Watts–Strogatz small-world graph (ring lattice with rewiring).
+
+    ``k`` must be even; each node starts joined to its ``k`` nearest ring
+    neighbours and each lattice edge is rewired with probability ``beta``.
+    """
+    if k % 2 != 0 or k < 2:
+        raise ConfigurationError("watts_strogatz requires an even k >= 2")
+    if n <= k:
+        raise ConfigurationError("watts_strogatz requires n > k")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError("watts_strogatz requires 0 <= beta <= 1")
+    rng = _rng(seed)
+    edges = set()
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            edges.add(tuple(sorted((node, (node + offset) % n))))
+    rewired = set(edges)
+    for u, v in sorted(edges):
+        if rng.random() < beta:
+            candidates = [
+                w for w in range(n)
+                if w != u and tuple(sorted((u, w))) not in rewired
+            ]
+            if candidates:
+                rewired.discard((u, v))
+                rewired.add(tuple(sorted((u, rng.choice(candidates)))))
+    return Graph.from_edges(rewired, isolated=range(n))
+
+
+def barabasi_albert(n: int, attach: int, seed: Optional[int] = None) -> Graph:
+    """A Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``attach + 1`` nodes; each new node attaches to
+    ``attach`` distinct existing nodes chosen proportionally to degree.
+    Always connected; models the social-network workloads the paper's
+    introduction motivates (the "aggressive WhatsApp forwarder").
+    """
+    if attach < 1:
+        raise ConfigurationError("barabasi_albert requires attach >= 1")
+    if n <= attach:
+        raise ConfigurationError("barabasi_albert requires n > attach")
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = [(0, i) for i in range(1, attach + 1)]
+    # The repeated-nodes list implements degree-proportional sampling.
+    repeated: List[int] = [0] * attach + list(range(1, attach + 1))
+    for new in range(attach + 1, n):
+        targets: set = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            edges.append((new, target))
+            repeated.append(new)
+            repeated.append(target)
+    return Graph.from_edges(edges, isolated=range(n))
+
+
+def random_connected_graph(
+    n: int,
+    extra_edge_prob: float = 0.15,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A random connected graph: random tree plus independent extra edges.
+
+    This is the main hypothesis-style workload: every sample is connected
+    by construction, and ``extra_edge_prob`` tunes how far from a tree
+    (and how likely to contain odd cycles) the sample is.
+    """
+    if n < 1:
+        raise ConfigurationError("random_connected_graph requires n >= 1")
+    rng = _rng(seed)
+    graph = random_tree(n, seed=rng.randrange(2**31))
+    extra = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not graph.has_edge(u, v) and rng.random() < extra_edge_prob
+    ]
+    adjacency = {node: list(graph.neighbors(node)) for node in graph.nodes()}
+    for u, v in extra:
+        adjacency[u].append(v)
+    return Graph(adjacency)
+
+
+RANDOM_FAMILY_BUILDERS = {
+    "erdos_renyi": erdos_renyi,
+    "random_tree": random_tree,
+    "random_bipartite": random_bipartite,
+    "watts_strogatz": watts_strogatz,
+    "barabasi_albert": barabasi_albert,
+    "random_connected": random_connected_graph,
+}
+"""Name -> builder registry used by the experiment workloads."""

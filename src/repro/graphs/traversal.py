@@ -1,0 +1,184 @@
+"""Breadth-first traversal primitives.
+
+These are the distance computations every theoretical bound in the paper
+rests on: eccentricity (Lemma 2.1), diameter (Corollary 2.2, Theorem 3.3)
+and the BFS layering that amnesiac flooding reduces to on bipartite
+graphs.  Multi-source BFS supports the multi-source extension and the
+double-cover oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+
+INFINITY = float("inf")
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every node reachable from it.
+
+    Unreachable nodes are absent from the result (callers treat absence
+    as infinite distance).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    return multi_source_bfs_distances(graph, [source])
+
+
+def multi_source_bfs_distances(
+    graph: Graph, sources: Iterable[Node]
+) -> Dict[Node, int]:
+    """Hop distances from the nearest of ``sources`` (set-BFS).
+
+    The frontier starts with every source at distance 0; this is the
+    traversal that multi-source amnesiac flooding performs on bipartite
+    graphs and that the double-cover oracle uses in general.
+    """
+    distances: Dict[Node, int] = {}
+    queue: deque = deque()
+    for source in sources:
+        if not graph.has_node(source):
+            raise NodeNotFoundError(source)
+        if source not in distances:
+            distances[source] = 0
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        next_distance = distances[node] + 1
+        for neighbour in graph.neighbors(node):
+            if neighbour not in distances:
+                distances[neighbour] = next_distance
+                queue.append(neighbour)
+    return distances
+
+
+def bfs_layers(graph: Graph, source: Node) -> List[Set[Node]]:
+    """Nodes grouped by distance from ``source``: ``layers[i]`` = distance-i set.
+
+    On a connected bipartite graph these layers are exactly the round-sets
+    of amnesiac flooding (Lemma 2.1's parallel BFS).
+    """
+    distances = bfs_distances(graph, source)
+    if not distances:
+        return []
+    depth = max(distances.values())
+    layers: List[Set[Node]] = [set() for _ in range(depth + 1)]
+    for node, distance in distances.items():
+        layers[distance].add(node)
+    return layers
+
+
+def bfs_tree_edges(graph: Graph, source: Node) -> List[Tuple[Node, Node]]:
+    """Parent->child edges of a deterministic BFS tree rooted at ``source``.
+
+    Children are visited in the graph's deterministic node order, so the
+    tree is reproducible.  Used by the BFS-broadcast baseline's spanning
+    tree construction.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    visited = {source}
+    queue: deque = deque([source])
+    edges: List[Tuple[Node, Node]] = []
+    while queue:
+        node = queue.popleft()
+        neighbours = sorted(graph.neighbors(node), key=repr)
+        for neighbour in neighbours:
+            if neighbour not in visited:
+                visited.add(neighbour)
+                edges.append((node, neighbour))
+                queue.append(neighbour)
+    return edges
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Greatest distance from ``node`` to any node in its component.
+
+    Lemma 2.1: on a connected bipartite graph, amnesiac flooding from
+    ``a`` terminates in exactly ``eccentricity(graph, a)`` rounds.
+    """
+    distances = bfs_distances(graph, node)
+    return max(distances.values()) if distances else 0
+
+
+def all_eccentricities(graph: Graph) -> Dict[Node, int]:
+    """Eccentricity of every node (per connected component)."""
+    return {node: eccentricity(graph, node) for node in graph.nodes()}
+
+
+def diameter(graph: Graph) -> int:
+    """The largest eccentricity over all nodes.
+
+    For a disconnected graph this is the largest *within-component*
+    eccentricity (distances across components are undefined for the
+    flooding process, which never crosses components).
+    """
+    if graph.num_nodes == 0:
+        return 0
+    return max(all_eccentricities(graph).values())
+
+
+def radius(graph: Graph) -> int:
+    """The smallest eccentricity over all nodes."""
+    if graph.num_nodes == 0:
+        return 0
+    return min(all_eccentricities(graph).values())
+
+
+def center(graph: Graph) -> List[Node]:
+    """Nodes whose eccentricity equals the radius."""
+    if graph.num_nodes == 0:
+        return []
+    eccentricities = all_eccentricities(graph)
+    r = min(eccentricities.values())
+    return [node for node, value in eccentricities.items() if value == r]
+
+
+def periphery(graph: Graph) -> List[Node]:
+    """Nodes whose eccentricity equals the diameter."""
+    if graph.num_nodes == 0:
+        return []
+    eccentricities = all_eccentricities(graph)
+    d = max(eccentricities.values())
+    return [node for node, value in eccentricities.items() if value == d]
+
+
+def set_eccentricity(graph: Graph, sources: Iterable[Node]) -> int:
+    """Greatest distance from the *set* ``sources`` to any reachable node.
+
+    This is ``e(I)`` in the multi-source termination bound of the
+    authors' full paper.
+    """
+    distances = multi_source_bfs_distances(graph, sources)
+    return max(distances.values()) if distances else 0
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Node]]:
+    """One shortest path from ``source`` to ``target`` or ``None`` if separated."""
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    parents: Dict[Node, Optional[Node]] = {source: None}
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    queue: deque = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            path = [node]
+            while parents[path[-1]] is not None:
+                path.append(parents[path[-1]])
+            return list(reversed(path))
+        for neighbour in sorted(graph.neighbors(node), key=repr):
+            if neighbour not in parents:
+                parents[neighbour] = node
+                queue.append(neighbour)
+    return None
+
+
+def distance_matrix(graph: Graph) -> Dict[Node, Dict[Node, int]]:
+    """All-pairs hop distances (per component); absent pairs are unreachable."""
+    return {node: bfs_distances(graph, node) for node in graph.nodes()}

@@ -1,0 +1,61 @@
+"""Synchronous message-passing substrate.
+
+The paper's execution model as a reusable engine: round-based delivery,
+algorithm-agnostic node interface, replayable traces and optional fault
+injection.  Every synchronous algorithm in this reproduction (amnesiac
+flooding, the baselines, the variants) runs on this one engine.
+"""
+
+from repro.sync.engine import SynchronousEngine, default_round_budget, run_algorithm
+from repro.sync.faults import (
+    BernoulliLoss,
+    FaultModel,
+    FirstRoundsLoss,
+    NoFaults,
+    ScheduledCrashes,
+    TargetedEdgeLoss,
+)
+from repro.sync.message import FLOOD_PAYLOAD, Message, Send
+from repro.sync.node import (
+    NodeAlgorithm,
+    NodeContext,
+    StatelessAlgorithm,
+    send_to_all,
+    send_to_complement,
+)
+from repro.sync.observers import (
+    CollectingObserver,
+    InvariantObserver,
+    PrintingObserver,
+    ProgressObserver,
+    RoundObserver,
+    compose,
+)
+from repro.sync.trace import ExecutionTrace
+
+__all__ = [
+    "SynchronousEngine",
+    "default_round_budget",
+    "run_algorithm",
+    "BernoulliLoss",
+    "FaultModel",
+    "FirstRoundsLoss",
+    "NoFaults",
+    "ScheduledCrashes",
+    "TargetedEdgeLoss",
+    "FLOOD_PAYLOAD",
+    "Message",
+    "Send",
+    "NodeAlgorithm",
+    "NodeContext",
+    "StatelessAlgorithm",
+    "send_to_all",
+    "send_to_complement",
+    "CollectingObserver",
+    "InvariantObserver",
+    "PrintingObserver",
+    "ProgressObserver",
+    "RoundObserver",
+    "compose",
+    "ExecutionTrace",
+]

@@ -1,0 +1,230 @@
+"""The synchronous round engine.
+
+Implements the paper's execution model (Section 1.1): computation
+proceeds in synchronous rounds; in each round every node receives the
+messages sent to it in the previous round, does local computation, and
+sends messages to neighbours.  No messages are lost in transit (unless
+a fault model says otherwise).
+
+Round numbering follows the paper's figures: the initiator sends in
+round 1; messages sent in round ``r`` are processed by their receivers
+in round ``r + 1``; a run *terminates in round T* when messages are
+sent in round ``T`` but no messages are sent in round ``T + 1``.
+
+The engine is algorithm-agnostic: amnesiac flooding, the classic
+flooding baseline, BFS broadcast and all variants are
+:class:`~repro.sync.node.NodeAlgorithm` implementations run unchanged
+on this one engine, which keeps their comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, NonTerminationError
+from repro.graphs.graph import Graph, Node
+from repro.sync.faults import FaultModel, NoFaults
+from repro.sync.message import Message, Send
+from repro.sync.node import NodeAlgorithm, NodeContext
+from repro.sync.trace import ExecutionTrace
+
+
+def default_round_budget(graph: Graph) -> int:
+    """A round budget safely above every bound the paper proves.
+
+    Synchronous amnesiac flooding terminates within ``2D + 1`` rounds
+    (Theorems 3.1/3.3) and ``D < n``, so ``4n + 8`` rounds can only be
+    exhausted by a non-terminating (hence buggy, or deliberately
+    faulty/variant) execution.
+    """
+    return 4 * graph.num_nodes + 8
+
+
+class SynchronousEngine:
+    """Runs a :class:`NodeAlgorithm` on a topology and records a trace.
+
+    Parameters
+    ----------
+    graph:
+        The network topology.
+    algorithm:
+        Per-node behaviour.
+    faults:
+        Optional fault model; defaults to the paper's reliable network.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm: NodeAlgorithm,
+        faults: Optional[FaultModel] = None,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.faults: FaultModel = faults if faults is not None else NoFaults()
+        self._neighbor_cache: Dict[Node, Tuple[Node, ...]] = {
+            node: tuple(sorted(graph.neighbors(node), key=repr))
+            for node in graph.nodes()
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        initiators: Iterable[Node],
+        max_rounds: Optional[int] = None,
+        raise_on_budget: bool = False,
+        observer: Optional[object] = None,
+    ) -> ExecutionTrace:
+        """Execute until no messages are in flight or the budget is hit.
+
+        Parameters
+        ----------
+        initiators:
+            Nodes whose :meth:`~repro.sync.node.NodeAlgorithm.on_start`
+            runs in round 1.  The paper's process has a single
+            distinguished initiator; the multi-source extension passes a
+            set.
+        max_rounds:
+            Round budget; ``None`` selects :func:`default_round_budget`.
+        raise_on_budget:
+            If true, exhausting the budget with messages still in flight
+            raises :class:`NonTerminationError` instead of returning a
+            trace marked ``terminated=False``.
+        observer:
+            Optional :class:`~repro.sync.observers.RoundObserver`; its
+            ``on_round`` hook fires after every executed round with the
+            messages just sent.
+        """
+        initiator_list = self._validated_initiators(initiators)
+        budget = default_round_budget(self.graph) if max_rounds is None else max_rounds
+        if budget < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+        states = {
+            node: self.algorithm.initial_state(node, self.graph)
+            for node in self.graph.nodes()
+        }
+        trace = ExecutionTrace(graph=self.graph, initiators=tuple(initiator_list))
+
+        in_flight = self._start_round(initiator_list, states)
+        if in_flight:
+            trace.deliveries.append(tuple(in_flight))
+            if observer is not None:
+                observer.on_round(1, trace.deliveries[-1])
+
+        round_number = 2
+        while in_flight:
+            if round_number > budget:
+                trace.terminated = False
+                if raise_on_budget:
+                    raise NonTerminationError(budget)
+                return trace
+            in_flight = self._step(in_flight, states, round_number)
+            if in_flight:
+                trace.deliveries.append(tuple(in_flight))
+                if observer is not None:
+                    observer.on_round(round_number, trace.deliveries[-1])
+            round_number += 1
+        return trace
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validated_initiators(self, initiators: Iterable[Node]) -> List[Node]:
+        result: List[Node] = []
+        seen = set()
+        for node in initiators:
+            if not self.graph.has_node(node):
+                from repro.errors import NodeNotFoundError
+
+                raise NodeNotFoundError(node)
+            if node not in seen:
+                seen.add(node)
+                result.append(node)
+        if not result:
+            raise ConfigurationError("at least one initiator is required")
+        return result
+
+    def _context(self, node: Node, round_number: int) -> NodeContext:
+        return NodeContext(
+            node=node,
+            neighbors=self._neighbor_cache[node],
+            round_number=round_number,
+        )
+
+    def _emit(
+        self, node: Node, sends: Sequence[Send], round_number: int
+    ) -> List[Message]:
+        """Convert ``Send`` instructions into messages, enforcing the model.
+
+        Sends to non-neighbours are a programming error in the node
+        algorithm and raise immediately; duplicate sends to the same
+        target with the same payload collapse to one message (the model
+        delivers a single copy per edge direction per round).
+        """
+        neighbours = self.graph.neighbors(node)
+        messages: List[Message] = []
+        seen = set()
+        for send in sends:
+            if send.target not in neighbours:
+                raise ConfigurationError(
+                    f"node {node!r} attempted to send to non-neighbour "
+                    f"{send.target!r} in round {round_number}"
+                )
+            key = (send.target, send.payload)
+            if key in seen:
+                continue
+            seen.add(key)
+            message = Message(sender=node, receiver=send.target, payload=send.payload)
+            if self.faults.delivered(message, round_number):
+                messages.append(message)
+        return messages
+
+    def _start_round(
+        self, initiators: List[Node], states: Dict[Node, object]
+    ) -> List[Message]:
+        messages: List[Message] = []
+        for node in initiators:
+            if not self.faults.alive(node, 1):
+                continue
+            sends = self.algorithm.on_start(states[node], self._context(node, 1))
+            messages.extend(self._emit(node, sends, 1))
+        return messages
+
+    def _step(
+        self,
+        delivered: List[Message],
+        states: Dict[Node, object],
+        round_number: int,
+    ) -> List[Message]:
+        inboxes: Dict[Node, List[Message]] = defaultdict(list)
+        for message in delivered:
+            inboxes[message.receiver].append(message)
+
+        messages: List[Message] = []
+        for node in sorted(inboxes, key=repr):
+            if not self.faults.alive(node, round_number):
+                continue
+            sends = self.algorithm.on_receive(
+                states[node], inboxes[node], self._context(node, round_number)
+            )
+            messages.extend(self._emit(node, sends, round_number))
+        return messages
+
+
+def run_algorithm(
+    graph: Graph,
+    algorithm: NodeAlgorithm,
+    initiators: Iterable[Node],
+    max_rounds: Optional[int] = None,
+    faults: Optional[FaultModel] = None,
+    raise_on_budget: bool = False,
+) -> ExecutionTrace:
+    """One-shot convenience wrapper around :class:`SynchronousEngine`."""
+    engine = SynchronousEngine(graph, algorithm, faults=faults)
+    return engine.run(
+        initiators, max_rounds=max_rounds, raise_on_budget=raise_on_budget
+    )

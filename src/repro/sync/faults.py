@@ -1,0 +1,120 @@
+"""Fault-injection hooks for the synchronous engine.
+
+The paper's model is fault-free ("No messages are lost in transit"), so
+the default model is :class:`NoFaults`.  The fault models here support
+the robustness experiments in :mod:`repro.variants.lossy`: what happens
+to the termination guarantee when the model's assumptions are relaxed.
+
+A fault model may drop individual messages and may crash nodes.  A
+crashed node neither sends nor receives from its crash round onwards
+(crash-stop semantics).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Protocol, Set
+
+from repro.graphs.graph import Node
+from repro.sync.message import Message
+
+
+class FaultModel(Protocol):
+    """Decides which messages are delivered and which nodes are alive."""
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        """Whether ``message`` (sent in ``round_number``) reaches its target."""
+        ...
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        """Whether ``node`` participates in ``round_number``."""
+        ...
+
+
+class NoFaults:
+    """The paper's model: perfectly reliable network, no crashes."""
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        return True
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        return True
+
+
+class BernoulliLoss:
+    """Each message is independently lost with probability ``loss_rate``.
+
+    Randomness is owned by the model (seeded), so an engine run with a
+    given fault model instance is reproducible.
+    """
+
+    def __init__(self, loss_rate: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        return self._rng.random() >= self.loss_rate
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        return True
+
+
+class ScheduledCrashes:
+    """Crash-stop failures at scheduled rounds.
+
+    ``crash_rounds[node] = r`` makes ``node`` crash at the *start* of
+    round ``r``: it neither receives messages delivered in round ``r``
+    nor ever sends again.
+    """
+
+    def __init__(self, crash_rounds: Dict[Node, int]) -> None:
+        for node, round_number in crash_rounds.items():
+            if round_number < 1:
+                raise ValueError(f"crash round for {node!r} must be >= 1")
+        self.crash_rounds = dict(crash_rounds)
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        return True
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        crash = self.crash_rounds.get(node)
+        return crash is None or round_number < crash
+
+
+class TargetedEdgeLoss:
+    """Drop every message crossing the given undirected edges.
+
+    Deterministic; models a persistently faulty link.  Dropping an edge
+    entirely is equivalent to running on the graph without that edge,
+    which the tests exploit as a consistency check.
+    """
+
+    def __init__(self, edges: Iterable[tuple]) -> None:
+        self._edges: Set[frozenset] = {frozenset(edge) for edge in edges}
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        return frozenset((message.sender, message.receiver)) not in self._edges
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        return True
+
+
+class FirstRoundsLoss:
+    """Drop every message sent during the first ``rounds`` rounds.
+
+    Used to study whether a late-starting flood behaves like a fresh
+    flood (it does: amnesia means history does not matter).
+    """
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        self.rounds = rounds
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        return round_number > self.rounds
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        return True

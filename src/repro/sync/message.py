@@ -1,0 +1,53 @@
+"""Message types for the synchronous message-passing substrate.
+
+The paper's process floods a single opaque message ``M``; the substrate
+nevertheless carries arbitrary hashable payloads so that the baselines
+(BFS broadcast carries layer numbers) and the multi-message variant
+(several concurrent floods) can reuse the same engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.graphs.graph import Node
+
+#: The canonical payload flooded in the paper -- an arbitrary constant.
+FLOOD_PAYLOAD: str = "M"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message delivered at the start of a round.
+
+    Attributes
+    ----------
+    sender:
+        The node that sent the message in the previous round.
+    receiver:
+        The node the message is delivered to.
+    payload:
+        Opaque content; equality of payloads defines "the same message"
+        for the flooding rule.
+    """
+
+    sender: Node
+    receiver: Node
+    payload: Hashable = FLOOD_PAYLOAD
+
+    def reversed(self) -> "Message":
+        """The same payload travelling the opposite way (used in tests)."""
+        return Message(self.receiver, self.sender, self.payload)
+
+
+@dataclass(frozen=True)
+class Send:
+    """An instruction from a node algorithm: send ``payload`` to ``target``.
+
+    Node algorithms return ``Send`` instructions; the engine converts
+    them into :class:`Message` deliveries for the next round.
+    """
+
+    target: Node
+    payload: Hashable = FLOOD_PAYLOAD

@@ -1,0 +1,117 @@
+"""The node-algorithm interface of the synchronous substrate.
+
+A distributed algorithm is expressed as a :class:`NodeAlgorithm`: a
+factory for per-node state plus two handlers, one for initiators in
+round 1 and one for message receipt in later rounds.  The engine in
+:mod:`repro.sync.engine` owns the round structure; algorithms own only
+local behaviour, mirroring how one would write the pseudocode of the
+paper.
+
+State discipline
+----------------
+``initial_state`` may return any mutable object (or ``None``).  The
+engine passes the same object back on every activation of that node.
+Amnesiac flooding returns ``None`` -- it is precisely the algorithm
+with *no* persistent per-node state, which is the paper's point; the
+classic-flooding baseline returns a mutable flag holder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+from repro.graphs.graph import Graph, Node
+from repro.sync.message import Message, Send
+
+
+@dataclass
+class NodeContext:
+    """Read-only facts the engine exposes to a node during an activation.
+
+    Attributes
+    ----------
+    node:
+        The node being activated.
+    neighbors:
+        Its neighbour set in the topology (sorted tuple, deterministic).
+    round_number:
+        The current round, starting at 1.
+    """
+
+    node: Node
+    neighbors: Sequence[Node]
+    round_number: int
+
+
+class NodeAlgorithm(Protocol):
+    """Behaviour of one node in a synchronous round-based algorithm.
+
+    Implementations must be deterministic given their inputs (any
+    randomness must come through state seeded at construction) so that
+    traces are reproducible.
+    """
+
+    def initial_state(self, node: Node, graph: Graph) -> Any:
+        """Create per-node state before round 1 (``None`` for stateless)."""
+        ...
+
+    def on_start(self, state: Any, ctx: NodeContext) -> List[Send]:
+        """Round-1 behaviour of an *initiator* node.
+
+        Only nodes passed as initiators to the engine are started; all
+        other nodes stay silent until they receive a message.
+        """
+        ...
+
+    def on_receive(
+        self, state: Any, inbox: List[Message], ctx: NodeContext
+    ) -> List[Send]:
+        """Behaviour upon delivery of ``inbox`` at the start of a round.
+
+        Called only for nodes with a non-empty inbox.  Returns the sends
+        to perform this round (delivered to targets next round).
+        """
+        ...
+
+
+class StatelessAlgorithm:
+    """Convenience base for algorithms whose nodes keep no state.
+
+    Subclasses override :meth:`on_start` / :meth:`on_receive` only.
+    Amnesiac flooding derives from this -- the absence of state is the
+    property under study.
+    """
+
+    def initial_state(self, node: Node, graph: Graph) -> None:
+        return None
+
+    def on_start(self, state: None, ctx: NodeContext) -> List[Send]:
+        return []
+
+    def on_receive(
+        self, state: None, inbox: List[Message], ctx: NodeContext
+    ) -> List[Send]:
+        return []
+
+
+def send_to_all(ctx: NodeContext, payload: Any) -> List[Send]:
+    """Helper: a ``Send`` of ``payload`` to every neighbour."""
+    return [Send(neighbour, payload) for neighbour in ctx.neighbors]
+
+
+def send_to_complement(
+    ctx: NodeContext, received_from: Sequence[Node], payload: Any
+) -> List[Send]:
+    """Helper: send ``payload`` to all neighbours *not* in ``received_from``.
+
+    This is the heart of the amnesiac flooding rule (Definition 1.1):
+    forward to every neighbour except those the message just arrived
+    from.
+    """
+    exclude = set(received_from)
+    return [
+        Send(neighbour, payload)
+        for neighbour in ctx.neighbors
+        if neighbour not in exclude
+    ]

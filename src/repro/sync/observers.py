@@ -1,0 +1,103 @@
+"""Round observers: streaming instrumentation for engine runs.
+
+An observer receives a callback after every round with the messages
+that were just sent.  Observers let tooling watch a run *as it
+executes* -- progress displays, live ASCII rendering, invariant
+monitors that abort early -- without the engine knowing anything about
+them.
+
+Observers must not mutate what they are shown; the engine hands them
+the same tuples it stores in the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, TextIO, Tuple
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Node
+from repro.sync.message import Message
+
+
+class RoundObserver(Protocol):
+    """Receives each round's sent messages as the run progresses."""
+
+    def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+        """Called once per executed round, in order, messages as sent."""
+        ...
+
+
+@dataclass
+class CollectingObserver:
+    """Stores every callback; the simplest observer (used in tests)."""
+
+    rounds: List[Tuple[int, Tuple[Message, ...]]] = field(default_factory=list)
+
+    def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+        self.rounds.append((round_number, sent))
+
+
+class PrintingObserver:
+    """Streams one line per round to a text stream (default: stdout)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+
+    def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+        senders = sorted({str(m.sender) for m in sent})
+        self.stream.write(
+            f"round {round_number}: {len(sent)} message(s) from "
+            f"{{{', '.join(senders)}}}\n"
+        )
+
+
+class InvariantObserver:
+    """Checks a predicate each round and aborts the run on violation.
+
+    ``predicate(round_number, sent) -> bool``; a False return raises
+    :class:`SimulationError` from inside the engine loop, stopping the
+    run at the first bad round -- much easier to debug than a bad final
+    trace.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[int, Tuple[Message, ...]], bool],
+        description: str = "invariant",
+    ) -> None:
+        self.predicate = predicate
+        self.description = description
+
+    def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+        if not self.predicate(round_number, sent):
+            raise SimulationError(
+                f"{self.description} violated in round {round_number}"
+            )
+
+
+class ProgressObserver:
+    """Tracks a running summary cheaply (rounds, messages, peak load)."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.messages = 0
+        self.peak_round_load = 0
+
+    def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+        self.rounds = round_number
+        self.messages += len(sent)
+        self.peak_round_load = max(self.peak_round_load, len(sent))
+
+
+def compose(*observers: RoundObserver) -> RoundObserver:
+    """Fan one callback out to several observers, in order."""
+
+    class _Composite:
+        def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+            for observer in observers:
+                observer.on_round(round_number, sent)
+
+    return _Composite()

@@ -1,0 +1,164 @@
+"""Execution traces of synchronous runs.
+
+A trace records, for every round, the set of point-to-point messages
+delivered at the *start* of that round (equivalently: sent during the
+previous round).  All analysis -- termination rounds, round-sets R_i,
+message complexity, figure renderings -- is derived from traces, so a
+simulation result is a complete, replayable artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node
+from repro.sync.message import Message
+
+
+@dataclass
+class ExecutionTrace:
+    """The full history of a synchronous execution.
+
+    Attributes
+    ----------
+    graph:
+        Topology the run used.
+    initiators:
+        Nodes activated in round 1 (the paper's distinguished node, or a
+        set for the multi-source extension).
+    deliveries:
+        ``deliveries[i]`` is the tuple of messages delivered at the start
+        of round ``i + 1`` -- i.e. ``deliveries[0]`` is what initiators
+        sent in round 1, received by their neighbours in ... round 1's
+        "receive" phase of the next activation.  Round numbering follows
+        the paper: messages *sent in round r* appear in ``sent_in_round(r)``.
+    terminated:
+        Whether the run reached a round with no messages in flight
+        within its budget.
+    rounds_executed:
+        Number of rounds in which at least one message was sent.
+    """
+
+    graph: Graph
+    initiators: Tuple[Node, ...]
+    deliveries: List[Tuple[Message, ...]] = field(default_factory=list)
+    terminated: bool = True
+
+    # ------------------------------------------------------------------
+    # Round accessors (1-based, following the paper)
+    # ------------------------------------------------------------------
+
+    @property
+    def rounds_executed(self) -> int:
+        """Number of rounds in which at least one message was sent.
+
+        For a terminating run this equals the paper's termination round:
+        the process "terminates in round T" when messages are sent in
+        round T but not in round T + 1.
+        """
+        return len(self.deliveries)
+
+    @property
+    def termination_round(self) -> int:
+        """Alias for :attr:`rounds_executed` on terminated runs."""
+        return self.rounds_executed
+
+    def sent_in_round(self, round_number: int) -> Tuple[Message, ...]:
+        """Messages sent during round ``round_number`` (1-based)."""
+        if 1 <= round_number <= len(self.deliveries):
+            return self.deliveries[round_number - 1]
+        return ()
+
+    def senders_in_round(self, round_number: int) -> Set[Node]:
+        """Nodes that sent at least one message in the given round."""
+        return {m.sender for m in self.sent_in_round(round_number)}
+
+    def receivers_in_round(self, round_number: int) -> Set[Node]:
+        """Nodes that receive at least one message sent in the given round.
+
+        These are the paper's round-sets: ``R_i = receivers_in_round(i)``
+        for ``i >= 1`` and ``R_0 = set(initiators)``.
+        """
+        return {m.receiver for m in self.sent_in_round(round_number)}
+
+    def edges_used_in_round(self, round_number: int) -> Set[Edge]:
+        """Undirected edges carrying at least one message in the round."""
+        used: Set[Edge] = set()
+        for m in self.sent_in_round(round_number):
+            edge = (m.sender, m.receiver)
+            if (m.receiver, m.sender) in used:
+                continue
+            used.add(edge)
+        return used
+
+    # ------------------------------------------------------------------
+    # Whole-run summaries
+    # ------------------------------------------------------------------
+
+    def round_sets(self) -> List[Set[Node]]:
+        """The paper's round-set sequence ``[R_0, R_1, ..., R_T]``.
+
+        ``R_0`` is the initiator set; ``R_i`` for ``i >= 1`` is the set
+        of nodes receiving a message at round ``i``.
+        """
+        sets: List[Set[Node]] = [set(self.initiators)]
+        for round_number in range(1, self.rounds_executed + 1):
+            sets.append(self.receivers_in_round(round_number))
+        return sets
+
+    def total_messages(self) -> int:
+        """Total point-to-point messages sent over the whole run."""
+        return sum(len(batch) for batch in self.deliveries)
+
+    def receive_rounds(self) -> Dict[Node, Tuple[int, ...]]:
+        """For each node, the ascending rounds at which it received a message."""
+        rounds: Dict[Node, List[int]] = {node: [] for node in self.graph.nodes()}
+        for round_number in range(1, self.rounds_executed + 1):
+            for node in self.receivers_in_round(round_number):
+                rounds[node].append(round_number)
+        return {node: tuple(values) for node, values in rounds.items()}
+
+    def receive_counts(self) -> Dict[Node, int]:
+        """How many distinct rounds each node received a message in."""
+        return {
+            node: len(rounds) for node, rounds in self.receive_rounds().items()
+        }
+
+    def nodes_reached(self) -> Set[Node]:
+        """Nodes that held the message at any point (initiators included)."""
+        reached = set(self.initiators)
+        for batch in self.deliveries:
+            reached.update(m.receiver for m in batch)
+        return reached
+
+    def per_round_message_counts(self) -> List[int]:
+        """Messages sent in each round, round 1 first."""
+        return [len(batch) for batch in self.deliveries]
+
+    def assert_valid(self) -> None:
+        """Internal consistency checks (used by tests and the engine).
+
+        Verifies that every message travels along a real edge and that
+        no round batch contains duplicate (sender, receiver, payload)
+        triples -- the synchronous model delivers at most one copy per
+        edge direction per round.
+        """
+        for batch in self.deliveries:
+            seen = set()
+            for m in batch:
+                if not self.graph.has_edge(m.sender, m.receiver):
+                    raise AssertionError(
+                        f"message {m} does not follow an edge of the graph"
+                    )
+                key = (m.sender, m.receiver, m.payload)
+                if key in seen:
+                    raise AssertionError(f"duplicate message in round batch: {m}")
+                seen.add(key)
+
+    def __repr__(self) -> str:
+        status = "terminated" if self.terminated else "cut off"
+        return (
+            f"ExecutionTrace(rounds={self.rounds_executed}, "
+            f"messages={self.total_messages()}, {status})"
+        )

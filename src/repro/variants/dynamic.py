@@ -1,0 +1,191 @@
+"""Amnesiac flooding on dynamic (time-varying) graphs.
+
+The paper poses flooding through evolving networks as a natural setting
+(social feeds change between forwarding rounds).  This variant runs the
+amnesiac rule over a *schedule* of graphs: a message sent in round
+``r`` traverses an edge only if the edge exists in the round-``r``
+graph, and receivers forward over the round-``r+1`` topology.
+
+Termination is no longer guaranteed -- a periodically appearing edge
+can re-inject the message indefinitely -- so runs carry an explicit
+budget and report whether they terminated, and the experiments chart
+which dynamics preserve termination.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+
+
+class GraphSchedule(Protocol):
+    """A time-varying topology: one graph per round (1-based)."""
+
+    def graph_at(self, round_number: int) -> Graph:
+        """The topology in effect during ``round_number``."""
+        ...
+
+
+class StaticSchedule:
+    """A constant topology; dynamic flooding then equals static flooding."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def graph_at(self, round_number: int) -> Graph:
+        return self.graph
+
+
+class PeriodicSchedule:
+    """Cycle through a fixed list of graphs, one per round.
+
+    All graphs must share the same node set so that node identity is
+    stable across rounds.
+    """
+
+    def __init__(self, graphs: Sequence[Graph]) -> None:
+        if not graphs:
+            raise ConfigurationError("PeriodicSchedule needs at least one graph")
+        nodes = set(graphs[0].nodes())
+        for graph in graphs[1:]:
+            if set(graph.nodes()) != nodes:
+                raise ConfigurationError(
+                    "all graphs in a schedule must share one node set"
+                )
+        self.graphs = list(graphs)
+
+    def graph_at(self, round_number: int) -> Graph:
+        return self.graphs[(round_number - 1) % len(self.graphs)]
+
+
+class EdgeFlipSchedule:
+    """Seeded random dynamics: each round, flip a few random node pairs.
+
+    Starting from ``base``, each round flips ``flips_per_round``
+    uniformly random pairs (edge appears/disappears).  Deterministic per
+    seed, and rounds are materialised lazily then cached so repeated
+    queries agree.
+    """
+
+    def __init__(
+        self, base: Graph, flips_per_round: int, seed: Optional[int] = None
+    ) -> None:
+        if flips_per_round < 0:
+            raise ConfigurationError("flips_per_round must be >= 0")
+        self.base = base
+        self.flips_per_round = flips_per_round
+        self._rng = random.Random(seed)
+        self._cache: List[Graph] = [base]
+
+    def graph_at(self, round_number: int) -> Graph:
+        while len(self._cache) < round_number:
+            self._cache.append(self._flip(self._cache[-1]))
+        return self._cache[round_number - 1]
+
+    def _flip(self, graph: Graph) -> Graph:
+        nodes = list(graph.nodes())
+        if len(nodes) < 2:
+            return graph
+        current = graph
+        for _ in range(self.flips_per_round):
+            u, v = self._rng.sample(nodes, 2)
+            if current.has_edge(u, v):
+                current = current.without_edge(u, v)
+            else:
+                current = current.with_edge(u, v)
+        return current
+
+
+@dataclass
+class DynamicRun:
+    """Result of a dynamic amnesiac flood.
+
+    ``receive_rounds`` and counters mirror
+    :class:`repro.core.amnesiac.FloodingRun`; ``terminated`` may
+    genuinely be ``False`` here.
+    """
+
+    sources: Tuple[Node, ...]
+    terminated: bool
+    termination_round: int
+    total_messages: int
+    receive_rounds: Dict[Node, Tuple[int, ...]]
+    round_edge_counts: List[int] = field(default_factory=list)
+
+    def nodes_reached(self) -> Set[Node]:
+        reached = {n for n, rounds in self.receive_rounds.items() if rounds}
+        reached.update(self.sources)
+        return reached
+
+
+def simulate_dynamic(
+    schedule: GraphSchedule,
+    sources: Sequence[Node],
+    max_rounds: int = 200,
+) -> DynamicRun:
+    """Run the amnesiac rule over a graph schedule.
+
+    The complement rule uses the *current* round's topology: a receiver
+    forwards to its current neighbours minus this round's senders.
+    Messages whose edge vanished mid-flight (sent in round ``r`` over a
+    round-``r`` edge) are still delivered -- the edge existed when the
+    send happened; sends towards departed neighbours simply cannot be
+    expressed, matching a node that only knows its current neighbour
+    list.
+    """
+    if max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
+    first = schedule.graph_at(1)
+    for source in sources:
+        if not first.has_node(source):
+            raise NodeNotFoundError(source)
+
+    all_nodes = set(first.nodes())
+    receive_rounds: Dict[Node, List[int]] = {node: [] for node in all_nodes}
+    round_edge_counts: List[int] = []
+    total_messages = 0
+
+    frontier: Set[Tuple[Node, Node]] = {
+        (source, neighbour)
+        for source in dict.fromkeys(sources)
+        for neighbour in first.neighbors(source)
+    }
+    round_number = 1
+    terminated = True
+    while frontier:
+        if round_number > max_rounds:
+            terminated = False
+            break
+        round_edge_counts.append(len(frontier))
+        total_messages += len(frontier)
+        heard_from: Dict[Node, Set[Node]] = defaultdict(set)
+        for sender, receiver in frontier:
+            heard_from[receiver].add(sender)
+            rounds = receive_rounds[receiver]
+            if not rounds or rounds[-1] != round_number:
+                rounds.append(round_number)
+        next_graph = schedule.graph_at(round_number + 1)
+        frontier = {
+            (receiver, neighbour)
+            for receiver, senders in heard_from.items()
+            if next_graph.has_node(receiver)
+            for neighbour in next_graph.neighbors(receiver)
+            if neighbour not in senders
+        }
+        round_number += 1
+
+    return DynamicRun(
+        sources=tuple(dict.fromkeys(sources)),
+        terminated=terminated,
+        termination_round=len(round_edge_counts) if terminated else round_number - 1,
+        total_messages=total_messages,
+        receive_rounds={
+            node: tuple(rounds) for node, rounds in receive_rounds.items()
+        },
+        round_edge_counts=round_edge_counts,
+    )

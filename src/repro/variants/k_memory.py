@@ -1,0 +1,140 @@
+"""k-memory flooding: interpolating between amnesia and full memory.
+
+The paper motivates "designing amnesiac/low-memory algorithms".  This
+variant gives each node a sliding window of the last ``k`` rounds'
+sender sets and forwards to the complement of their union:
+
+* ``k = 0`` -- no memory at all, not even the current round: a node
+  forwards to *all* neighbours.  The message ping-pongs forever on any
+  graph with at least one edge; termination genuinely requires the one
+  round of memory AF has.
+* ``k = 1`` -- exactly amnesiac flooding (Definition 1.1): remember the
+  present round only.
+* ``k >= 2`` -- remembering slightly longer suppresses the odd-cycle
+  "echo": on the triangle, two rounds of memory already cut termination
+  from 3 rounds to 2.
+
+The EXT-KMEM benchmark sweeps ``k`` over odd cycles and cliques to
+chart the memory/time trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.sync.engine import run_algorithm
+from repro.sync.message import FLOOD_PAYLOAD, Message, Send
+from repro.sync.node import NodeContext, send_to_all
+from repro.sync.trace import ExecutionTrace
+
+
+@dataclass
+class SenderWindow:
+    """Sliding window of (round, senders) pairs, pruned to ``k`` rounds."""
+
+    history: List[Tuple[int, FrozenSet[Node]]] = field(default_factory=list)
+
+    def remember(self, round_number: int, senders: FrozenSet[Node], k: int) -> None:
+        """Record this round's senders and forget rounds older than ``k``."""
+        self.history.append((round_number, senders))
+        cutoff = round_number - k
+        self.history = [
+            (rnd, s) for rnd, s in self.history if rnd > cutoff
+        ]
+
+    def remembered_senders(self) -> FrozenSet[Node]:
+        """Union of every sender set still inside the window."""
+        combined: set = set()
+        for _, senders in self.history:
+            combined |= senders
+        return frozenset(combined)
+
+
+class KMemoryFlooding:
+    """Flooding that avoids every neighbour heard from in the last ``k`` rounds.
+
+    ``k = 1`` is amnesiac flooding; the equivalence is asserted by the
+    cross-implementation tests.
+    """
+
+    def __init__(self, k: int, payload: Hashable = FLOOD_PAYLOAD) -> None:
+        if k < 0:
+            raise ConfigurationError("k must be >= 0")
+        self.k = k
+        self.payload = payload
+
+    def initial_state(self, node: Node, graph: Graph) -> SenderWindow:
+        return SenderWindow()
+
+    def on_start(self, state: SenderWindow, ctx: NodeContext) -> List[Send]:
+        return send_to_all(ctx, self.payload)
+
+    def on_receive(
+        self, state: SenderWindow, inbox: List[Message], ctx: NodeContext
+    ) -> List[Send]:
+        senders = frozenset(
+            m.sender for m in inbox if m.payload == self.payload
+        )
+        if not senders:
+            return []
+        if self.k > 0:
+            state.remember(ctx.round_number, senders, self.k)
+            avoid = state.remembered_senders()
+        else:
+            avoid = frozenset()
+        return [
+            Send(neighbour, self.payload)
+            for neighbour in ctx.neighbors
+            if neighbour not in avoid
+        ]
+
+
+def k_memory_trace(
+    graph: Graph,
+    source: Node,
+    k: int,
+    max_rounds: Optional[int] = None,
+) -> ExecutionTrace:
+    """Run ``k``-memory flooding from ``source``.
+
+    For ``k = 0`` the run will exhaust its budget (non-termination is
+    the expected behaviour); the returned trace is marked
+    ``terminated=False`` rather than raising.
+    """
+    return run_algorithm(
+        graph, KMemoryFlooding(k), initiators=[source], max_rounds=max_rounds
+    )
+
+
+@dataclass(frozen=True)
+class MemorySweepPoint:
+    """One (k, termination) measurement of the memory/time trade-off."""
+
+    k: int
+    terminated: bool
+    rounds: int
+    messages: int
+
+
+def memory_sweep(
+    graph: Graph,
+    source: Node,
+    ks: List[int],
+    max_rounds: Optional[int] = None,
+) -> List[MemorySweepPoint]:
+    """Measure termination round and messages for each ``k`` in ``ks``."""
+    points: List[MemorySweepPoint] = []
+    for k in ks:
+        trace = k_memory_trace(graph, source, k, max_rounds=max_rounds)
+        points.append(
+            MemorySweepPoint(
+                k=k,
+                terminated=trace.terminated,
+                rounds=trace.termination_round,
+                messages=trace.total_messages(),
+            )
+        )
+    return points

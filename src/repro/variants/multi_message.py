@@ -1,0 +1,130 @@
+"""Concurrent amnesiac floods of distinct messages.
+
+Amnesiac flooding keeps no per-message state, so distinct messages
+cannot interfere: a node applies the complement rule to each payload
+independently.  Running ``j`` concurrent floods therefore behaves
+exactly like ``j`` separate runs superimposed -- an *independence
+invariant* this module makes testable (the WhatsApp-forwarder story of
+the introduction, with several rumors in flight at once).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, Node
+from repro.sync.engine import run_algorithm
+from repro.sync.message import Message, Send
+from repro.sync.node import NodeContext
+from repro.sync.trace import ExecutionTrace
+
+
+class MultiMessageFlooding:
+    """Amnesiac flooding applied per payload.
+
+    ``origins`` maps each payload to the set of nodes that inject it in
+    round 1.  On receipt, a node groups its inbox by payload and applies
+    the complement rule separately for each payload -- no cross-payload
+    state exists, because no state exists at all.
+    """
+
+    def __init__(self, origins: Mapping[Hashable, Sequence[Node]]) -> None:
+        if not origins:
+            raise ConfigurationError("at least one payload with origins is required")
+        self.origins: Dict[Hashable, Tuple[Node, ...]] = {
+            payload: tuple(dict.fromkeys(nodes))
+            for payload, nodes in origins.items()
+        }
+
+    def initial_state(self, node: Node, graph: Graph) -> None:
+        return None
+
+    def on_start(self, state: None, ctx: NodeContext) -> List[Send]:
+        sends: List[Send] = []
+        for payload, nodes in sorted(self.origins.items(), key=repr):
+            if ctx.node in nodes:
+                sends.extend(Send(n, payload) for n in ctx.neighbors)
+        return sends
+
+    def on_receive(
+        self, state: None, inbox: List[Message], ctx: NodeContext
+    ) -> List[Send]:
+        by_payload: Dict[Hashable, set] = defaultdict(set)
+        for message in inbox:
+            by_payload[message.payload].add(message.sender)
+        sends: List[Send] = []
+        for payload, senders in sorted(by_payload.items(), key=repr):
+            sends.extend(
+                Send(neighbour, payload)
+                for neighbour in ctx.neighbors
+                if neighbour not in senders
+            )
+        return sends
+
+
+def concurrent_floods(
+    graph: Graph,
+    origins: Mapping[Hashable, Sequence[Node]],
+    max_rounds: Optional[int] = None,
+) -> ExecutionTrace:
+    """Run all floods in ``origins`` concurrently on one engine."""
+    algorithm = MultiMessageFlooding(origins)
+    initiators: List[Node] = []
+    for nodes in origins.values():
+        for node in nodes:
+            if node not in initiators:
+                initiators.append(node)
+    return run_algorithm(
+        graph, algorithm, initiators=initiators, max_rounds=max_rounds
+    )
+
+
+def restrict_to_payload(
+    trace: ExecutionTrace, payload: Hashable
+) -> List[Tuple[Tuple[Node, Node], ...]]:
+    """Per-round directed (sender, receiver) pairs of one payload.
+
+    Returns a list over rounds; trailing all-empty rounds are trimmed so
+    the result can be compared with a standalone single-payload run.
+    """
+    per_round: List[Tuple[Tuple[Node, Node], ...]] = []
+    for round_number in range(1, trace.rounds_executed + 1):
+        pairs = tuple(
+            sorted(
+                (
+                    (m.sender, m.receiver)
+                    for m in trace.sent_in_round(round_number)
+                    if m.payload == payload
+                ),
+                key=repr,
+            )
+        )
+        per_round.append(pairs)
+    while per_round and not per_round[-1]:
+        per_round.pop()
+    return per_round
+
+
+def independence_holds(
+    graph: Graph,
+    origins: Mapping[Hashable, Sequence[Node]],
+    max_rounds: Optional[int] = None,
+) -> bool:
+    """Check the independence invariant on one instance.
+
+    The restriction of the concurrent run to each payload must equal
+    the standalone run of that payload's flood.
+    """
+    combined = concurrent_floods(graph, origins, max_rounds=max_rounds)
+    for payload, nodes in origins.items():
+        standalone = concurrent_floods(
+            graph, {payload: nodes}, max_rounds=max_rounds
+        )
+        if restrict_to_payload(combined, payload) != restrict_to_payload(
+            standalone, payload
+        ):
+            return False
+    return True

@@ -1,0 +1,135 @@
+"""Periodic re-injection: a source that keeps re-sending the message.
+
+The introduction's compulsive forwarder does not send once -- they send
+*every day*.  This variant lets the source re-initiate the flood every
+``period`` rounds while earlier waves are still in flight.  The
+combined state is still just a set of directed edges (amnesia means
+waves are indistinguishable and merge), so after the final injection
+the process is synchronous AF from whatever configuration the overlaps
+produced -- which :mod:`repro.core.initial_conditions` showed need not
+terminate in general.
+
+Empirical findings (tested in ``tests/variants/test_periodic.py``):
+
+* on every *symmetric* topology swept (paths, even and odd cycles,
+  cliques, wheels, Petersen) every injection schedule settles after the
+  final injection -- overlapping waves merge and still cancel;
+* but termination is **not** guaranteed in general: a sweep over random
+  connected graphs finds instances where a period-3 injection splices
+  the waves into a genuine limit cycle (period 4) -- the "daily sender"
+  floods those networks forever even after stopping.  Re-injection into
+  an in-flight flood therefore leaves the safe envelope of Theorem 3.1,
+  which only covers fresh source-style configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+from repro.core.amnesiac import step_frontier
+
+DirectedEdge = Tuple[Node, Node]
+
+
+@dataclass
+class PeriodicRun:
+    """Outcome of a periodic-injection flood.
+
+    ``terminates`` is decided exactly *after the final injection* by
+    configuration memoisation (deterministic dynamics, finite space);
+    ``rounds_after_last_injection`` is the settle time (or the step at
+    which the orbit provably cycles, for non-terminating runs).
+    """
+
+    source: Node
+    period: int
+    injections: int
+    terminates: bool
+    total_rounds: int
+    rounds_after_last_injection: int
+    total_messages: int
+    limit_cycle_length: Optional[int]
+
+
+def periodic_injection_flood(
+    graph: Graph,
+    source: Node,
+    period: int,
+    injections: int,
+) -> PeriodicRun:
+    """Flood with the source re-sending every ``period`` rounds.
+
+    Injection ``i`` happens at round ``1 + i * period``: the source's
+    out-edges are unioned into the current frontier.  After the last
+    injection the run is evolved to an exact verdict (empty
+    configuration, or a repeated one).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if period < 1:
+        raise ConfigurationError("period must be >= 1")
+    if injections < 1:
+        raise ConfigurationError("injections must be >= 1")
+
+    source_edges: Set[DirectedEdge] = {
+        (source, neighbour) for neighbour in graph.neighbors(source)
+    }
+    frontier: Set[DirectedEdge] = set()
+    total_messages = 0
+    round_number = 0
+
+    injection_rounds = [1 + i * period for i in range(injections)]
+    for target_round in injection_rounds:
+        while round_number + 1 < target_round:
+            round_number += 1
+            total_messages += len(frontier)
+            frontier = step_frontier(graph, frontier)
+        round_number += 1
+        frontier |= source_edges
+        total_messages += len(frontier)
+        frontier = step_frontier(graph, frontier)
+
+    # After the final injection: exact decision by memoisation.
+    seen: Dict[FrozenSet[DirectedEdge], int] = {frozenset(frontier): 0}
+    settle = 0
+    cycle_length: Optional[int] = None
+    terminates = True
+    while frontier:
+        total_messages += len(frontier)
+        frontier = step_frontier(graph, frontier)
+        settle += 1
+        key = frozenset(frontier)
+        if key in seen:
+            terminates = False
+            cycle_length = settle - seen[key]
+            break
+        seen[key] = settle
+
+    return PeriodicRun(
+        source=source,
+        period=period,
+        injections=injections,
+        terminates=terminates,
+        total_rounds=round_number + settle,
+        rounds_after_last_injection=settle,
+        total_messages=total_messages,
+        limit_cycle_length=cycle_length,
+    )
+
+
+def injection_phase_diagram(
+    graph: Graph,
+    source: Node,
+    periods: List[int],
+    injections: int = 3,
+) -> Dict[int, bool]:
+    """Termination verdict per injection period (the phase diagram)."""
+    return {
+        period: periodic_injection_flood(
+            graph, source, period, injections
+        ).terminates
+        for period in periods
+    }

@@ -1,0 +1,157 @@
+"""Probabilistic amnesiac flooding: forward each copy with probability q.
+
+The paper motivates analysing "natural flooding processes" (epidemics,
+social cascades), which are rarely deterministic.  This variant keeps
+the amnesiac complement rule but forwards each would-be copy
+independently with probability ``q``:
+
+* ``q = 1`` is the paper's process;
+* ``q < 1`` behaves like AF under message loss *at the sender* -- the
+  same supercritical/subcritical branching dichotomy appears: sparse
+  graphs always terminate, dense graphs self-sustain for moderate
+  ``q`` below 1;
+* coverage (fraction of nodes ever reached) degrades smoothly with
+  ``q``, mapping the reliability/overhead trade-off of gossip-style
+  protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass
+class ProbabilisticRun:
+    """Outcome of one probabilistic flood.
+
+    Mirrors :class:`repro.core.amnesiac.FloodingRun` where meaningful;
+    ``terminated`` can genuinely be ``False`` here.
+    """
+
+    source: Node
+    forward_probability: float
+    terminated: bool
+    termination_round: int
+    total_messages: int
+    nodes_reached: Set[Node]
+
+    def coverage(self, component_size: int) -> float:
+        """Fraction of the component that ever held the message."""
+        return len(self.nodes_reached) / component_size if component_size else 1.0
+
+
+def probabilistic_flood(
+    graph: Graph,
+    source: Node,
+    forward_probability: float,
+    seed: Optional[int] = None,
+    max_rounds: int = 400,
+) -> ProbabilisticRun:
+    """One probabilistic amnesiac flood from ``source``.
+
+    Round 1 sends to every neighbour with probability ``q`` each; later
+    rounds apply the complement rule and then thin the forwards by
+    ``q``.  Deterministic per seed.
+    """
+    if not 0.0 <= forward_probability <= 1.0:
+        raise ConfigurationError("forward_probability must be within [0, 1]")
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
+    rng = random.Random(seed)
+
+    def thin(candidates: List[Tuple[Node, Node]]) -> Set[Tuple[Node, Node]]:
+        return {
+            pair for pair in candidates if rng.random() < forward_probability
+        }
+
+    frontier = thin([(source, n) for n in sorted(graph.neighbors(source), key=repr)])
+    reached: Set[Node] = {source}
+    total_messages = 0
+    round_number = 0
+    terminated = True
+
+    while frontier:
+        round_number += 1
+        if round_number > max_rounds:
+            terminated = False
+            round_number -= 1
+            break
+        total_messages += len(frontier)
+        heard_from: Dict[Node, Set[Node]] = {}
+        for sender, receiver in frontier:
+            heard_from.setdefault(receiver, set()).add(sender)
+            reached.add(receiver)
+        candidates: List[Tuple[Node, Node]] = []
+        for receiver in sorted(heard_from, key=repr):
+            senders = heard_from[receiver]
+            for neighbour in sorted(graph.neighbors(receiver), key=repr):
+                if neighbour not in senders:
+                    candidates.append((receiver, neighbour))
+        frontier = thin(candidates)
+
+    return ProbabilisticRun(
+        source=source,
+        forward_probability=forward_probability,
+        terminated=terminated,
+        termination_round=round_number,
+        total_messages=total_messages,
+        nodes_reached=reached,
+    )
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """Aggregate of repeated probabilistic floods at one ``q``."""
+
+    forward_probability: float
+    trials: int
+    termination_rate: float
+    mean_coverage: float
+    mean_messages: float
+
+
+def coverage_curve(
+    graph: Graph,
+    source: Node,
+    probabilities: List[float],
+    trials: int,
+    seed: Optional[int] = None,
+    max_rounds: int = 400,
+) -> List[CoveragePoint]:
+    """Coverage/termination statistics across forwarding probabilities."""
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    from repro.graphs.traversal import bfs_distances
+
+    component = len(bfs_distances(graph, source))
+    rng = random.Random(seed)
+    points: List[CoveragePoint] = []
+    for q in probabilities:
+        terminated = 0
+        coverage_total = 0.0
+        message_total = 0.0
+        for _ in range(trials):
+            run = probabilistic_flood(
+                graph, source, q, seed=rng.randrange(2**31), max_rounds=max_rounds
+            )
+            if run.terminated:
+                terminated += 1
+            coverage_total += run.coverage(component)
+            message_total += run.total_messages
+        points.append(
+            CoveragePoint(
+                forward_probability=q,
+                trials=trials,
+                termination_rate=terminated / trials,
+                mean_coverage=coverage_total / trials,
+                mean_messages=message_total / trials,
+            )
+        )
+    return points

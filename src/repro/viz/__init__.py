@@ -1,0 +1,51 @@
+"""Textual visualisation of flooding runs.
+
+* :mod:`~repro.viz.ascii_art` -- per-round ASCII drawings in the
+  paper's circled-sender convention (paths, cycles, triangle).
+* :mod:`~repro.viz.timeline` -- sender/receiver tables for arbitrary
+  topologies.
+* :mod:`~repro.viz.dot_export` -- GraphViz DOT snapshots per round.
+"""
+
+from repro.viz.ascii_art import (
+    cycle_order,
+    path_order,
+    render_cycle_round,
+    render_path_round,
+    render_run,
+)
+from repro.viz.charts import (
+    bar_chart,
+    line_chart,
+    profile_chart,
+    series_table,
+    sparkline,
+)
+from repro.viz.dot_export import round_to_dot, run_to_dot_sequence
+from repro.viz.live import watch_flood
+from repro.viz.timeline import (
+    message_flow_table,
+    receive_timeline,
+    run_summary_line,
+    sender_table,
+)
+
+__all__ = [
+    "cycle_order",
+    "path_order",
+    "render_cycle_round",
+    "render_path_round",
+    "render_run",
+    "bar_chart",
+    "line_chart",
+    "profile_chart",
+    "series_table",
+    "sparkline",
+    "round_to_dot",
+    "run_to_dot_sequence",
+    "watch_flood",
+    "message_flow_table",
+    "receive_timeline",
+    "run_summary_line",
+    "sender_table",
+]

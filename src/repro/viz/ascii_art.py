@@ -1,0 +1,132 @@
+"""ASCII renderings of the paper's figure topologies, round by round.
+
+Recreates the look of Figures 1-3 and 5 in plain text: the topology is
+drawn once per round with the currently *sending* nodes circled
+(``(b)``) and idle nodes bare (`` b ``), which is exactly the paper's
+visual convention ("Circled nodes are sending M in that round").
+
+Layouts are provided for the figure families (paths, cycles, triangle);
+arbitrary graphs fall back to the timeline tables of
+:mod:`repro.viz.timeline`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.core.amnesiac import FloodingRun
+from repro.graphs.graph import Graph, Node
+from repro.graphs.properties import is_cycle_graph
+from repro.sync.trace import ExecutionTrace
+
+Run = Union[FloodingRun, ExecutionTrace]
+
+
+def _senders_by_round(run: Run) -> List[Set[Node]]:
+    if isinstance(run, FloodingRun):
+        return [set(s) for s in run.sender_sets]
+    return [
+        run.senders_in_round(r) for r in range(1, run.rounds_executed + 1)
+    ]
+
+
+def _mark(node: Node, senders: Set[Node]) -> str:
+    text = str(node)
+    return f"({text})" if node in senders else f" {text} "
+
+
+def render_path_round(order: Sequence[Node], senders: Set[Node]) -> str:
+    """One round of a path graph: ``a --- (b) --- c --- d`` style."""
+    return " --- ".join(_mark(node, senders).strip() for node in order)
+
+
+def render_cycle_round(order: Sequence[Node], senders: Set[Node]) -> str:
+    """One round of a cycle laid out on two text rows.
+
+    The cycle ``v0 v1 ... v_{n-1}`` is split into a top row (first
+    half, left to right) and bottom row (second half, right to left),
+    with the wraparound edges implied by the row ends.
+    """
+    half = (len(order) + 1) // 2
+    top = [order[i] for i in range(half)]
+    bottom = [order[i] for i in range(len(order) - 1, half - 1, -1)]
+    top_text = " - ".join(_mark(n, senders) for n in top)
+    bottom_text = " - ".join(_mark(n, senders) for n in bottom)
+    return top_text + "\n" + bottom_text
+
+
+def path_order(graph: Graph) -> List[Node]:
+    """Endpoint-to-endpoint node order of a path graph."""
+    endpoints = [n for n in graph.nodes() if graph.degree(n) == 1]
+    if len(endpoints) != 2 or not _is_path(graph):
+        raise ValueError("graph is not a path")
+    order = [min(endpoints, key=repr)]
+    previous = None
+    while len(order) < graph.num_nodes:
+        current = order[-1]
+        nxt = [n for n in graph.neighbors(current) if n != previous]
+        previous = current
+        order.append(nxt[0])
+    return order
+
+
+def cycle_order(graph: Graph) -> List[Node]:
+    """Cyclic node order of a cycle graph, anchored deterministically."""
+    if not is_cycle_graph(graph):
+        raise ValueError("graph is not a simple cycle")
+    start = min(graph.nodes(), key=repr)
+    order = [start]
+    previous = None
+    while len(order) < graph.num_nodes:
+        current = order[-1]
+        nxt = sorted(
+            (n for n in graph.neighbors(current) if n != previous), key=repr
+        )
+        previous = current
+        order.append(nxt[0])
+    return order
+
+
+def _is_path(graph: Graph) -> bool:
+    degrees = sorted(graph.degree(n) for n in graph.nodes())
+    return (
+        graph.num_nodes >= 2
+        and graph.num_edges == graph.num_nodes - 1
+        and degrees[-1] <= 2
+    )
+
+
+def render_run(graph: Graph, run: Run, title: str = "") -> str:
+    """Full per-round ASCII animation of a run on a path or cycle.
+
+    Falls back to the sender table for other topologies, so callers can
+    use it unconditionally.
+    """
+    from repro.viz.timeline import sender_table
+
+    senders_per_round = _senders_by_round(run)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if _is_path(graph):
+        order = path_order(graph)
+        for index, senders in enumerate(senders_per_round, start=1):
+            lines.append(f"round {index}:")
+            lines.append("  " + " --- ".join(_mark(n, senders) for n in order))
+    elif is_cycle_graph(graph):
+        order = cycle_order(graph)
+        for index, senders in enumerate(senders_per_round, start=1):
+            lines.append(f"round {index}:")
+            for row in render_cycle_round(order, senders).splitlines():
+                lines.append("  " + row)
+    else:
+        lines.append(sender_table(run))
+        return "\n".join(lines)
+    lines.append(
+        f"terminated after round {run.termination_round}"
+        if run.terminated
+        else "cut off before termination"
+    )
+    return "\n".join(lines)

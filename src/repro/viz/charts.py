@@ -1,0 +1,116 @@
+"""ASCII charts for round profiles and survey curves.
+
+Terminal-grade plotting for the quantities the experiments produce:
+per-round message loads (the flood's "heartbeat"), termination-time
+curves over a parameter sweep, and comparison bars.  No plotting
+dependency -- output is plain text suitable for logs and CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Eight block glyphs, shortest to tallest, for compact sparklines.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline: per-value height via block glyphs.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    if not values:
+        return ""
+    lowest = min(values)
+    highest = max(values)
+    span = highest - lowest
+    if span == 0:
+        return SPARK_GLYPHS[0] * len(values)
+    glyphs = []
+    for value in values:
+        index = int((value - lowest) / span * (len(SPARK_GLYPHS) - 1))
+        glyphs.append(SPARK_GLYPHS[index])
+    return "".join(glyphs)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal labelled bar chart, one row per key (insertion order)."""
+    if not data:
+        return "(no data)"
+    peak = max(data.values())
+    label_width = max(len(str(key)) for key in data)
+    lines = []
+    for key, value in data.items():
+        length = 0 if peak == 0 else max(1 if value > 0 else 0, round(width * value / peak))
+        suffix = f" {value:g}{(' ' + unit) if unit else ''}"
+        lines.append(f"{str(key):<{label_width}} | {'█' * length}{suffix}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    values: Sequence[float],
+    height: int = 8,
+    x_label: str = "round",
+    y_label: str = "value",
+) -> str:
+    """A block-character line chart of a series (index = x).
+
+    Rows are printed top-down; each column's filled height is
+    proportional to its value.  Designed for round profiles of a few
+    dozen rounds.
+    """
+    if height < 1:
+        raise ConfigurationError("height must be >= 1")
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    if peak == 0:
+        peak = 1.0
+    columns = [round(v / peak * height) for v in values]
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        row = "".join("█" if column >= level else " " for column in columns)
+        rows.append(f"{'':>2}|{row}")
+    rows.append("  +" + "-" * len(values))
+    rows.append(f"   {x_label} 1..{len(values)}  ({y_label}: max {max(values):g})")
+    return "\n".join(rows)
+
+
+def profile_chart(graph, source) -> str:
+    """The per-round message-load curve of one flood, charted.
+
+    Non-bipartite graphs show the echo keeping the line busy past the
+    BFS depth; bipartite ones fall to zero at ``e(source)``.
+    """
+    from repro.analysis.wavefront import frontier_profile
+
+    profile = frontier_profile(graph, source)
+    if not profile:
+        return "(no messages were ever sent)"
+    header = f"messages per round from {source!r}: {sparkline(profile)}"
+    return header + "\n" + line_chart(profile, y_label="edges carrying M")
+
+
+def series_table(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    x_name: str = "x",
+) -> str:
+    """Tabulate several named series over shared x values, with sparklines."""
+    lengths = {len(values) for values in series.values()}
+    if lengths and lengths != {len(x_values)}:
+        raise ConfigurationError("all series must match the x values in length")
+    name_width = max((len(name) for name in series), default=4)
+    lines = [f"{x_name}: {list(x_values)}"]
+    for name, values in series.items():
+        lines.append(
+            f"{name:<{name_width}} {sparkline(values)} {[round(v, 2) for v in values]}"
+        )
+    return "\n".join(lines)

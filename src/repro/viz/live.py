@@ -1,0 +1,88 @@
+"""Live rendering: watch a flood execute round by round.
+
+Couples the engine's observer hook to the ASCII renderers so a run can
+be *watched* rather than post-processed -- handy in teaching demos and
+when debugging a new variant's first divergence.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, TextIO, Tuple
+
+from repro.graphs.graph import Graph, Node
+from repro.core.amnesiac import AmnesiacFlooding
+from repro.sync.engine import SynchronousEngine
+from repro.sync.message import Message
+from repro.sync.node import NodeAlgorithm
+from repro.sync.trace import ExecutionTrace
+
+
+class _LiveRenderer:
+    """Observer that draws each round as it happens."""
+
+    def __init__(self, graph: Graph, stream: TextIO) -> None:
+        self.graph = graph
+        self.stream = stream
+        self._layout = self._pick_layout()
+
+    def _pick_layout(self) -> str:
+        from repro.graphs.properties import is_cycle_graph
+        from repro.viz.ascii_art import _is_path
+
+        if _is_path(self.graph):
+            return "path"
+        if is_cycle_graph(self.graph):
+            return "cycle"
+        return "table"
+
+    def on_round(self, round_number: int, sent: Tuple[Message, ...]) -> None:
+        senders = {m.sender for m in sent}
+        self.stream.write(f"round {round_number}:\n")
+        if self._layout == "path":
+            from repro.viz.ascii_art import _mark, path_order
+
+            order = path_order(self.graph)
+            self.stream.write(
+                "  " + " --- ".join(_mark(n, senders) for n in order) + "\n"
+            )
+        elif self._layout == "cycle":
+            from repro.viz.ascii_art import cycle_order, render_cycle_round
+
+            order = cycle_order(self.graph)
+            for row in render_cycle_round(order, senders).splitlines():
+                self.stream.write("  " + row + "\n")
+        else:
+            arrows = ", ".join(
+                f"{m.sender}->{m.receiver}"
+                for m in sorted(sent, key=lambda m: (repr(m.sender), repr(m.receiver)))
+            )
+            self.stream.write(f"  {arrows}\n")
+
+
+def watch_flood(
+    graph: Graph,
+    source: Node,
+    stream: Optional[TextIO] = None,
+    algorithm: Optional[NodeAlgorithm] = None,
+    max_rounds: Optional[int] = None,
+) -> ExecutionTrace:
+    """Run a flood, drawing every round to ``stream`` as it executes.
+
+    Defaults to amnesiac flooding; pass any
+    :class:`~repro.sync.node.NodeAlgorithm` to watch a variant instead.
+    Returns the completed trace.
+    """
+    out = stream if stream is not None else sys.stdout
+    engine = SynchronousEngine(
+        graph, algorithm if algorithm is not None else AmnesiacFlooding()
+    )
+    renderer = _LiveRenderer(graph, out)
+    trace = engine.run([source], max_rounds=max_rounds, observer=renderer)
+    verdict = (
+        f"terminated after round {trace.termination_round}"
+        if trace.terminated
+        else f"cut off after round {trace.rounds_executed}"
+    )
+    out.write(verdict + "\n")
+    return trace

@@ -1,0 +1,87 @@
+"""Round timeline tables: textual equivalents of the paper's figures.
+
+The paper's figures show, per round, which nodes are "circled"
+(sending).  These renderers produce the same information as fixed-width
+text: a per-round table of senders, receivers and edges carrying ``M``,
+plus per-node receive timelines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.amnesiac import FloodingRun
+from repro.graphs.graph import Node
+from repro.sync.trace import ExecutionTrace
+
+Run = Union[FloodingRun, ExecutionTrace]
+
+
+def _fmt_nodes(nodes: Sequence[Node]) -> str:
+    return "{" + ", ".join(str(n) for n in sorted(nodes, key=repr)) + "}"
+
+
+def sender_table(run: Run) -> str:
+    """Round-by-round sender sets ("circled nodes"), one line per round."""
+    lines = ["round | sending nodes"]
+    lines.append("------+---------------")
+    if isinstance(run, FloodingRun):
+        per_round = [sorted(s, key=repr) for s in run.sender_sets]
+    else:
+        per_round = [
+            sorted(run.senders_in_round(r), key=repr)
+            for r in range(1, run.rounds_executed + 1)
+        ]
+    for index, senders in enumerate(per_round, start=1):
+        lines.append(f"{index:>5} | {_fmt_nodes(senders)}")
+    if not per_round:
+        lines.append("    - | (no messages ever sent)")
+    return "\n".join(lines)
+
+
+def receive_timeline(run: Run) -> str:
+    """Per-node receive rounds, one line per node."""
+    if isinstance(run, FloodingRun):
+        rounds = run.receive_rounds
+    else:
+        rounds = run.receive_rounds()
+    width = max((len(str(node)) for node in rounds), default=4)
+    lines = [f"{'node':<{width}} | received in rounds"]
+    lines.append("-" * (width + 1) + "+" + "-" * 20)
+    for node in sorted(rounds, key=repr):
+        values = rounds[node]
+        display = ", ".join(str(r) for r in values) if values else "(never)"
+        lines.append(f"{str(node):<{width}} | {display}")
+    return "\n".join(lines)
+
+
+def message_flow_table(trace: ExecutionTrace) -> str:
+    """Directed messages per round (engine traces only)."""
+    lines = ["round | messages"]
+    lines.append("------+-----------------------------")
+    for round_number in range(1, trace.rounds_executed + 1):
+        arrows = ", ".join(
+            f"{m.sender}->{m.receiver}"
+            for m in sorted(
+                trace.sent_in_round(round_number),
+                key=lambda m: (repr(m.sender), repr(m.receiver)),
+            )
+        )
+        lines.append(f"{round_number:>5} | {arrows}")
+    return "\n".join(lines)
+
+
+def run_summary_line(run: Run, label: str = "") -> str:
+    """One-line run summary for report listings."""
+    if isinstance(run, FloodingRun):
+        messages = run.total_messages
+        terminated = run.terminated
+    else:
+        messages = run.total_messages()
+        terminated = run.terminated
+    status = "terminated" if terminated else "CUT OFF"
+    prefix = f"{label}: " if label else ""
+    return (
+        f"{prefix}{status} in round {run.termination_round} "
+        f"({messages} messages)"
+    )

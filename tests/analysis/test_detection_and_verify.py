@@ -1,0 +1,125 @@
+"""Unit tests for bipartiteness detection and cross-validation."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    odd_girth,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.analysis import (
+    check_engine_against_simulator,
+    check_run_against_oracle,
+    check_theorem_structure,
+    detect_at_source,
+    detect_by_receipt_counts,
+    detect_by_termination_time,
+    full_cross_check,
+    odd_girth_estimate_from_echo,
+    odd_girth_via_flooding,
+)
+
+DETECTORS = [
+    detect_by_receipt_counts,
+    detect_by_termination_time,
+    detect_at_source,
+]
+
+INSTANCES = [
+    ("p6", path_graph(6), 0),
+    ("c8", cycle_graph(8), 3),
+    ("grid", grid_graph(3, 4), (1, 2)),
+    ("star", star_graph(5), 2),
+    ("c5", cycle_graph(5), 0),
+    ("k5", complete_graph(5), 4),
+    ("petersen", petersen_graph(), 7),
+    ("wheel", wheel_graph(6), 0),
+    ("triangle", paper_triangle(), "a"),
+]
+
+
+class TestDetectors:
+    @pytest.mark.parametrize("detector", DETECTORS, ids=lambda d: d.__name__)
+    @pytest.mark.parametrize(
+        "label,graph,source", INSTANCES, ids=[i[0] for i in INSTANCES]
+    )
+    def test_detector_correct(self, detector, label, graph, source):
+        result = detector(graph, source)
+        assert result.correct, result
+
+    def test_detectors_agree_with_each_other(self):
+        for label, graph, source in INSTANCES:
+            verdicts = {d(graph, source).bipartite for d in DETECTORS}
+            assert len(verdicts) == 1, f"detectors disagree on {label}"
+
+    def test_disconnected_rejected(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[9])
+        with pytest.raises(DisconnectedGraphError):
+            detect_by_receipt_counts(graph, 0)
+
+    def test_detection_result_fields(self):
+        result = detect_at_source(paper_triangle(), "b")
+        assert result.method == "source-echo"
+        assert not result.bipartite
+        assert result.rounds == 3
+
+
+class TestOddGirthViaFlooding:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_odd_cycles_exact(self, n):
+        graph = cycle_graph(n)
+        assert odd_girth_via_flooding(graph) == n
+
+    def test_matches_bfs_computation(self):
+        for graph in (petersen_graph(), wheel_graph(7), complete_graph(5)):
+            assert odd_girth_via_flooding(graph) == odd_girth(graph)
+
+    def test_bipartite_none(self):
+        assert odd_girth_via_flooding(grid_graph(3, 3)) is None
+
+    def test_echo_estimate_upper_bounds(self):
+        graph = petersen_graph()
+        for source in graph.nodes():
+            estimate = odd_girth_estimate_from_echo(graph, source)
+            assert estimate is not None
+            assert estimate >= odd_girth(graph)
+
+    def test_echo_none_on_bipartite(self):
+        assert odd_girth_estimate_from_echo(path_graph(5), 0) is None
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize(
+        "label,graph,source", INSTANCES, ids=[i[0] for i in INSTANCES]
+    )
+    def test_oracle_agreement(self, label, graph, source):
+        report = check_run_against_oracle(graph, [source])
+        assert report.ok, report.failures
+
+    @pytest.mark.parametrize(
+        "label,graph,source", INSTANCES[:5], ids=[i[0] for i in INSTANCES[:5]]
+    )
+    def test_engine_agreement(self, label, graph, source):
+        report = check_engine_against_simulator(graph, [source])
+        assert report.ok, report.failures
+
+    def test_theorem_structure(self):
+        report = check_theorem_structure(petersen_graph(), [0])
+        assert report.ok
+
+    def test_full_cross_check(self):
+        report = full_cross_check(cycle_graph(7), [2])
+        assert report.ok
+        assert report.failures == []
+
+    def test_multi_source_cross_check(self):
+        report = full_cross_check(cycle_graph(8), [0, 3])
+        assert report.ok

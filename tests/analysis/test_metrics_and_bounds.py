@@ -1,0 +1,111 @@
+"""Unit tests for the analysis metric bundles and bound sweeps."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+)
+from repro.analysis import (
+    check_corollary_2_2,
+    check_lemma_2_1,
+    check_theorem_3_1,
+    check_theorem_3_3,
+    evidence_summary,
+    flood_metrics,
+    metrics_for_all_sources,
+    round_profile,
+    worst_case_rounds,
+)
+
+
+class TestFloodMetrics:
+    def test_bipartite_metrics(self):
+        metrics = flood_metrics(path_graph(5), 0)
+        assert metrics.rounds == 4
+        assert metrics.eccentricity == 4
+        assert metrics.diameter == 4
+        assert metrics.bipartite
+        assert metrics.max_receipts == 1
+        assert metrics.coverage == 1.0
+        assert metrics.slack_vs_eccentricity == 0
+        assert metrics.slack_vs_diameter == 0
+
+    def test_nonbipartite_metrics(self):
+        metrics = flood_metrics(paper_triangle(), "b")
+        assert metrics.rounds == 3
+        assert metrics.max_receipts == 2
+        assert metrics.slack_vs_diameter == 2
+
+    def test_all_sources(self):
+        all_metrics = metrics_for_all_sources(cycle_graph(5))
+        assert len(all_metrics) == 5
+        assert all(m.rounds == 5 for m in all_metrics)
+
+    def test_worst_case_and_profile(self):
+        graph = path_graph(5)
+        profile = round_profile(graph)
+        assert profile[0] == 4
+        assert profile[2] == 2
+        assert worst_case_rounds(graph) == 4
+
+
+class TestBoundSweeps:
+    def test_lemma_2_1_on_bipartite(self):
+        suite = [("p6", path_graph(6)), ("c8", cycle_graph(8))]
+        evidence = check_lemma_2_1(suite)
+        assert evidence
+        assert all(e.holds for e in evidence)
+
+    def test_lemma_2_1_skips_nonbipartite(self):
+        suite = [("c5", cycle_graph(5))]
+        assert check_lemma_2_1(suite) == []
+
+    def test_corollary_2_2(self):
+        suite = [("p6", path_graph(6)), ("c8", cycle_graph(8))]
+        evidence = check_corollary_2_2(suite)
+        assert all(e.holds and e.rounds <= e.diameter for e in evidence)
+
+    def test_theorem_3_1_mixed(self):
+        suite = [
+            ("p4", path_graph(4)),
+            ("c5", cycle_graph(5)),
+            ("k4", complete_graph(4)),
+        ]
+        evidence = check_theorem_3_1(suite)
+        assert len(evidence) == 4 + 5 + 4
+        assert all(e.holds for e in evidence)
+
+    def test_theorem_3_3_nonbipartite(self):
+        suite = [("c7", cycle_graph(7)), ("petersen", petersen_graph())]
+        evidence = check_theorem_3_3(suite)
+        assert evidence
+        assert all(e.holds for e in evidence)
+        assert all(e.rounds <= 2 * e.diameter + 1 for e in evidence)
+
+    def test_theorem_3_3_skips_bipartite(self):
+        assert check_theorem_3_3([("p5", path_graph(5))]) == []
+
+    def test_sources_per_graph_cap(self):
+        suite = [("c6", cycle_graph(6))]
+        evidence = check_theorem_3_1(suite, sources_per_graph=2)
+        assert len(evidence) == 2
+
+    def test_disconnected_members_skipped(self):
+        from repro.graphs import Graph
+
+        suite = [("disc", Graph.from_edges([(0, 1)], isolated=[5]))]
+        assert check_theorem_3_1(suite) == []
+
+
+class TestEvidenceSummary:
+    def test_empty(self):
+        assert "no applicable" in evidence_summary([])
+
+    def test_counts(self):
+        evidence = check_theorem_3_1([("p3", path_graph(3))])
+        summary = evidence_summary(evidence)
+        assert "3/3" in summary

@@ -1,0 +1,103 @@
+"""Unit tests for the spectral bipartiteness validator."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    is_bipartite,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.analysis.spectral import (
+    adjacency_spectrum,
+    spectral_gap,
+    spectral_is_bipartite,
+    spectral_report,
+)
+
+
+class TestSpectrum:
+    def test_complete_graph_spectrum(self):
+        # K_n: eigenvalues n-1 (once) and -1 (n-1 times)
+        spectrum = adjacency_spectrum(complete_graph(5))
+        assert spectrum[0] == pytest.approx(4.0)
+        assert all(v == pytest.approx(-1.0) for v in spectrum[1:])
+
+    def test_cycle_extremes(self):
+        # C_n: lambda_max = 2; lambda_min = -2 iff n even
+        even = adjacency_spectrum(cycle_graph(6))
+        odd = adjacency_spectrum(cycle_graph(5))
+        assert even[0] == pytest.approx(2.0)
+        assert even[-1] == pytest.approx(-2.0)
+        assert odd[-1] > -2.0
+
+    def test_star_spectrum(self):
+        # K_{1,m}: +-sqrt(m) and zeros
+        spectrum = adjacency_spectrum(star_graph(9))
+        assert spectrum[0] == pytest.approx(3.0)
+        assert spectrum[-1] == pytest.approx(-3.0)
+
+    def test_petersen_spectrum(self):
+        # famous: 3, 1 (x5), -2 (x4)
+        spectrum = adjacency_spectrum(petersen_graph())
+        assert spectrum[0] == pytest.approx(3.0)
+        assert sum(1 for v in spectrum if abs(v - 1) < 1e-8) == 5
+        assert sum(1 for v in spectrum if abs(v + 2) < 1e-8) == 4
+
+    def test_empty_graph(self):
+        assert adjacency_spectrum(Graph({})) == []
+
+
+class TestSpectralBipartiteness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(7),
+            cycle_graph(8),
+            grid_graph(3, 4),
+            complete_bipartite_graph(3, 5),
+            cycle_graph(7),
+            complete_graph(6),
+            petersen_graph(),
+        ],
+        ids=["path", "c8", "grid", "k35", "c7", "k6", "petersen"],
+    )
+    def test_matches_structural_check(self, graph):
+        assert spectral_is_bipartite(graph) == is_bipartite(graph)
+
+    def test_disconnected_rejected(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[5])
+        with pytest.raises(DisconnectedGraphError):
+            spectral_is_bipartite(graph)
+
+    def test_edgeless_single_node(self):
+        assert spectral_is_bipartite(Graph({0: []}))
+
+
+class TestGapAndReport:
+    def test_complete_graph_gap(self):
+        assert spectral_gap(complete_graph(6)) == pytest.approx(6.0)
+
+    def test_single_node_gap_none(self):
+        assert spectral_gap(Graph({0: []})) is None
+
+    def test_report_fields(self):
+        report = spectral_report(cycle_graph(6))
+        assert report["bipartite_spectral"] is True
+        assert report["lambda_max"] == pytest.approx(2.0)
+
+    def test_three_way_agreement(self):
+        """Structural, flooding and spectral detectors all agree."""
+        from repro.analysis import detect_at_source
+
+        for graph in (cycle_graph(9), grid_graph(4, 4), petersen_graph()):
+            structural = is_bipartite(graph)
+            flooding = detect_at_source(graph, graph.nodes()[0]).bipartite
+            spectral = spectral_is_bipartite(graph)
+            assert structural == flooding == spectral

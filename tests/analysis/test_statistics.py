@@ -1,0 +1,85 @@
+"""Unit tests for the descriptive statistics helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis import (
+    histogram,
+    histogram_bar_chart,
+    quantile,
+    ratio_series,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_even_count_median(self):
+        assert summarize([1, 2, 3, 4]).median == 2.5
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.stdev == 0.0
+        assert summary.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_format(self):
+        text = summarize([1, 2, 3]).format(unit="rounds")
+        assert "mean=2.00 rounds" in text
+
+
+class TestQuantile:
+    def test_extremes(self):
+        data = [1, 2, 3, 4, 5]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 5
+
+    def test_median_quantile(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_interpolation(self):
+        assert quantile([0, 10], 0.25) == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            quantile([], 0.5)
+        with pytest.raises(ConfigurationError):
+            quantile([1], 1.5)
+
+
+class TestHistogram:
+    def test_counts(self):
+        assert histogram([3, 1, 3, 3, 2]) == {1: 1, 2: 1, 3: 3}
+
+    def test_sorted_keys(self):
+        assert list(histogram([5, 1, 3])) == [1, 3, 5]
+
+    def test_bar_chart(self):
+        chart = histogram_bar_chart([1, 1, 1, 2])
+        assert "#" in chart
+        assert chart.count("\n") == 1
+
+    def test_bar_chart_empty(self):
+        assert "empty" in histogram_bar_chart([])
+
+
+class TestRatioSeries:
+    def test_elementwise(self):
+        assert ratio_series([2, 6], [1, 3]) == [2.0, 2.0]
+
+    def test_zero_denominator_guard(self):
+        assert ratio_series([5], [0]) == [1.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ratio_series([1], [1, 2])

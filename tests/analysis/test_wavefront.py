@@ -1,0 +1,102 @@
+"""Unit tests for the wavefront / two-wave analysis."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    odd_girth,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+)
+from repro.analysis import (
+    frontier_profile,
+    load_summary,
+    predicted_round_sets,
+    verify_round_sets_against_simulation,
+    wave_decomposition,
+)
+from repro.core import simulate
+
+
+class TestWaveDecomposition:
+    def test_bipartite_has_no_echo(self):
+        decomposition = wave_decomposition(grid_graph(3, 4), (0, 0))
+        assert not decomposition.has_echo
+        assert decomposition.first_echo_round is None
+        assert all(v is None for v in decomposition.echo.values())
+
+    def test_triangle_echo(self):
+        decomposition = wave_decomposition(paper_triangle(), "b")
+        assert decomposition.primary == {"a": 1, "b": 0, "c": 1}
+        assert decomposition.echo == {"a": 2, "b": 3, "c": 2}
+        assert decomposition.first_echo_round == 2
+
+    def test_echo_lag_positive(self):
+        decomposition = wave_decomposition(petersen_graph(), 0)
+        for node, lag in decomposition.echo_lag().items():
+            assert lag is not None
+            assert lag >= 1
+
+    def test_first_echo_relates_to_odd_girth(self):
+        # the echo cannot start before an odd cycle reflects the wave:
+        # the source's own echo round equals the shortest odd closed
+        # walk through it, which is at least the odd girth.
+        graph = petersen_graph()
+        decomposition = wave_decomposition(graph, 0)
+        assert decomposition.echo[0] >= odd_girth(graph)
+
+
+class TestPredictedRoundSets:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (lambda: path_graph(6), 0),
+            (lambda: cycle_graph(6), 0),
+            (lambda: cycle_graph(7), 0),
+            (lambda: complete_graph(5), 1),
+            (petersen_graph, 4),
+        ],
+        ids=["path", "c6", "c7", "k5", "petersen"],
+    )
+    def test_per_round_prediction_exact(self, graph_factory, source):
+        graph = graph_factory()
+        assert verify_round_sets_against_simulation(graph, source)
+
+    def test_round_set_count_is_termination_round(self):
+        graph = cycle_graph(9)
+        predicted = predicted_round_sets(graph, [0])
+        run = simulate(graph, [0])
+        assert len(predicted) == run.termination_round
+
+
+class TestLoadProfile:
+    def test_profile_matches_run(self):
+        graph = cycle_graph(8)
+        profile = frontier_profile(graph, 0)
+        run = simulate(graph, [0])
+        assert profile == run.round_edge_counts
+        assert sum(profile) == run.total_messages
+
+    def test_load_summary_fields(self):
+        summary = load_summary(complete_graph(6), 0)
+        assert summary.rounds == 3
+        assert summary.total_messages == 2 * 15
+        assert summary.peak_edges_per_round >= summary.mean_edges_per_round
+
+    def test_isolated_source(self):
+        from repro.graphs import Graph
+
+        summary = load_summary(Graph({0: []}), 0)
+        assert summary.rounds == 0
+        assert summary.total_messages == 0
+
+    def test_nonbipartite_second_bulge(self):
+        """On an odd cycle the profile stays at width 2 for almost the
+        whole 2D+1 rounds -- the echo keeps the network busy after the
+        BFS wave would have finished."""
+        profile = frontier_profile(cycle_graph(9), 0)
+        assert len(profile) == 9
+        assert profile[5] > 0  # still active past e(source) = 4

@@ -1,0 +1,52 @@
+"""Unit tests for the uniform broadcast facade."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph, petersen_graph
+from repro.apps import Strategy, broadcast, broadcast_matrix, matrix_table
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("strategy", list(Strategy), ids=lambda s: s.value)
+    def test_every_strategy_reaches_everyone(self, strategy):
+        outcome = broadcast(cycle_graph(8), 0, strategy, seed=5)
+        assert outcome.reached_all
+        assert outcome.rounds >= 1
+        assert outcome.messages >= 1
+
+    def test_amnesiac_zero_memory(self):
+        outcome = broadcast(path_graph(5), 0, Strategy.AMNESIAC)
+        assert outcome.memory_bits_per_node == 0
+        assert not outcome.detects_completion
+
+    def test_only_echo_detects(self):
+        outcomes = broadcast_matrix(cycle_graph(6), 0, seed=1)
+        detecting = [o.strategy for o in outcomes if o.detects_completion]
+        assert detecting == [Strategy.ECHO]
+
+    def test_gossip_seeded(self):
+        first = broadcast(petersen_graph(), 0, Strategy.GOSSIP_PUSH, seed=9)
+        second = broadcast(petersen_graph(), 0, Strategy.GOSSIP_PUSH, seed=9)
+        assert first.rounds == second.rounds
+        assert first.messages == second.messages
+
+    def test_classic_never_slower_than_amnesiac(self):
+        for graph in (cycle_graph(7), petersen_graph()):
+            amnesiac = broadcast(graph, 0, Strategy.AMNESIAC)
+            classic = broadcast(graph, 0, Strategy.CLASSIC)
+            assert classic.rounds <= amnesiac.rounds
+            assert classic.messages <= amnesiac.messages
+
+
+class TestMatrix:
+    def test_matrix_order_and_table(self):
+        outcomes = broadcast_matrix(
+            cycle_graph(5),
+            0,
+            strategies=[Strategy.AMNESIAC, Strategy.ECHO],
+        )
+        assert [o.strategy for o in outcomes] == [Strategy.AMNESIAC, Strategy.ECHO]
+        table = matrix_table(outcomes)
+        assert "amnesiac" in table
+        assert "echo" in table
+        assert "detects" in table

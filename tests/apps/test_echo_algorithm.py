@@ -1,0 +1,84 @@
+"""Unit tests for the echo (broadcast-convergecast) algorithm."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    eccentricity,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.apps import detection_overhead, echo_broadcast
+
+
+class TestEchoDetection:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (lambda: path_graph(5), 0),
+            (lambda: path_graph(5), 2),
+            (lambda: cycle_graph(6), 0),
+            (lambda: cycle_graph(7), 0),
+            (lambda: complete_graph(5), 0),
+            (lambda: grid_graph(3, 4), (0, 0)),
+            (petersen_graph, 0),
+            (lambda: star_graph(6), 0),
+        ],
+        ids=["p5-end", "p5-mid", "c6", "c7", "k5", "grid", "petersen", "star"],
+    )
+    def test_source_detects_completion(self, graph_factory, source):
+        graph = graph_factory()
+        result = echo_broadcast(graph, source)
+        assert result.detected
+        # detection needs at least a wave down and acks back up
+        assert result.detection_round >= 2 * eccentricity(graph, source)
+
+    def test_spanning_tree_covers_component(self):
+        graph = petersen_graph()
+        result = echo_broadcast(graph, 0)
+        assert len(result.tree_edges()) == graph.num_nodes - 1
+        children = {child for _, child in result.tree_edges()}
+        assert children == set(graph.nodes()) - {0}
+
+    def test_parents_are_neighbors(self):
+        graph = grid_graph(4, 4)
+        result = echo_broadcast(graph, (0, 0))
+        for child, parent in result.parents.items():
+            assert graph.has_edge(child, parent)
+
+    def test_path_detection_round_exact(self):
+        # wave travels e rounds, leaf acks next round, acks travel back:
+        # detection at 2e + 1 on a path from an endpoint.
+        result = echo_broadcast(path_graph(6), 0)
+        assert result.detection_round == 2 * 5 - 1 or result.detection_round == 2 * 5 + 1
+
+    def test_isolated_source_detects_at_zero(self):
+        result = echo_broadcast(Graph({0: []}), 0)
+        assert result.detection_round == 0
+
+    def test_message_count_tree(self):
+        # on a tree: wave down each edge once + ack up each edge once
+        graph = path_graph(7)
+        result = echo_broadcast(graph, 0)
+        assert result.trace.total_messages() == 2 * graph.num_edges
+
+    def test_message_count_general_upper_bound(self):
+        # every edge carries at most one wave + one ack in each direction
+        graph = complete_graph(6)
+        result = echo_broadcast(graph, 0)
+        assert result.trace.total_messages() <= 4 * graph.num_edges
+
+
+class TestDetectionOverhead:
+    def test_overhead_fields(self):
+        overhead = detection_overhead(cycle_graph(8), 0)
+        assert overhead["round_ratio"] >= 1.0
+        assert overhead["echo_detection_round"] > overhead["amnesiac_rounds"] / 2
+
+    def test_amnesiac_never_detects_but_is_cheaper_in_rounds_on_bipartite(self):
+        overhead = detection_overhead(grid_graph(3, 5), (0, 0))
+        assert overhead["echo_detection_round"] > overhead["amnesiac_rounds"]

@@ -1,0 +1,80 @@
+"""Unit tests for asynchronous configurations and transitions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import cycle_graph, paper_triangle, path_graph
+from repro.asynchrony import (
+    apply_delivery,
+    initial_configuration,
+    synchronous_closure,
+)
+from repro.core import simulate
+
+
+class TestInitialConfiguration:
+    def test_single_source(self):
+        config = initial_configuration(paper_triangle(), ["b"])
+        assert config == frozenset({("b", "a"), ("b", "c")})
+
+    def test_multi_source(self):
+        config = initial_configuration(path_graph(3), [0, 2])
+        assert config == frozenset({(0, 1), (2, 1)})
+
+    def test_isolated_source_empty(self):
+        from repro.graphs import Graph
+
+        assert initial_configuration(Graph({0: []}), [0]) == frozenset()
+
+
+class TestApplyDelivery:
+    def test_full_delivery_is_synchronous_step(self):
+        graph = paper_triangle()
+        config = initial_configuration(graph, ["b"])
+        nxt = apply_delivery(graph, config, config)
+        assert nxt == frozenset({("a", "c"), ("c", "a")})
+
+    def test_partial_delivery_keeps_held(self):
+        graph = paper_triangle()
+        config = frozenset({("a", "b"), ("c", "b")})
+        nxt = apply_delivery(graph, config, {("a", "b")})
+        # b hears only from a, forwards to c; (c, b) still in transit
+        assert nxt == frozenset({("b", "c"), ("c", "b")})
+
+    def test_forward_merges_with_held_duplicate(self):
+        # Held message on the same directed edge as a new forward: the
+        # configuration is a set, so they merge into one.
+        graph = path_graph(3)
+        config = frozenset({(1, 2), (1, 0)})
+        nxt = apply_delivery(graph, config, {(1, 0)})
+        # 0 hears from 1 and has no other neighbour: nothing forwarded.
+        assert nxt == frozenset({(1, 2)})
+
+    def test_delivering_unknown_message_rejected(self):
+        graph = paper_triangle()
+        config = initial_configuration(graph, ["b"])
+        with pytest.raises(SimulationError):
+            apply_delivery(graph, config, {("a", "c")})
+
+    def test_empty_delivery_on_nonempty_config_rejected(self):
+        graph = paper_triangle()
+        config = initial_configuration(graph, ["b"])
+        with pytest.raises(SimulationError):
+            apply_delivery(graph, config, set())
+
+    def test_empty_config_empty_delivery_ok(self):
+        graph = paper_triangle()
+        assert apply_delivery(graph, frozenset(), set()) == frozenset()
+
+
+class TestSynchronousClosure:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_matches_synchronous_simulator(self, n):
+        graph = cycle_graph(n)
+        closure = synchronous_closure(graph, [0], max_steps=100)
+        run = simulate(graph, [0])
+        # closure includes the initial configuration and ends empty
+        assert len(closure) == run.termination_round + 1
+        assert closure[-1] == frozenset()
+        # per-round frontier sizes agree
+        assert [len(c) for c in closure[:-1]] == run.round_edge_counts

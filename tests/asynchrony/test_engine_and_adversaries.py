@@ -1,0 +1,152 @@
+"""Unit tests for the async engine and adversary strategies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    paper_triangle,
+    path_graph,
+    star_graph,
+)
+from repro.asynchrony import (
+    AsyncOutcome,
+    ConvergecastHoldAdversary,
+    FixedScheduleAdversary,
+    HoldEdgeAdversary,
+    RandomDelayAdversary,
+    SynchronousAdversary,
+    run_async,
+    synchronous_async_equivalence,
+)
+from repro.core import simulate
+
+
+class TestSynchronousAdversary:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (paper_triangle, "b"),
+            (lambda: cycle_graph(6), 0),
+            (lambda: cycle_graph(7), 0),
+            (lambda: path_graph(5), 2),
+            (lambda: complete_graph(5), 0),
+        ],
+        ids=["triangle", "c6", "c7", "path", "k5"],
+    )
+    def test_reproduces_synchronous_process(self, graph_factory, source):
+        graph = graph_factory()
+        run = synchronous_async_equivalence(graph, [source])
+        sync = simulate(graph, [source])
+        assert run.outcome is AsyncOutcome.TERMINATED
+        assert run.steps == sync.termination_round
+        assert run.total_messages_delivered() == sync.total_messages
+
+
+class TestConvergecastHoldAdversary:
+    def test_triangle_certified_nonterminating(self):
+        graph = paper_triangle()
+        run = run_async(graph, ["b"], ConvergecastHoldAdversary(), max_steps=100)
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+        assert run.lasso is not None
+        assert run.lasso.period >= 1
+        assert run.lasso.replay_is_consistent(graph)
+
+    def test_triangle_schedule_is_fair(self):
+        graph = paper_triangle()
+        run = run_async(graph, ["b"], ConvergecastHoldAdversary(), max_steps=100)
+        assert run.lasso.max_hold_steps(graph) <= 1
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 11])
+    def test_odd_cycles_certified(self, n):
+        graph = cycle_graph(n)
+        run = run_async(graph, [0], ConvergecastHoldAdversary(), max_steps=3000)
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+        assert run.lasso.replay_is_consistent(graph)
+
+    def test_trees_terminate_despite_adversary(self):
+        # On a tree messages only move rootwards-to-leafwards; holding
+        # cannot create a loop, so even this adversary must terminate.
+        for graph, source in ((path_graph(6), 0), (star_graph(5), 1)):
+            run = run_async(graph, [source], ConvergecastHoldAdversary(), max_steps=500)
+            assert run.outcome is AsyncOutcome.TERMINATED
+
+
+class TestRandomDelayAdversary:
+    def test_always_progresses(self):
+        adversary = RandomDelayAdversary(0.9, seed=1)
+        config = frozenset({(0, 1), (1, 2), (2, 3)})
+        for step in range(50):
+            batch = adversary.choose(config, step)
+            assert batch
+            assert batch <= config
+
+    def test_seeded_reproducibility(self):
+        graph = cycle_graph(7)
+        runs = []
+        for _ in range(2):
+            adversary = RandomDelayAdversary(0.4, seed=11)
+            run = run_async(
+                graph, [0], adversary, max_steps=500, detect_cycles=False
+            )
+            runs.append((run.outcome, run.steps))
+        assert runs[0] == runs[1]
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            RandomDelayAdversary(1.0)
+
+
+class TestFixedScheduleAdversary:
+    def test_replays_lasso(self):
+        graph = paper_triangle()
+        original = run_async(
+            graph, ["b"], ConvergecastHoldAdversary(), max_steps=100
+        )
+        lasso = original.lasso
+        replay = FixedScheduleAdversary(
+            lasso.deliveries, loop_from=len(lasso.stem)
+        )
+        rerun = run_async(graph, ["b"], replay, max_steps=100)
+        assert rerun.outcome is AsyncOutcome.CYCLE_DETECTED
+
+    def test_loop_from_validated(self):
+        with pytest.raises(ConfigurationError):
+            FixedScheduleAdversary([frozenset()], loop_from=5)
+
+
+class TestHoldEdgeAdversary:
+    def test_holds_watched_edge_when_possible(self):
+        adversary = HoldEdgeAdversary([(0, 1)])
+        config = frozenset({(0, 1), (2, 3)})
+        assert adversary.choose(config, 1) == frozenset({(2, 3)})
+
+    def test_releases_when_nothing_else(self):
+        adversary = HoldEdgeAdversary([(0, 1)])
+        config = frozenset({(0, 1)})
+        assert adversary.choose(config, 1) == config
+
+
+class TestEngineBehaviour:
+    def test_invalid_max_steps(self):
+        with pytest.raises(ConfigurationError):
+            run_async(paper_triangle(), ["b"], SynchronousAdversary(), max_steps=0)
+
+    def test_inconclusive_without_cycle_detection(self):
+        graph = paper_triangle()
+        run = run_async(
+            graph,
+            ["b"],
+            ConvergecastHoldAdversary(),
+            max_steps=50,
+            detect_cycles=False,
+        )
+        assert run.outcome is AsyncOutcome.INCONCLUSIVE
+        assert run.steps == 50
+
+    def test_configurations_list_consistent(self):
+        graph = cycle_graph(5)
+        run = run_async(graph, [0], SynchronousAdversary(), max_steps=100)
+        assert len(run.configurations) == run.steps + 1
+        assert run.configurations[-1] == frozenset()

@@ -1,0 +1,89 @@
+"""Unit tests for fairness auditing and bounded-delay adversaries."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import cycle_graph, paper_triangle, path_graph
+from repro.asynchrony import (
+    AsyncOutcome,
+    BoundedDelayAdversary,
+    ConvergecastHoldAdversary,
+    RandomDelayAdversary,
+    SynchronousAdversary,
+    audit_schedule,
+    minimal_breaking_bound,
+    run_async,
+)
+
+
+class TestAuditSchedule:
+    def test_synchronous_schedule_zero_holds(self):
+        run = run_async(cycle_graph(6), [0], SynchronousAdversary())
+        audit = audit_schedule(run)
+        assert audit.max_hold == 0
+        assert audit.total_holds == 0
+        assert audit.is_bounded(0)
+
+    def test_figure5_schedule_is_one_bounded(self):
+        graph = paper_triangle()
+        run = run_async(graph, ["b"], ConvergecastHoldAdversary(), max_steps=100)
+        audit = audit_schedule(run)
+        assert audit.max_hold == 1
+        assert audit.is_bounded(1)
+        assert not audit.is_bounded(0)
+
+    def test_random_delays_audited(self):
+        run = run_async(
+            cycle_graph(8),
+            [0],
+            RandomDelayAdversary(0.4, seed=3),
+            max_steps=2000,
+            detect_cycles=False,
+        )
+        audit = audit_schedule(run)
+        assert audit.max_hold >= 0
+        assert len(audit.holds_per_step) == run.steps
+
+
+class TestBoundedDelayAdversary:
+    def test_bound_zero_is_synchrony(self):
+        graph = cycle_graph(7)
+        bounded = BoundedDelayAdversary(ConvergecastHoldAdversary(), bound=0)
+        run = run_async(graph, [0], bounded, max_steps=500)
+        assert run.outcome is AsyncOutcome.TERMINATED
+        assert run.steps == 7  # synchronous termination round on C7
+
+    def test_bound_enforced(self):
+        graph = paper_triangle()
+        bounded = BoundedDelayAdversary(ConvergecastHoldAdversary(), bound=1)
+        run = run_async(graph, ["b"], bounded, max_steps=200)
+        audit = audit_schedule(run)
+        assert audit.max_hold <= 1
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedDelayAdversary(SynchronousAdversary(), bound=-1)
+
+
+class TestMinimalBreakingBound:
+    def test_triangle_breaks_at_bound_one(self):
+        """The weakest possible asynchrony (hold <= 1 step) already
+        defeats termination -- there is no refuge between synchrony and
+        non-termination."""
+        bound = minimal_breaking_bound(
+            paper_triangle(), "b", ConvergecastHoldAdversary
+        )
+        assert bound == 1
+
+    def test_trees_never_break(self):
+        bound = minimal_breaking_bound(
+            path_graph(4), 0, ConvergecastHoldAdversary, max_bound=3
+        )
+        assert bound is None
+
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_odd_cycles_break_at_one(self, n):
+        bound = minimal_breaking_bound(
+            cycle_graph(n), 0, ConvergecastHoldAdversary
+        )
+        assert bound == 1

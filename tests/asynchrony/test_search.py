@@ -1,0 +1,77 @@
+"""Unit tests for the exhaustive non-terminating-schedule search."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    paper_triangle,
+    path_graph,
+    star_graph,
+)
+from repro.asynchrony import (
+    adversary_can_win,
+    delivery_choices,
+    find_nonterminating_schedule,
+)
+
+
+class TestDeliveryChoices:
+    def test_enumerates_nonempty_subsets(self):
+        config = frozenset({(0, 1), (1, 2)})
+        choices = delivery_choices(config)
+        assert len(choices) == 3
+        assert frozenset(config) in choices
+
+    def test_synchronous_choice_first(self):
+        config = frozenset({(0, 1), (1, 2), (2, 3)})
+        choices = delivery_choices(config)
+        assert choices[0] == config
+
+    def test_cap_respected(self):
+        config = frozenset({(0, 1), (1, 2), (2, 3)})
+        assert len(delivery_choices(config, max_batch_choices=4)) == 4
+
+
+class TestSearch:
+    def test_triangle_adversary_wins(self):
+        graph = paper_triangle()
+        lasso = find_nonterminating_schedule(graph, ["b"])
+        assert lasso is not None
+        assert lasso.replay_is_consistent(graph)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_cycles_adversary_wins(self, n):
+        graph = cycle_graph(n)
+        lasso = find_nonterminating_schedule(graph, [0])
+        assert lasso is not None
+        assert lasso.replay_is_consistent(graph)
+
+    @pytest.mark.parametrize(
+        "graph,source",
+        [
+            (path_graph(2), 0),
+            (path_graph(3), 1),
+            (path_graph(4), 0),
+            (star_graph(3), 0),
+            (star_graph(3), 1),
+        ],
+        ids=["p2", "p3-mid", "p4", "star-center", "star-leaf"],
+    )
+    def test_trees_adversary_never_wins(self, graph, source):
+        assert find_nonterminating_schedule(graph, [source]) is None
+
+    def test_isolated_source(self):
+        graph = Graph({0: []})
+        assert find_nonterminating_schedule(graph, [0]) is None
+
+    def test_budget_exceeded_raises(self):
+        graph = complete_graph(5)
+        with pytest.raises(ConfigurationError):
+            find_nonterminating_schedule(graph, [0], max_configurations=3)
+
+    def test_adversary_can_win_wrapper(self):
+        assert adversary_can_win(paper_triangle(), ["b"])
+        assert not adversary_can_win(path_graph(4), [0])

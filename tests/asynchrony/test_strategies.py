@@ -1,0 +1,89 @@
+"""Unit tests for the extra scheduling strategies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import Graph, cycle_graph, paper_triangle, path_graph, star_graph
+from repro.asynchrony import (
+    AsyncOutcome,
+    GreedyDamageAdversary,
+    OldestFirstAdversary,
+    RoundRobinEdgeAdversary,
+    StarveNodeAdversary,
+    run_async,
+)
+
+
+class TestSerialisingSchedulers:
+    """FIFO and TDMA deliver one message per step -- and that alone
+    breaks termination on cycles: batch simultaneity is what lets
+    converging waves cancel."""
+
+    def test_oldest_first_loops_on_triangle(self):
+        graph = paper_triangle()
+        run = run_async(graph, ["b"], OldestFirstAdversary(), max_steps=500)
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+        assert run.lasso.replay_is_consistent(graph)
+
+    def test_round_robin_loops_on_triangle(self):
+        graph = paper_triangle()
+        run = run_async(graph, ["b"], RoundRobinEdgeAdversary(graph), max_steps=500)
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_oldest_first_loops_on_cycles(self, n):
+        graph = cycle_graph(n)
+        run = run_async(graph, [0], OldestFirstAdversary(), max_steps=2000)
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+
+    def test_oldest_first_terminates_on_trees(self):
+        for graph, source in ((path_graph(5), 0), (star_graph(4), 0)):
+            run = run_async(graph, [source], OldestFirstAdversary(), max_steps=2000)
+            assert run.outcome is AsyncOutcome.TERMINATED
+
+    def test_round_robin_requires_edges(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinEdgeAdversary(Graph({0: []}))
+
+
+class TestStarvation:
+    def test_starving_a_node_terminates_faster_on_triangle(self):
+        """Held messages pile up at the victim and arrive together, so
+        the complement rule silences it -- targeted unfairness *helps*."""
+        graph = paper_triangle()
+        starved = run_async(graph, ["b"], StarveNodeAdversary("a"), max_steps=100)
+        assert starved.outcome is AsyncOutcome.TERMINATED
+        assert starved.steps == 2  # vs 3 synchronous rounds
+
+    def test_starvation_terminates_on_cycles(self):
+        graph = cycle_graph(7)
+        run = run_async(graph, [0], StarveNodeAdversary(3), max_steps=500)
+        assert run.outcome is AsyncOutcome.TERMINATED
+
+
+class TestGreedyDamage:
+    def test_greedy_finds_loop_without_search(self):
+        graph = paper_triangle()
+        run = run_async(
+            graph, ["b"], GreedyDamageAdversary(graph), max_steps=500
+        )
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+        assert run.lasso.replay_is_consistent(graph)
+
+    def test_greedy_on_even_cycle(self):
+        graph = cycle_graph(6)
+        run = run_async(
+            graph, [0], GreedyDamageAdversary(graph), max_steps=2000
+        )
+        assert run.outcome is AsyncOutcome.CYCLE_DETECTED
+
+    def test_greedy_cannot_beat_trees(self):
+        graph = path_graph(5)
+        run = run_async(
+            graph, [0], GreedyDamageAdversary(graph), max_steps=2000
+        )
+        assert run.outcome is AsyncOutcome.TERMINATED
+
+    def test_batch_cap_validated(self):
+        with pytest.raises(ConfigurationError):
+            GreedyDamageAdversary(paper_triangle(), max_batch_choices=0)

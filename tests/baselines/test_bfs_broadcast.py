@@ -1,0 +1,72 @@
+"""Unit tests for the BFS broadcast / spanning tree baseline."""
+
+import pytest
+
+from repro.graphs import (
+    bfs_distances,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.baselines import bfs_broadcast
+
+
+class TestSpanningTree:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (lambda: cycle_graph(7), 0),
+            (lambda: grid_graph(3, 4), (1, 1)),
+            (lambda: complete_graph(6), 3),
+            (petersen_graph, 0),
+            (lambda: star_graph(5), 2),
+        ],
+        ids=["c7", "grid", "k6", "petersen", "star-leaf"],
+    )
+    def test_builds_verified_bfs_tree(self, graph_factory, source):
+        graph = graph_factory()
+        result = bfs_broadcast(graph, source)
+        assert result.verify_is_bfs_tree(graph)
+
+    def test_tree_edge_count(self):
+        graph = cycle_graph(8)
+        result = bfs_broadcast(graph, 0)
+        assert len(result.tree_edges()) == graph.num_nodes - 1
+
+    def test_depths_equal_distances(self):
+        graph = grid_graph(4, 4)
+        result = bfs_broadcast(graph, (0, 0))
+        assert result.depths == bfs_distances(graph, (0, 0))
+
+    def test_root_has_no_parent(self):
+        result = bfs_broadcast(path_graph(5), 2)
+        assert 2 not in result.parents
+        assert result.depths[2] == 0
+
+    def test_parents_are_deterministic(self):
+        graph = complete_graph(6)
+        first = bfs_broadcast(graph, 0).parents
+        second = bfs_broadcast(graph, 0).parents
+        assert first == second
+
+
+class TestBroadcastDynamics:
+    def test_rounds_equals_eccentricity_plus_one(self):
+        # every newly informed node transmits once, including the last
+        # layer (which finds nobody new), so the trace runs one round
+        # past the BFS depth on most graphs; assert against measured
+        # trace semantics instead: termination within e(source) + 1.
+        from repro.graphs import eccentricity
+
+        for graph, source in ((cycle_graph(9), 0), (grid_graph(3, 5), (0, 0))):
+            result = bfs_broadcast(graph, source)
+            ecc = eccentricity(graph, source)
+            assert ecc <= result.trace.termination_round <= ecc + 1
+
+    def test_all_nodes_informed(self):
+        graph = petersen_graph()
+        result = bfs_broadcast(graph, 5)
+        assert set(result.depths) == set(graph.nodes())

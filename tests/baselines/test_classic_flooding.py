@@ -1,0 +1,86 @@
+"""Unit tests for the classic seen-flag flooding baseline."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    eccentricity,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.baselines import (
+    classic_flood_trace,
+    classic_message_complexity,
+    classic_termination_round,
+)
+
+
+class TestTerminationRound:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [lambda: path_graph(7), lambda: cycle_graph(6), lambda: cycle_graph(10)],
+        ids=["path", "c6", "c10"],
+    )
+    def test_bipartite_stops_exactly_at_eccentricity(self, graph_factory):
+        graph = graph_factory()
+        for source in graph.nodes():
+            assert classic_termination_round(graph, source) == eccentricity(
+                graph, source
+            )
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [lambda: cycle_graph(7), lambda: complete_graph(5), petersen_graph],
+        ids=["c7", "k5", "petersen"],
+    )
+    def test_nonbipartite_stops_within_eccentricity_plus_one(self, graph_factory):
+        """Colliding wavefronts cost classic flooding at most one extra
+        round -- still far below AF's 2D + 1 worst case."""
+        graph = graph_factory()
+        for source in graph.nodes():
+            rounds = classic_termination_round(graph, source)
+            ecc = eccentricity(graph, source)
+            assert ecc <= rounds <= ecc + 1
+
+
+class TestCoverage:
+    def test_every_node_reached_once(self):
+        graph = cycle_graph(9)
+        trace = classic_flood_trace(graph, 0)
+        counts = trace.receive_counts()
+        assert all(counts[node] >= 1 for node in graph.nodes() if node != 0)
+
+    def test_each_node_transmits_at_most_once(self):
+        graph = complete_graph(6)
+        trace = classic_flood_trace(graph, 0)
+        senders = [m.sender for batch in trace.deliveries for m in batch]
+        from collections import Counter
+
+        per_round_senders = [
+            trace.senders_in_round(r) for r in range(1, trace.rounds_executed + 1)
+        ]
+        flattened = [s for senders in per_round_senders for s in senders]
+        assert len(flattened) == len(set(flattened))
+
+
+class TestMessageComplexity:
+    def test_at_most_one_message_per_edge_direction(self):
+        for graph in (cycle_graph(8), complete_graph(5), petersen_graph()):
+            assert classic_message_complexity(graph, graph.nodes()[0]) <= 2 * graph.num_edges
+
+    def test_star_from_center_message_count(self):
+        graph = star_graph(6)
+        # center sends 6; leaves have nobody else to forward to
+        assert classic_message_complexity(graph, 0) == 6
+
+    def test_cheaper_than_amnesiac_on_nonbipartite(self):
+        from repro.core import message_complexity
+
+        for graph in (cycle_graph(5), complete_graph(4)):
+            source = graph.nodes()[0]
+            assert classic_message_complexity(graph, source) < message_complexity(
+                graph, source
+            )

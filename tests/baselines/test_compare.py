@@ -1,0 +1,58 @@
+"""Unit tests for the three-way comparison harness."""
+
+import pytest
+
+from repro.graphs import complete_graph, cycle_graph, path_graph
+from repro.baselines import compare_on, comparison_table
+
+
+class TestCompareOn:
+    def test_all_algorithms_reach_everyone(self):
+        row = compare_on(cycle_graph(8), 0, label="c8")
+        assert row.amnesiac.reached_all
+        assert row.classic.reached_all
+        assert row.bfs.reached_all
+
+    def test_memory_accounting(self):
+        row = compare_on(path_graph(6), 0)
+        assert row.amnesiac.memory_bits == 0
+        assert row.classic.memory_bits == 1
+        assert row.bfs.memory_bits > 1
+
+    def test_bipartite_no_overhead(self):
+        row = compare_on(cycle_graph(10), 0, label="c10")
+        assert row.bipartite
+        assert row.round_overhead() == 1.0
+        assert row.message_overhead() == 1.0
+
+    def test_nonbipartite_amnesiac_pays(self):
+        row = compare_on(cycle_graph(9), 0, label="c9")
+        assert not row.bipartite
+        assert row.round_overhead() > 1.0
+        assert row.message_overhead() > 1.0
+
+    def test_clique_overhead_factors(self):
+        row = compare_on(complete_graph(8), 0)
+        # AF: 3 rounds vs classic 2 (e + 1 collision round);
+        # AF: exactly 2m messages vs classic at most 2m.
+        assert row.amnesiac.rounds == 3
+        assert row.classic.rounds == 2
+        assert row.amnesiac.messages == 2 * row.edges
+        assert row.classic.messages <= 2 * row.edges
+
+
+class TestComparisonTable:
+    def test_renders_all_rows(self):
+        rows = [
+            compare_on(path_graph(5), 0, label="path-5"),
+            compare_on(cycle_graph(5), 0, label="cycle-5"),
+        ]
+        table = comparison_table(rows)
+        assert "path-5" in table
+        assert "cycle-5" in table
+        assert table.count("\n") >= 3
+
+    def test_header_columns(self):
+        table = comparison_table([compare_on(path_graph(3), 0)])
+        assert "AF rnd" in table
+        assert "msg x" in table

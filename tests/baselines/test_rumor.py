@@ -1,0 +1,65 @@
+"""Unit tests for randomized rumor spreading baselines."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.baselines import expected_rounds_estimate, push_rumor
+
+
+class TestPushRumor:
+    def test_informs_everyone_on_complete_graph(self):
+        result = push_rumor(complete_graph(12), 0, seed=3)
+        assert result.rounds_to_all is not None
+        assert result.informed_per_round[-1] == 12
+
+    def test_informed_counts_monotone(self):
+        result = push_rumor(cycle_graph(12), 0, seed=5)
+        counts = result.informed_per_round
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_seeded_reproducibility(self):
+        first = push_rumor(complete_graph(10), 0, seed=9)
+        second = push_rumor(complete_graph(10), 0, seed=9)
+        assert first.rounds_to_all == second.rounds_to_all
+        assert first.total_contacts == second.total_contacts
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            push_rumor(path_graph(3), 42)
+
+    def test_single_node_graph(self):
+        from repro.graphs import Graph
+
+        result = push_rumor(Graph({0: []}), 0, seed=1)
+        assert result.rounds_to_all == 1  # trivially everyone informed
+
+    def test_path_lower_bounded_by_distance(self):
+        # rumor travels at most one hop per round from each informed node
+        result = push_rumor(path_graph(10), 0, seed=2)
+        assert result.rounds_to_all >= 9
+
+    def test_pull_speeds_up_star(self):
+        # On a star from the centre, push alone informs one leaf per
+        # round; push-pull informs all leaves in O(1) expected rounds.
+        star = star_graph(12)
+        push_rounds = expected_rounds_estimate(star, 0, trials=10, seed=4)
+        pull_rounds = expected_rounds_estimate(
+            star, 0, trials=10, seed=4, pull=True
+        )
+        assert pull_rounds < push_rounds
+
+    def test_avoid_last_memory_one_variant_runs(self):
+        result = push_rumor(cycle_graph(10), 0, seed=8, avoid_last=True)
+        assert result.rounds_to_all is not None
+
+
+class TestExpectedRounds:
+    def test_requires_positive_trials(self):
+        with pytest.raises(ConfigurationError):
+            expected_rounds_estimate(path_graph(3), 0, trials=0)
+
+    def test_estimate_reasonable_on_complete_graph(self):
+        estimate = expected_rounds_estimate(complete_graph(16), 0, trials=10, seed=6)
+        # log2(16) = 4; push gossip needs O(log n) rounds.
+        assert 4 <= estimate <= 20

@@ -1,0 +1,183 @@
+"""Unit tests for the amnesiac flooding algorithm (both implementations)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError, NonTerminationError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    paper_even_cycle,
+    paper_line,
+    paper_triangle,
+    path_graph,
+    star_graph,
+)
+from repro.core import (
+    flood_trace,
+    initial_frontier,
+    message_complexity,
+    simulate,
+    step_frontier,
+    termination_round,
+)
+
+
+class TestPaperFigures:
+    """The three synchronous figures, asserted exactly."""
+
+    def test_figure1_line(self):
+        run = simulate(paper_line(), ["b"])
+        assert run.terminated
+        assert run.termination_round == 2
+        assert set(run.sender_sets[0]) == {"b"}
+        assert set(run.sender_sets[1]) == {"c"}
+        assert run.receive_rounds == {
+            "a": (1,), "b": (), "c": (1,), "d": (2,)
+        }
+
+    def test_figure2_triangle(self):
+        run = simulate(paper_triangle(), ["b"])
+        assert run.termination_round == 3
+        assert set(run.sender_sets[1]) == {"a", "c"}
+        assert set(run.sender_sets[2]) == {"a", "c"}
+        assert run.receive_rounds["b"] == (3,)
+        assert run.total_messages == 6
+
+    def test_figure3_even_cycle_all_sources(self):
+        graph = paper_even_cycle()
+        for source in graph.nodes():
+            assert simulate(graph, [source]).termination_round == 3
+
+
+class TestFrontierPrimitives:
+    def test_initial_frontier(self):
+        frontier = initial_frontier(paper_triangle(), ["b"])
+        assert frontier == {("b", "a"), ("b", "c")}
+
+    def test_step_frontier_triangle(self):
+        graph = paper_triangle()
+        frontier = initial_frontier(graph, ["b"])
+        second = step_frontier(graph, frontier)
+        assert second == {("a", "c"), ("c", "a")}
+        third = step_frontier(graph, second)
+        assert third == {("a", "b"), ("c", "b")}
+        fourth = step_frontier(graph, third)
+        assert fourth == set()
+
+    def test_step_empty_is_empty(self):
+        assert step_frontier(paper_line(), set()) == set()
+
+
+class TestSimulateBehaviour:
+    def test_sources_validated(self):
+        with pytest.raises(ConfigurationError):
+            simulate(path_graph(3), [])
+        with pytest.raises(NodeNotFoundError):
+            simulate(path_graph(3), [77])
+
+    def test_duplicate_sources_collapse(self):
+        run = simulate(path_graph(3), [1, 1])
+        assert run.sources == (1,)
+
+    def test_isolated_source_round_zero(self):
+        run = simulate(Graph({0: []}), [0])
+        assert run.termination_round == 0
+        assert run.total_messages == 0
+        assert run.terminated
+
+    def test_budget_exhaustion_flagged(self):
+        run = simulate(cycle_graph(9), [0], max_rounds=1)
+        assert not run.terminated
+
+    def test_budget_exhaustion_raises_when_asked(self):
+        with pytest.raises(NonTerminationError):
+            simulate(cycle_graph(9), [0], max_rounds=1, raise_on_budget=True)
+
+    def test_receive_counts_and_reached(self):
+        run = simulate(paper_triangle(), ["b"])
+        assert run.receive_counts() == {"a": 2, "b": 1, "c": 2}
+        assert run.nodes_reached() == {"a", "b", "c"}
+
+    def test_round_sets_shape(self):
+        run = simulate(paper_triangle(), ["b"])
+        sets = run.round_sets()
+        assert sets[0] == {"b"}
+        assert len(sets) == run.termination_round + 1
+
+    def test_repr(self):
+        run = simulate(paper_line(), ["a"])
+        assert "terminated" in repr(run)
+
+
+class TestKnownTopologies:
+    """Exact termination rounds on canonical families."""
+
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 12])
+    def test_even_cycles_terminate_in_half_n(self, n):
+        assert termination_round(cycle_graph(n), 0) == n // 2
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 11])
+    def test_odd_cycles_terminate_in_n(self, n):
+        # e(0) = (n-1)/2 and D = (n-1)/2; the echo wave makes the run
+        # last exactly n = 2D + 1 rounds.
+        assert termination_round(cycle_graph(n), 0) == n
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 9])
+    def test_paths_terminate_in_eccentricity(self, n):
+        graph = path_graph(n)
+        assert termination_round(graph, 0) == n - 1
+
+    def test_star_from_center(self):
+        assert termination_round(star_graph(6), 0) == 1
+
+    def test_star_from_leaf(self):
+        assert termination_round(star_graph(6), 1) == 2
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_cliques_terminate_in_three(self, n):
+        # K2 is bipartite (1 round); K_n for n >= 3 echoes: 3 = 2D + 1.
+        assert termination_round(complete_graph(n), 0) == 3
+
+    def test_clique_k2(self):
+        assert termination_round(complete_graph(2), 0) == 1
+
+
+class TestMessageComplexity:
+    def test_bipartite_message_count_is_edges(self):
+        for graph in (path_graph(6), cycle_graph(8), star_graph(5)):
+            assert message_complexity(graph, graph.nodes()[0]) == graph.num_edges
+
+    def test_nonbipartite_message_count_is_double_edges(self):
+        for graph in (cycle_graph(5), complete_graph(4), paper_triangle()):
+            assert (
+                message_complexity(graph, graph.nodes()[0]) == 2 * graph.num_edges
+            )
+
+
+class TestEngineEquivalence:
+    """The message-passing form and the fast simulator are the same process."""
+
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (paper_line, "b"),
+            (paper_triangle, "b"),
+            (paper_even_cycle, "d"),
+            (lambda: cycle_graph(7), 0),
+            (lambda: complete_graph(5), 2),
+            (lambda: star_graph(5), 3),
+        ],
+        ids=["line", "triangle", "c6", "c7", "k5", "star-leaf"],
+    )
+    def test_same_rounds_messages_receipts(self, graph_factory, source):
+        graph = graph_factory()
+        run = simulate(graph, [source])
+        trace = flood_trace(graph, [source])
+        assert trace.termination_round == run.termination_round
+        assert trace.total_messages() == run.total_messages
+        assert trace.receive_rounds() == run.receive_rounds
+        for round_number in range(1, run.termination_round + 1):
+            assert trace.senders_in_round(round_number) == set(
+                run.sender_sets[round_number - 1]
+            )

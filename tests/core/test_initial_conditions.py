@@ -1,0 +1,116 @@
+"""Unit tests for arbitrary-initial-configuration evolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    paper_triangle,
+    path_graph,
+    star_graph,
+)
+from repro.core import (
+    classify_all_configurations,
+    configuration_terminates,
+    evolve,
+    simulate,
+    single_message_orbit,
+    source_configuration,
+)
+
+
+class TestSourceConfigurations:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(5),
+            lambda: cycle_graph(6),
+            lambda: cycle_graph(7),
+            lambda: complete_graph(5),
+        ],
+        ids=["path", "c6", "c7", "k5"],
+    )
+    def test_source_states_terminate(self, graph_factory):
+        """Theorem 3.1 restated in configuration language."""
+        graph = graph_factory()
+        config = source_configuration(graph, [graph.nodes()[0]])
+        result = evolve(graph, config)
+        assert result.terminates
+        # steps equal the simulator's termination round
+        run = simulate(graph, [graph.nodes()[0]])
+        assert result.steps_to_outcome == run.termination_round
+
+    def test_multi_source_configuration(self):
+        graph = path_graph(6)
+        config = source_configuration(graph, [0, 5])
+        assert configuration_terminates(graph, config)
+
+
+class TestLoneMessages:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8])
+    def test_lone_message_circulates_on_cycles(self, n):
+        graph = cycle_graph(n)
+        result = evolve(graph, [(0, 1)])
+        assert not result.terminates
+        assert result.cycle_length == n  # one lap of the cycle
+
+    def test_lone_message_dies_on_paths(self):
+        graph = path_graph(5)
+        result = evolve(graph, [(1, 2)])
+        assert result.terminates
+        assert result.steps_to_outcome == 3  # slides to node 4, falls off
+
+    def test_orbit_on_triangle(self):
+        graph = paper_triangle()
+        orbit = single_message_orbit(graph, ("a", "b"), max_steps=6)
+        # the lone message walks a->b->c->a->b ...
+        assert orbit[0] == frozenset({("a", "b")})
+        assert orbit[1] == frozenset({("b", "c")})
+        assert orbit[2] == frozenset({("c", "a")})
+        assert orbit[3] == frozenset({("a", "b")})
+
+    def test_orbit_terminates_on_star(self):
+        graph = star_graph(4)
+        orbit = single_message_orbit(graph, (1, 0))
+        assert orbit[-1] != orbit[0]
+        # centre forwards to the other 3 leaves, which then stop.
+        assert orbit[-1] == frozenset()
+
+
+class TestValidation:
+    def test_nonedge_rejected(self):
+        with pytest.raises(SimulationError):
+            evolve(path_graph(3), [(0, 2)])
+
+    def test_empty_configuration_terminates_immediately(self):
+        result = evolve(path_graph(3), [])
+        assert result.terminates
+        assert result.steps_to_outcome == 0
+
+
+class TestCensus:
+    def test_tree_census_all_terminate(self):
+        for graph in (path_graph(3), star_graph(3)):
+            census = classify_all_configurations(graph)
+            assert census.terminating == census.total
+            assert census.nonterminating == 0
+            assert census.terminating_fraction == 1.0
+
+    def test_triangle_census_finds_divergence(self):
+        census = classify_all_configurations(paper_triangle())
+        assert census.total == 2**6 - 1
+        assert census.nonterminating > 0
+        assert census.nonterminating_examples
+        # every reported witness really diverges
+        for witness in census.nonterminating_examples:
+            assert not configuration_terminates(paper_triangle(), witness)
+
+    def test_census_cap(self):
+        with pytest.raises(ConfigurationError):
+            classify_all_configurations(complete_graph(5))
+
+    def test_c4_census_mixed(self):
+        census = classify_all_configurations(cycle_graph(4))
+        # even cycles also sustain lone messages: not everything terminates
+        assert 0 < census.terminating < census.total

@@ -1,0 +1,114 @@
+"""Unit tests for node-local knowledge extraction and inference."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    odd_girth,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+)
+from repro.core import (
+    infers_nonbipartite,
+    knowledge_census,
+    local_transcripts,
+    odd_walk_bound,
+    simulate,
+    termination_is_locally_invisible,
+)
+
+
+class TestTranscripts:
+    def test_transcripts_match_simulation(self):
+        graph = paper_triangle()
+        transcripts = local_transcripts(graph, ["b"])
+        run = simulate(graph, ["b"])
+        for node in graph.nodes():
+            assert transcripts[node].receipt_rounds == run.receive_rounds[node]
+
+    def test_source_flagged(self):
+        transcripts = local_transcripts(path_graph(3), [1])
+        assert transcripts[1].was_source
+        assert not transcripts[0].was_source
+
+    def test_senders_recorded(self):
+        transcripts = local_transcripts(paper_triangle(), ["b"])
+        first_round, senders = transcripts["a"].receipts[0]
+        assert first_round == 1
+        assert senders == frozenset({"b"})
+
+
+class TestInference:
+    def test_bipartite_nobody_knows(self):
+        """On bipartite graphs no transcript can prove anything about
+        parity -- single receipts everywhere, silence at the source."""
+        for graph, source in ((path_graph(6), 0), (grid_graph(3, 4), (0, 0))):
+            transcripts = local_transcripts(graph, [source])
+            assert not any(
+                infers_nonbipartite(t) for t in transcripts.values()
+            )
+
+    def test_nonbipartite_everyone_knows(self):
+        """Single source, non-bipartite component: every node ends up
+        with a proof (source via echo, others via double receipt)."""
+        for graph in (paper_triangle(), cycle_graph(5), petersen_graph()):
+            source = graph.nodes()[0]
+            transcripts = local_transcripts(graph, [source])
+            assert all(infers_nonbipartite(t) for t in transcripts.values())
+
+    def test_source_odd_walk_bound_is_exact_through_source(self):
+        graph = cycle_graph(7)
+        transcripts = local_transcripts(graph, [0])
+        assert odd_walk_bound(transcripts[0]) == 7  # the cycle itself
+
+    def test_odd_walk_bounds_dominate_odd_girth(self):
+        graph = petersen_graph()
+        transcripts = local_transcripts(graph, [0])
+        for transcript in transcripts.values():
+            bound = odd_walk_bound(transcript)
+            if bound is not None:
+                assert bound >= odd_girth(graph)
+
+    def test_no_bound_on_bipartite(self):
+        transcripts = local_transcripts(path_graph(4), [0])
+        assert all(odd_walk_bound(t) is None for t in transcripts.values())
+
+
+class TestCensus:
+    def test_triangle_census(self):
+        census = knowledge_census(paper_triangle(), "b")
+        assert census["knower_count"] == 3
+        assert census["best_odd_walk_bound"] == 3
+
+    def test_bipartite_census_empty(self):
+        census = knowledge_census(cycle_graph(8), 0)
+        assert census["knower_count"] == 0
+        assert census["best_odd_walk_bound"] is None
+
+    def test_best_bound_equals_odd_girth_on_odd_cycles(self):
+        for n in (3, 5, 9):
+            census = knowledge_census(cycle_graph(n), 0)
+            assert census["best_odd_walk_bound"] == n
+
+
+class TestTerminationInvisibility:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (lambda: cycle_graph(8), 0),
+            (lambda: path_graph(6), 0),
+            (lambda: complete_graph(5), 0),
+            (petersen_graph, 0),
+        ],
+        ids=["c8", "p6", "k5", "petersen"],
+    )
+    def test_some_node_finishes_early(self, graph_factory, source):
+        """There is always a node whose local view is complete while the
+        flood is still running -- no local termination detection."""
+        assert termination_is_locally_invisible(graph_factory(), source)
+
+    def test_trivial_runs_have_no_witness(self):
+        assert not termination_is_locally_invisible(path_graph(2), 0)

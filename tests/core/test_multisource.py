@@ -1,0 +1,128 @@
+"""Unit tests for multi-source amnesiac flooding."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DisconnectedGraphError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.core import (
+    all_pairs_termination,
+    flood_from_set,
+    multi_source_bounds,
+    predict_multi_source,
+    simulate,
+)
+
+
+class TestFloodFromSet:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flood_from_set(path_graph(3), [])
+
+    def test_all_nodes_as_sources(self):
+        graph = path_graph(4)
+        run = flood_from_set(graph, graph.nodes())
+        assert run.terminated
+        # every edge carries M in both directions in round 1, then the
+        # complement rule silences everyone.
+        assert run.termination_round == 1
+        assert run.total_messages == 2 * graph.num_edges
+
+    def test_two_sources_meet_in_middle(self):
+        run = flood_from_set(path_graph(9), [0, 8])
+        assert run.terminated
+        assert run.termination_round == 4
+
+
+class TestBipartiteExactness:
+    def test_same_side_sources(self):
+        graph = path_graph(7)  # parts {0,2,4,6} and {1,3,5}
+        bounds = multi_source_bounds(graph, [0, 6])
+        assert bounds.bipartite
+        assert bounds.exact == 3
+        run = flood_from_set(graph, [0, 6])
+        assert run.termination_round == bounds.exact
+
+    def test_cross_side_sources(self):
+        graph = path_graph(5)
+        bounds = multi_source_bounds(graph, [0, 1])
+        # side X = {0,2,4}: e({0}) = 4; side Y = {1,3}: e({1}) = 3
+        assert bounds.exact == 4
+        run = flood_from_set(graph, [0, 1])
+        assert run.termination_round == 4
+
+    def test_single_source_collapses_to_lemma(self):
+        graph = grid_graph(3, 3)
+        bounds = multi_source_bounds(graph, [(0, 0)])
+        run = flood_from_set(graph, [(0, 0)])
+        assert bounds.exact == run.termination_round == 4
+
+    @pytest.mark.parametrize(
+        "sources", [[0], [0, 2], [0, 1], [0, 3], [0, 1, 2, 3]]
+    )
+    def test_exactness_on_even_cycle(self, sources):
+        graph = cycle_graph(8)
+        bounds = multi_source_bounds(graph, sources)
+        run = flood_from_set(graph, sources)
+        assert run.termination_round == bounds.exact
+
+
+class TestGeneralBounds:
+    @pytest.mark.parametrize(
+        "graph,sources",
+        [
+            (cycle_graph(5), [0, 2]),
+            (cycle_graph(7), [0, 1, 2]),
+            (complete_graph(5), [0, 1]),
+        ],
+        ids=["c5", "c7", "k5"],
+    )
+    def test_within_bounds(self, graph, sources):
+        bounds = multi_source_bounds(graph, sources)
+        run = flood_from_set(graph, sources)
+        assert run.terminated
+        assert bounds.lower <= run.termination_round <= bounds.upper
+
+    def test_disconnected_rejected(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[2])
+        with pytest.raises(DisconnectedGraphError):
+            multi_source_bounds(graph, [0])
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multi_source_bounds(path_graph(3), [])
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize(
+        "sources", [[0], [0, 3], [1, 4], [0, 1, 2]]
+    )
+    def test_prediction_matches_simulation_c7(self, sources):
+        graph = cycle_graph(7)
+        prediction = predict_multi_source(graph, sources)
+        run = simulate(graph, sources)
+        assert prediction.termination_round == run.termination_round
+        assert prediction.receive_rounds == run.receive_rounds
+        assert prediction.total_messages == run.total_messages
+
+
+class TestAllPairs:
+    def test_pair_sweep_counts(self):
+        graph = cycle_graph(5)
+        results = all_pairs_termination(graph)
+        assert len(results) == 10
+
+    def test_pair_limit(self):
+        graph = cycle_graph(6)
+        assert len(all_pairs_termination(graph, pair_limit=4)) == 4
+
+    def test_more_sources_never_slower_on_paths(self):
+        graph = path_graph(9)
+        single = simulate(graph, [0]).termination_round
+        double = simulate(graph, [0, 8]).termination_round
+        assert double <= single

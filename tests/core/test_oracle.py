@@ -1,0 +1,69 @@
+"""Unit tests for the double-cover oracle."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    paper_even_cycle,
+    paper_line,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    wheel_graph,
+)
+from repro.core import parity_signature, predict, predict_single, simulate
+
+
+class TestExactPredictions:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (paper_line, "b"),
+            (paper_triangle, "a"),
+            (paper_even_cycle, "f"),
+            (lambda: cycle_graph(9), 4),
+            (lambda: complete_graph(6), 0),
+            (lambda: wheel_graph(7), 0),
+            (petersen_graph, 3),
+            (lambda: path_graph(10), 9),
+        ],
+        ids=["line", "triangle", "c6", "c9", "k6", "wheel", "petersen", "p10"],
+    )
+    def test_oracle_matches_simulation(self, graph_factory, source):
+        graph = graph_factory()
+        prediction = predict_single(graph, source)
+        run = simulate(graph, [source])
+        assert prediction.termination_round == run.termination_round
+        assert prediction.receive_rounds == run.receive_rounds
+        assert prediction.total_messages == run.total_messages
+
+    def test_multi_source_prediction(self):
+        graph = cycle_graph(8)
+        prediction = predict(graph, [0, 4])
+        run = simulate(graph, [0, 4])
+        assert prediction.termination_round == run.termination_round
+        assert prediction.receive_rounds == run.receive_rounds
+
+
+class TestPredictionShape:
+    def test_receive_counts(self):
+        prediction = predict_single(paper_triangle(), "b")
+        assert prediction.receive_counts() == {"a": 2, "b": 1, "c": 2}
+        assert prediction.max_receipts() == 2
+
+    def test_bipartite_max_receipts_one(self):
+        prediction = predict_single(path_graph(6), 0)
+        assert prediction.max_receipts() == 1
+
+    def test_parity_signature_distinct(self):
+        for graph in (cycle_graph(5), petersen_graph(), complete_graph(4)):
+            signature = parity_signature(graph, graph.nodes()[0])
+            for node, parities in signature.items():
+                # a node never receives twice at the same parity
+                assert len(set(parities)) == len(parities)
+
+    def test_nonbipartite_signature_has_both_parities(self):
+        signature = parity_signature(cycle_graph(5), 0)
+        non_source = {n: p for n, p in signature.items() if n != 0}
+        assert all(sorted(p) == [0, 1] for p in non_source.values())

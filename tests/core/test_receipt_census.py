@@ -1,0 +1,59 @@
+"""Unit tests for the multi-source receipt census."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.core import receipt_census, simulate
+
+
+class TestSingleSource:
+    def test_bipartite_once_each(self):
+        census = receipt_census(path_graph(5), [0])
+        assert census.never == (0,)  # the source holds, never receives
+        assert set(census.once) == {1, 2, 3, 4}
+        assert census.twice == ()
+
+    def test_nonbipartite_twice_each(self):
+        census = receipt_census(cycle_graph(5), [0])
+        assert set(census.twice) == {1, 2, 3, 4}
+        assert census.once == (0,)  # the echo comes home once
+
+
+class TestMultiSourceSurprise:
+    def test_bipartite_cross_side_sources_deliver_twice(self):
+        """Sources on both sides of the bipartition flood both copies
+        of the cover: nodes reachable in both copies hear it twice --
+        double delivery WITHOUT any odd cycle."""
+        census = receipt_census(path_graph(3), [0, 1])
+        assert 2 in census.twice
+        assert census.counts()[2] >= 1
+
+    def test_same_side_sources_stay_single(self):
+        # both sources in the even part: one copy floods, once each.
+        census = receipt_census(path_graph(5), [0, 4])
+        assert census.twice == ()
+
+    def test_census_matches_simulation(self):
+        for graph, sources in (
+            (path_graph(6), [0, 1]),
+            (cycle_graph(8), [0, 3]),
+            (complete_graph(5), [0, 1]),
+            (grid_graph(3, 3), [(0, 0), (1, 0)]),
+        ):
+            census = receipt_census(graph, sources)
+            run = simulate(graph, sources)
+            counts = run.receive_counts()
+            assert set(census.never) == {n for n, c in counts.items() if c == 0}
+            assert set(census.once) == {n for n, c in counts.items() if c == 1}
+            assert set(census.twice) == {n for n, c in counts.items() if c == 2}
+
+    def test_counts_partition_nodes(self):
+        graph = cycle_graph(9)
+        census = receipt_census(graph, [0, 4])
+        histogram = census.counts()
+        assert sum(histogram.values()) == graph.num_nodes

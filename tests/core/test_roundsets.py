@@ -1,0 +1,90 @@
+"""Unit tests for the Theorem 3.1 round-set machinery."""
+
+import pytest
+
+from repro.graphs import cycle_graph, paper_triangle, path_graph
+from repro.core import (
+    Recurrence,
+    analyze_round_sets,
+    analyze_run,
+    even_recurrences,
+    minimal_even_recurrence,
+    node_appearances,
+    recurrences,
+    simulate,
+)
+
+
+class TestRecurrenceEnumeration:
+    def test_triangle_recurrences(self):
+        run = simulate(paper_triangle(), ["b"])
+        sets = run.round_sets()
+        # R0 = {b}, R1 = {a,c}, R2 = {a,c}, R3 = {b}
+        found = recurrences(sets)
+        durations = sorted(r.duration for r in found)
+        assert durations == [1, 3]  # (R1,R2) and (R0,R3)
+        assert not even_recurrences(sets)
+
+    def test_path_has_no_recurrences(self):
+        run = simulate(path_graph(5), [0])
+        assert recurrences(run.round_sets()) == []
+
+    def test_synthetic_even_recurrence_detected(self):
+        sets = [{"x"}, {"y"}, {"x"}]
+        evens = even_recurrences(sets)
+        assert len(evens) == 1
+        assert evens[0].duration == 2
+        assert evens[0].nodes == ("x",)
+
+    def test_minimal_even_recurrence_choice(self):
+        # two even recurrences: duration 2 at start 1, duration 2 at start 0
+        sets = [{"a"}, {"b"}, {"a"}, {"b"}]
+        minimal = minimal_even_recurrence(sets)
+        assert minimal is not None
+        assert minimal.duration == 2
+        assert minimal.start == 0  # earliest start among minimal durations
+
+    def test_minimal_none_when_empty(self):
+        run = simulate(cycle_graph(7), [0])
+        assert minimal_even_recurrence(run.round_sets()) is None
+
+    def test_recurrence_is_even_flag(self):
+        assert Recurrence(0, 2, ("x",)).is_even
+        assert not Recurrence(0, 3, ("x",)).is_even
+
+
+class TestNodeAppearances:
+    def test_triangle_appearances(self):
+        run = simulate(paper_triangle(), ["b"])
+        appearances = node_appearances(run.round_sets())
+        assert appearances["b"] == [0, 3]
+        assert appearances["a"] == [1, 2]
+        assert appearances["c"] == [1, 2]
+
+
+class TestStructureReport:
+    @pytest.mark.parametrize("n", [3, 5, 7, 4, 6, 8])
+    def test_cycles_satisfy_theorem(self, n):
+        run = simulate(cycle_graph(n), [0])
+        report = analyze_run(run)
+        assert report.satisfies_theorem
+        assert report.even_recurrence_count == 0
+        assert report.max_appearances <= 2
+        assert report.parity_consistent
+        assert report.witnesses == []
+
+    def test_violating_sequence_reported(self):
+        report = analyze_round_sets([{"x"}, set(), {"x"}])
+        assert not report.satisfies_theorem
+        assert report.even_recurrence_count == 1
+        assert not report.parity_consistent
+
+    def test_triple_appearance_reported(self):
+        report = analyze_round_sets([{"x"}, {"x"}, {"x"}])
+        assert report.max_appearances == 3
+        assert not report.satisfies_theorem
+
+    def test_empty_run(self):
+        report = analyze_round_sets([set()])
+        assert report.satisfies_theorem
+        assert report.rounds == 1

@@ -1,0 +1,102 @@
+"""Unit tests for termination bounds and predicates."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    wheel_graph,
+)
+from repro.core import (
+    bipartite_exactness_gap,
+    oracle_round,
+    respects_bounds,
+    terminates,
+    theoretical_bounds,
+)
+
+
+class TestTerminates:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), cycle_graph(5), complete_graph(6), petersen_graph()],
+        ids=["path", "c5", "k6", "petersen"],
+    )
+    def test_always_terminates(self, graph):
+        for source in graph.nodes():
+            assert terminates(graph, source)
+
+    def test_budget_too_small_reports_false(self):
+        assert not terminates(cycle_graph(9), 0, max_rounds=2)
+
+
+class TestTheoreticalBounds:
+    def test_bipartite_exact(self):
+        bounds = theoretical_bounds(path_graph(5), [0])
+        assert bounds.bipartite
+        assert bounds.exact == 4
+        assert bounds.lower == bounds.upper == 4
+
+    def test_bipartite_interior_source(self):
+        bounds = theoretical_bounds(path_graph(5), [2])
+        assert bounds.exact == 2
+
+    def test_nonbipartite_range(self):
+        bounds = theoretical_bounds(cycle_graph(7), [0])
+        assert not bounds.bipartite
+        assert bounds.lower == 3  # e(0) on C7
+        assert bounds.upper == 7  # 2D + 1
+        assert bounds.exact is None
+
+    def test_disconnected_rejected(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[5])
+        with pytest.raises(DisconnectedGraphError):
+            theoretical_bounds(graph, [0])
+
+    def test_multi_source_lower_is_set_eccentricity(self):
+        bounds = theoretical_bounds(path_graph(9), [0, 8])
+        assert bounds.lower == 4
+
+
+class TestRespectsBounds:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(7),
+            cycle_graph(6),
+            cycle_graph(9),
+            complete_graph(5),
+            wheel_graph(8),
+            petersen_graph(),
+        ],
+        ids=["path", "c6", "c9", "k5", "wheel", "petersen"],
+    )
+    def test_all_sources_respect_bounds(self, graph):
+        for source in graph.nodes():
+            assert respects_bounds(graph, source)
+
+
+class TestOracleRound:
+    def test_matches_triangle(self):
+        assert oracle_round(paper_triangle(), ["b"]) == 3
+
+    def test_matches_path(self):
+        assert oracle_round(path_graph(6), [0]) == 5
+
+
+class TestExactnessGap:
+    def test_zero_on_bipartite(self):
+        for graph in (path_graph(6), cycle_graph(8)):
+            for source in graph.nodes():
+                assert bipartite_exactness_gap(graph, source) == 0
+
+    def test_positive_on_nonbipartite(self):
+        # Non-bipartite runs always outlive the eccentricity (the echo).
+        for graph in (cycle_graph(5), complete_graph(4), petersen_graph()):
+            for source in graph.nodes():
+                assert bipartite_exactness_gap(graph, source) >= 1

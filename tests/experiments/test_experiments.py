@@ -1,0 +1,142 @@
+"""Tests for the experiment harness: figures, claims, registry, CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments import (
+    ALL_CLAIMS,
+    ALL_FIGURES,
+    REGISTRY,
+    experiment_ids,
+    run_experiment,
+    run_experiments,
+)
+from repro.experiments.figures import figure1, figure2, figure3, figure5
+from repro.experiments.report import print_report
+from repro.experiments.workloads import (
+    async_suite,
+    bipartite_suite,
+    mixed_suite,
+    nonbipartite_suite,
+    odd_cycles,
+    random_instances,
+    scaling_suite,
+)
+
+
+class TestWorkloads:
+    def test_bipartite_suite_is_bipartite_and_connected(self):
+        from repro.graphs import is_bipartite, is_connected
+
+        for label, graph in bipartite_suite():
+            assert is_connected(graph), label
+            assert is_bipartite(graph), label
+
+    def test_nonbipartite_suite_is_nonbipartite_and_connected(self):
+        from repro.graphs import is_bipartite, is_connected
+
+        for label, graph in nonbipartite_suite():
+            assert is_connected(graph), label
+            assert not is_bipartite(graph), label
+
+    def test_mixed_suite_is_union(self):
+        assert len(mixed_suite()) == len(bipartite_suite()) + len(
+            nonbipartite_suite()
+        )
+
+    def test_odd_cycles_lengths(self):
+        labels = [label for label, _ in odd_cycles((3, 5))]
+        assert labels == ["cycle-3", "cycle-5"]
+
+    def test_random_instances_deterministic(self):
+        first = random_instances(3, size=10, extra_edge_prob=0.2, base_seed=1)
+        second = random_instances(3, size=10, extra_edge_prob=0.2, base_seed=1)
+        assert [g for _, g in first] == [g for _, g in second]
+
+    def test_scaling_suite_has_growing_sizes(self):
+        suite = scaling_suite(sizes=(8, 16))
+        assert any("path-8" == label for label, _ in suite)
+        assert any("path-16" == label for label, _ in suite)
+
+    def test_async_suite_members_small(self):
+        for label, graph in async_suite():
+            assert graph.num_nodes <= 6
+
+
+class TestFigures:
+    @pytest.mark.parametrize("figure_id", list(ALL_FIGURES))
+    def test_every_figure_passes(self, figure_id):
+        result = ALL_FIGURES[figure_id]()
+        assert result.passed, result.render()
+
+    def test_figure1_details(self):
+        result = figure1()
+        assert result.figure_id == "FIG1"
+        assert "2 rounds" in result.expected
+        assert "(b)" in result.rendering
+
+    def test_figure2_sender_dynamics(self):
+        result = figure2()
+        assert "round-2 senders ['a', 'c']" in result.observed
+
+    def test_figure3_all_sources(self):
+        result = figure3()
+        assert "'a': 3" in result.observed
+
+    def test_figure5_certificate(self):
+        result = figure5()
+        assert "period" in result.observed
+        assert "->" in result.rendering
+
+    def test_render_contains_status(self):
+        text = figure1().render()
+        assert text.startswith("[PASS]")
+
+
+class TestClaims:
+    @pytest.mark.parametrize("claim_id", list(ALL_CLAIMS))
+    def test_every_claim_passes(self, claim_id):
+        result = ALL_CLAIMS[claim_id]()
+        assert result.passed, result.render()
+        assert result.instances > 0
+
+
+class TestRegistryAndReport:
+    def test_registry_complete(self):
+        from repro.experiments.extensions import ALL_EXTENSIONS
+
+        assert set(experiment_ids()) == (
+            set(ALL_FIGURES) | set(ALL_CLAIMS) | set(ALL_EXTENSIONS)
+        )
+
+    def test_run_experiment_by_id(self):
+        result = run_experiment("FIG1")
+        assert result.passed
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("FIG99")
+
+    def test_report_subset(self):
+        report = run_experiments(only=["FIG1", "FIG2"])
+        assert report.total == 2
+        assert report.all_passed
+
+    def test_print_report_renders(self):
+        stream = io.StringIO()
+        report = print_report(only=["FIG1"], stream=stream)
+        text = stream.getvalue()
+        assert "Reproduction report" in text
+        assert "TOTAL: 1/1" in text
+        assert report.all_passed
+
+    def test_cli_list(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+
+    def test_cli_runs_subset(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["FIG1"]) == 0

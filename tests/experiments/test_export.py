@@ -1,0 +1,62 @@
+"""Unit tests for the CSV/JSON experiment export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    CSV_FIELDS,
+    render_csv,
+    render_json,
+    report_to_records,
+    result_to_record,
+)
+from repro.experiments.figures import figure1
+from repro.experiments.report import run_experiments
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_experiments(only=["FIG1", "FIG2", "CL-C22"])
+
+
+class TestRecords:
+    def test_figure_record(self):
+        record = result_to_record(figure1())
+        assert record["id"] == "FIG1"
+        assert record["kind"] == "figure"
+        assert record["passed"] is True
+
+    def test_report_records_preserve_order(self, small_report):
+        records = report_to_records(small_report)
+        assert [r["id"] for r in records] == ["FIG1", "FIG2", "CL-C22"]
+
+    def test_claim_record_instances(self, small_report):
+        records = report_to_records(small_report)
+        claim = next(r for r in records if r["id"] == "CL-C22")
+        assert claim["instances"] > 100
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, small_report):
+        text = render_csv(small_report)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert set(rows[0]) == set(CSV_FIELDS)
+        assert rows[0]["passed"] == "True"
+
+
+class TestJson:
+    def test_valid_json_with_header(self, small_report):
+        payload = json.loads(render_json(small_report))
+        assert payload["total"] == 3
+        assert payload["passed"] == 3
+        assert payload["all_passed"] is True
+        assert len(payload["experiments"]) == 3
+
+    def test_statements_present(self, small_report):
+        payload = json.loads(render_json(small_report))
+        for record in payload["experiments"]:
+            assert record["statement"]

@@ -1,0 +1,77 @@
+"""Tests for report rendering on failing experiments.
+
+The real experiments all pass; these tests inject synthetic failures
+to make sure a regression would be *reported*, not silently summed.
+"""
+
+import pytest
+
+from repro.experiments.claims import ClaimResult
+from repro.experiments.figures import FigureReproduction
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.report import Report, ReportEntry
+
+
+def _failing_claim() -> ClaimResult:
+    return ClaimResult(
+        claim_id="CL-FAKE",
+        statement="a synthetic failing claim",
+        instances=10,
+        passed=False,
+        detail="3 instances violated the bound",
+    )
+
+
+def _passing_figure() -> FigureReproduction:
+    return FigureReproduction(
+        figure_id="FIG-FAKE",
+        title="a synthetic figure",
+        expected="x",
+        observed="x",
+        passed=True,
+    )
+
+
+def _entry(result) -> ReportEntry:
+    spec = ExperimentSpec(
+        experiment_id=getattr(result, "claim_id", getattr(result, "figure_id", "?")),
+        description="synthetic",
+        kind="claim" if isinstance(result, ClaimResult) else "figure",
+        run=lambda: result,
+    )
+    return ReportEntry(spec=spec, result=result)
+
+
+class TestFailureRendering:
+    def test_fail_marker_in_render(self):
+        text = _failing_claim().render()
+        assert text.startswith("[FAIL]")
+        assert "3 instances violated" in text
+
+    def test_report_aggregates_failures(self):
+        report = Report(entries=[_entry(_failing_claim()), _entry(_passing_figure())])
+        assert report.total == 2
+        assert report.passed == 1
+        assert not report.all_passed
+        rendered = report.render()
+        assert "1/2" in rendered.splitlines()[-1]
+        assert "[FAIL]" in rendered
+        assert "[PASS]" in rendered
+
+    def test_export_records_failure(self):
+        from repro.experiments.export import report_to_records
+
+        report = Report(entries=[_entry(_failing_claim())])
+        records = report_to_records(report)
+        assert records[0]["passed"] is False
+
+    def test_cli_exit_code_on_failure(self, monkeypatch):
+        """A failing experiment must flip the CLI's exit status."""
+        import repro.experiments.__main__ as cli
+        import repro.experiments.report as report_module
+
+        def fake_run(only=None):
+            return Report(entries=[_entry(_failing_claim())])
+
+        monkeypatch.setattr(report_module, "run_experiments", fake_run)
+        assert cli.main(["FIG1"]) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for the termination-time survey harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import check_survey_invariants, run_survey, survey_table
+from repro.experiments.survey import DEFAULT_FAMILIES, survey_cell
+
+
+class TestSurveyCell:
+    def test_tree_cell(self):
+        cell = survey_cell("tree", DEFAULT_FAMILIES["tree"], 20, samples=5, base_seed=1)
+        assert cell.samples == 5
+        assert cell.bipartite_fraction == 1.0
+        assert cell.rounds_over_diameter.maximum <= 1.0
+
+    def test_dense_cell_mostly_nonbipartite(self):
+        cell = survey_cell(
+            "dense", DEFAULT_FAMILIES["dense"], 24, samples=6, base_seed=2
+        )
+        assert cell.bipartite_fraction < 0.5
+        assert cell.rounds_over_diameter.maximum <= 3.0
+
+    def test_invalid_samples(self):
+        with pytest.raises(ConfigurationError):
+            survey_cell("tree", DEFAULT_FAMILIES["tree"], 10, samples=0, base_seed=1)
+
+    def test_deterministic_per_seed(self):
+        first = survey_cell("sparse", DEFAULT_FAMILIES["sparse"], 16, 4, base_seed=7)
+        second = survey_cell("sparse", DEFAULT_FAMILIES["sparse"], 16, 4, base_seed=7)
+        assert first.rounds == second.rounds
+        assert first.messages == second.messages
+
+
+class TestSurveyGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_survey(sizes=(12, 24), samples=4, base_seed=5)
+
+    def test_grid_shape(self, grid):
+        assert len(grid) == len(DEFAULT_FAMILIES) * 2
+
+    def test_invariants_hold(self, grid):
+        assert check_survey_invariants(grid) == []
+
+    def test_table_renders_all_cells(self, grid):
+        table = survey_table(grid)
+        for cell in grid:
+            assert cell.family in table
+        assert "rounds/D" in table
+
+    def test_rounds_grow_with_size_for_trees(self, grid):
+        tree_cells = sorted(
+            (c for c in grid if c.family == "tree"), key=lambda c: c.size
+        )
+        assert tree_cells[0].rounds.mean <= tree_cells[1].rounds.mean
+
+
+class TestInvariantChecker:
+    def test_detects_violations(self):
+        from repro.analysis.statistics import summarize
+        from repro.experiments.survey import SurveyCell
+
+        bogus = SurveyCell(
+            family="tree",
+            size=10,
+            samples=1,
+            bipartite_fraction=0.5,
+            rounds=summarize([5]),
+            messages=summarize([5]),
+            rounds_over_diameter=summarize([4.0]),
+        )
+        violations = check_survey_invariants([bogus])
+        assert len(violations) >= 2

@@ -1,0 +1,71 @@
+"""Unit tests for the circulant graph generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    circulant_graph,
+    cycle_graph,
+    is_bipartite,
+    is_connected,
+    odd_girth,
+)
+from repro.core import respects_bounds, simulate
+
+
+class TestConstruction:
+    def test_offset_one_is_cycle(self):
+        assert circulant_graph(8, [1]) == cycle_graph(8)
+
+    def test_regularity(self):
+        graph = circulant_graph(13, [1, 5])
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_half_n_offset_degree(self):
+        # offset n/2 pairs up antipodes: contributes degree 1, not 2
+        graph = circulant_graph(8, [4])
+        assert all(graph.degree(node) == 1 for node in graph.nodes())
+
+    def test_even_offset_on_even_n_disconnects(self):
+        graph = circulant_graph(8, [2])
+        assert not is_connected(graph)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            circulant_graph(2, [1])
+        with pytest.raises(ConfigurationError):
+            circulant_graph(8, [])
+        with pytest.raises(ConfigurationError):
+            circulant_graph(8, [5])
+
+
+class TestParityStructure:
+    def test_odd_n_never_bipartite_with_offset_one(self):
+        for n in (5, 7, 9):
+            assert not is_bipartite(circulant_graph(n, [1, 2]))
+
+    def test_even_cycle_like_bipartite(self):
+        assert is_bipartite(circulant_graph(10, [1]))
+        assert is_bipartite(circulant_graph(10, [1, 3]))
+        assert not is_bipartite(circulant_graph(10, [1, 2]))
+
+    def test_odd_girth_controlled(self):
+        # offsets {1, 2} create triangles (i, i+1, i+2)
+        assert odd_girth(circulant_graph(9, [1, 2])) == 3
+
+
+class TestFloodingOnCirculants:
+    @pytest.mark.parametrize(
+        "n,offsets",
+        [(9, [1, 2]), (12, [1, 3]), (13, [1, 5]), (10, [1, 2])],
+        ids=["c9-12", "c12-13", "c13-15", "c10-12"],
+    )
+    def test_bounds_respected(self, n, offsets):
+        graph = circulant_graph(n, offsets)
+        for source in (0, n // 2):
+            assert respects_bounds(graph, source)
+
+    def test_vertex_transitivity_gives_uniform_rounds(self):
+        graph = circulant_graph(11, [1, 3])
+        rounds = {simulate(graph, [v]).termination_round for v in graph.nodes()}
+        assert len(rounds) == 1  # same from every source by symmetry

@@ -1,0 +1,112 @@
+"""Unit tests for the bipartite double cover and its predictions."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cover_distances,
+    cycle_graph,
+    double_cover,
+    is_bipartite,
+    is_connected,
+    paper_line,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    predicted_message_complexity,
+    predicted_receive_rounds,
+    predicted_termination_round,
+    receives_exactly_once_everywhere,
+)
+
+
+class TestConstruction:
+    def test_doubles_nodes_and_edges(self):
+        graph = cycle_graph(5)
+        cover = double_cover(graph)
+        assert cover.num_nodes == 10
+        assert cover.num_edges == 10
+
+    def test_cover_is_always_bipartite(self):
+        for graph in (cycle_graph(5), complete_graph(4), petersen_graph()):
+            assert is_bipartite(double_cover(graph))
+
+    def test_cover_of_triangle_is_hexagon(self):
+        cover = double_cover(paper_triangle())
+        assert cover.num_nodes == 6
+        assert all(cover.degree(n) == 2 for n in cover.nodes())
+        assert is_connected(cover)
+
+    def test_cover_of_bipartite_graph_is_two_copies(self):
+        graph = path_graph(4)
+        cover = double_cover(graph)
+        from repro.graphs import connected_components
+
+        components = connected_components(cover)
+        assert len(components) == 2
+        assert all(len(c) == 4 for c in components)
+
+    def test_cover_connected_iff_nonbipartite(self):
+        assert is_connected(double_cover(cycle_graph(5)))
+        assert not is_connected(double_cover(cycle_graph(6)))
+
+    def test_edges_flip_parity(self):
+        cover = double_cover(complete_graph(3))
+        for (u, pu), (v, pv) in cover.edges():
+            assert pu != pv
+
+
+class TestPredictions:
+    def test_line_termination(self):
+        assert predicted_termination_round(paper_line(), ["b"]) == 2
+
+    def test_triangle_termination(self):
+        assert predicted_termination_round(paper_triangle(), ["b"]) == 3
+
+    def test_even_cycle_termination(self):
+        assert predicted_termination_round(cycle_graph(6), [0]) == 3
+
+    def test_receive_rounds_bipartite_once(self):
+        rounds = predicted_receive_rounds(path_graph(4), [0])
+        assert rounds == {0: (), 1: (1,), 2: (2,), 3: (3,)}
+
+    def test_receive_rounds_triangle_twice(self):
+        rounds = predicted_receive_rounds(paper_triangle(), ["b"])
+        assert rounds["a"] == (1, 2)
+        assert rounds["c"] == (1, 2)
+        assert rounds["b"] == (3,)
+
+    def test_receive_round_parities_distinct(self):
+        for graph in (cycle_graph(5), complete_graph(5), petersen_graph()):
+            rounds = predicted_receive_rounds(graph, [graph.nodes()[0]])
+            for node, values in rounds.items():
+                assert len({v % 2 for v in values}) == len(values)
+
+    def test_message_complexity_bipartite_is_edge_count(self):
+        graph = path_graph(5)
+        # one copy of the cover is flooded: exactly m messages
+        assert predicted_message_complexity(graph, [0]) == graph.num_edges
+
+    def test_message_complexity_nonbipartite_is_double(self):
+        graph = paper_triangle()
+        assert predicted_message_complexity(graph, ["b"]) == 2 * graph.num_edges
+
+    def test_multi_source_distances(self):
+        distances = cover_distances(path_graph(3), [0, 2])
+        assert distances[(0, 0)] == 0
+        assert distances[(2, 0)] == 0
+        assert distances[(1, 1)] == 1
+
+
+class TestOncePredicate:
+    def test_bipartite_once(self):
+        assert receives_exactly_once_everywhere(path_graph(5), 2)
+
+    def test_nonbipartite_not_once(self):
+        assert not receives_exactly_once_everywhere(cycle_graph(7), 0)
+
+    def test_unknown_source_raises(self):
+        from repro.errors import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            predicted_termination_round(path_graph(3), [99])

@@ -1,0 +1,216 @@
+"""Unit tests for deterministic graph generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    barbell_graph,
+    binary_tree,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    cycle_with_chord,
+    friendship_graph,
+    grid_graph,
+    hypercube_graph,
+    is_bipartite,
+    is_connected,
+    is_tree,
+    lollipop_graph,
+    paper_even_cycle,
+    paper_line,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    theta_graph,
+    torus_graph,
+    wheel_graph,
+    diameter,
+)
+from repro.graphs.generators import FAMILY_BUILDERS
+
+
+class TestBasicFamilies:
+    def test_path_counts(self):
+        graph = path_graph(6)
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 5
+        assert is_tree(graph)
+
+    def test_path_single_node(self):
+        graph = path_graph(1)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_cycle_counts_and_regularity(self):
+        graph = cycle_graph(7)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 7
+        assert all(graph.degree(n) == 2 for n in graph.nodes())
+
+    def test_cycle_parity_bipartiteness(self):
+        assert is_bipartite(cycle_graph(6))
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert diameter(graph) == 1
+
+    def test_star(self):
+        graph = star_graph(5)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(i) == 1 for i in range(1, 6))
+        assert is_bipartite(graph)
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.num_edges == 12
+        assert is_bipartite(graph)
+        assert diameter(graph) == 2
+
+
+class TestGridTorusHypercube:
+    def test_grid_structure(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert is_bipartite(graph)
+        assert diameter(graph) == 2 + 3
+
+    def test_torus_regular(self):
+        graph = torus_graph(4, 4)
+        assert graph.num_nodes == 16
+        assert all(graph.degree(n) == 4 for n in graph.nodes())
+        assert is_bipartite(graph)  # both dims even
+
+    def test_torus_odd_not_bipartite(self):
+        assert not is_bipartite(torus_graph(3, 4))
+
+    def test_hypercube(self):
+        graph = hypercube_graph(4)
+        assert graph.num_nodes == 16
+        assert graph.num_edges == 32
+        assert is_bipartite(graph)
+        assert diameter(graph) == 4
+
+    def test_hypercube_zero_dim(self):
+        graph = hypercube_graph(0)
+        assert graph.num_nodes == 1
+
+
+class TestCompositeFamilies:
+    def test_wheel_not_bipartite(self):
+        graph = wheel_graph(6)
+        assert graph.num_nodes == 7
+        assert graph.degree(0) == 6
+        assert not is_bipartite(graph)
+
+    def test_binary_tree(self):
+        graph = binary_tree(3)
+        assert graph.num_nodes == 15
+        assert is_tree(graph)
+
+    def test_caterpillar(self):
+        graph = caterpillar_graph(4, 2)
+        assert graph.num_nodes == 4 + 8
+        assert is_tree(graph)
+
+    def test_barbell(self):
+        graph = barbell_graph(4, 2)
+        assert is_connected(graph)
+        assert not is_bipartite(graph)
+        # two K4s plus a 2-edge bridge path
+        assert graph.num_edges == 6 + 6 + 2
+
+    def test_lollipop(self):
+        graph = lollipop_graph(4, 3)
+        assert is_connected(graph)
+        assert graph.num_edges == 6 + 3
+
+    def test_theta_parity_controls_bipartiteness(self):
+        assert is_bipartite(theta_graph(2, 2, 4))
+        assert not is_bipartite(theta_graph(1, 2, 2))
+
+    def test_theta_rejects_double_length_one(self):
+        with pytest.raises(ConfigurationError):
+            theta_graph(1, 1, 3)
+
+    def test_petersen(self):
+        graph = petersen_graph()
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 15
+        assert all(graph.degree(n) == 3 for n in graph.nodes())
+        assert not is_bipartite(graph)
+
+    def test_friendship(self):
+        graph = friendship_graph(3)
+        assert graph.num_nodes == 7
+        assert graph.degree(0) == 6
+        assert not is_bipartite(graph)
+
+    def test_cycle_with_chord_even_split_stays_bipartite(self):
+        # chord 0-3 splits C6 into two even 4-cycles
+        graph = cycle_with_chord(6, 0, 3)
+        assert graph.num_edges == 7
+        assert is_bipartite(graph)
+
+    def test_cycle_with_chord_odd_split_breaks_bipartiteness(self):
+        # chord 0-2 creates the triangle 0-1-2
+        graph = cycle_with_chord(6, 0, 2)
+        assert not is_bipartite(graph)
+
+    def test_cycle_with_chord_rejects_adjacent(self):
+        with pytest.raises(ConfigurationError):
+            cycle_with_chord(6, 0, 1)
+
+
+class TestPaperInstances:
+    def test_paper_line(self):
+        graph = paper_line()
+        assert graph.nodes() == ("a", "b", "c", "d")
+        assert diameter(graph) == 3
+
+    def test_paper_triangle(self):
+        graph = paper_triangle()
+        assert graph.num_edges == 3
+        assert diameter(graph) == 1
+
+    def test_paper_even_cycle(self):
+        graph = paper_even_cycle()
+        assert graph.num_nodes == 6
+        assert all(graph.degree(n) == 2 for n in graph.nodes())
+        assert diameter(graph) == 3
+
+
+class TestRegistry:
+    def test_registry_builders_produce_graphs(self):
+        samples = {
+            "path": (5,),
+            "circulant": (7, [1, 2]),
+            "cycle": (5,),
+            "complete": (4,),
+            "star": (4,),
+            "complete_bipartite": (2, 3),
+            "grid": (2, 3),
+            "torus": (3, 3),
+            "hypercube": (3,),
+            "wheel": (5,),
+            "binary_tree": (2,),
+            "caterpillar": (3, 1),
+            "barbell": (3, 2),
+            "lollipop": (3, 2),
+            "theta": (2, 2, 2),
+            "petersen": (),
+            "friendship": (2,),
+        }
+        assert set(samples) == set(FAMILY_BUILDERS)
+        for name, args in samples.items():
+            graph = FAMILY_BUILDERS[name](*args)
+            assert graph.num_nodes > 0

@@ -1,0 +1,185 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError, EdgeNotFoundError
+from repro.graphs import Graph, degree_sequence, is_regular
+from repro.graphs.graph import edge_list_string
+
+
+class TestConstruction:
+    def test_from_adjacency_symmetrises(self):
+        graph = Graph({0: [1]})
+        assert graph.has_edge(1, 0)
+        assert graph.has_edge(0, 1)
+
+    def test_from_edges_with_isolated(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[5])
+        assert graph.has_node(5)
+        assert graph.degree(5) == 0
+        assert graph.num_nodes == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph({0: [0]})
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph.from_edges([(0, 1), (0, 1), (1, 0)])
+        assert graph.num_edges == 1
+
+    def test_empty_graph(self):
+        graph = Graph({})
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.nodes() == ()
+        assert graph.edges() == []
+
+    def test_string_labels(self):
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert graph.degree("b") == 2
+        assert set(graph.neighbors("b")) == {"a", "c"}
+
+
+class TestQueries:
+    def test_counts(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_nodes_sorted(self):
+        graph = Graph.from_edges([(3, 1), (2, 0)])
+        assert graph.nodes() == (0, 1, 2, 3)
+
+    def test_edges_each_reported_once(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        edges = graph.edges()
+        assert len(edges) == 3
+        assert len(set(map(frozenset, edges))) == 3
+
+    def test_neighbors_unknown_node(self):
+        graph = Graph({0: [1]})
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors(99)
+
+    def test_contains_iter_len(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert 1 in graph
+        assert 9 not in graph
+        assert sorted(graph) == [0, 1, 2]
+        assert len(graph) == 3
+
+    def test_has_edge_for_unknown_nodes_is_false(self):
+        graph = Graph({0: [1]})
+        assert not graph.has_edge(0, 7)
+        assert not graph.has_edge(7, 8)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induces_edges(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+        assert not sub.has_node(3)
+
+    def test_subgraph_unknown_node(self):
+        graph = Graph({0: [1]})
+        with pytest.raises(NodeNotFoundError):
+            graph.subgraph([0, 42])
+
+    def test_relabel(self):
+        graph = Graph.from_edges([(0, 1)])
+        renamed = graph.relabel({0: "x", 1: "y"})
+        assert renamed.has_edge("x", "y")
+
+    def test_relabel_collision_rejected(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            graph.relabel({0: "x", 1: "x"})
+
+    def test_with_edge(self):
+        graph = Graph.from_edges([(0, 1)])
+        bigger = graph.with_edge(1, 2)
+        assert bigger.has_edge(1, 2)
+        assert not graph.has_edge(1, 2)  # original untouched
+
+    def test_without_edge(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        smaller = graph.without_edge(0, 1)
+        assert not smaller.has_edge(0, 1)
+        assert smaller.has_node(0)
+
+    def test_without_missing_edge(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.without_edge(0, 2)
+
+    def test_disjoint_union(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1), (1, 2)])
+        union = a.disjoint_union(b)
+        assert union.num_nodes == 5
+        assert union.num_edges == 3
+        assert union.has_edge((0, 0), (0, 1))
+        assert union.has_edge((1, 1), (1, 2))
+        assert not union.has_edge((0, 0), (1, 0))
+
+
+class TestEqualityHash:
+    def test_equality_ignores_construction_order(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1), (1, 2)])
+        assert a != b
+
+    def test_usable_in_sets(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(1, 0)])
+        assert len({a, b}) == 1
+
+
+class TestHelpers:
+    def test_degree_sequence(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert degree_sequence(graph) == [3, 1, 1, 1]
+
+    def test_is_regular(self):
+        from repro.graphs import cycle_graph, path_graph
+
+        assert is_regular(cycle_graph(5))
+        assert not is_regular(path_graph(3))
+        assert is_regular(Graph({}))
+
+    def test_edge_list_string(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert edge_list_string(graph) == "0 -- 1"
+
+    def test_repr_and_describe(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert "n=3" in repr(graph)
+        assert "3 nodes" in graph.describe()
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self):
+        import networkx as nx
+
+        nx_graph = nx.petersen_graph()
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 15
+        back = graph.to_networkx()
+        assert set(back.edges()) == set(nx_graph.edges()) or (
+            back.number_of_edges() == 15
+        )
+
+    def test_directed_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(GraphError):
+            Graph.from_networkx(nx.DiGraph([(0, 1)]))

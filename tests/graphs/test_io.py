@@ -1,0 +1,79 @@
+"""Unit tests for graph serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, cycle_graph, path_graph
+from repro.graphs.io import (
+    from_adjacency_json,
+    from_edge_list,
+    to_adjacency_json,
+    to_dot,
+    to_edge_list,
+    write_graph,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        graph = cycle_graph(5)
+        assert from_edge_list(to_edge_list(graph)) == graph
+
+    def test_round_trip_with_isolated(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[7])
+        assert from_edge_list(to_edge_list(graph)) == graph
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# a comment\n\n0 1\n1 2\n"
+        graph = from_edge_list(text)
+        assert graph.num_edges == 2
+
+    def test_string_labels_preserved(self):
+        graph = Graph.from_edges([("a", "b")])
+        assert from_edge_list(to_edge_list(graph)) == graph
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list("0 1 2 3")
+
+
+class TestAdjacencyJson:
+    def test_round_trip_string_labels(self):
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert from_adjacency_json(to_adjacency_json(graph)) == graph
+
+    def test_non_object_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency_json("[1, 2]")
+
+    def test_json_is_sorted_and_stable(self):
+        graph = cycle_graph(4)
+        assert to_adjacency_json(graph) == to_adjacency_json(graph)
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self):
+        graph = path_graph(3)
+        dot = to_dot(graph)
+        assert dot.startswith("graph")
+        for node in graph.nodes():
+            assert f'"{node}"' in dot
+        assert dot.count("--") == graph.num_edges
+
+    def test_highlight_marks_nodes(self):
+        dot = to_dot(path_graph(3), highlight=(1,))
+        assert "filled" in dot
+
+
+class TestWriteGraph:
+    @pytest.mark.parametrize("fmt", ["edgelist", "json", "dot"])
+    def test_writes_each_format(self, fmt):
+        stream = io.StringIO()
+        write_graph(path_graph(4), stream, fmt=fmt)
+        assert stream.getvalue().strip()
+
+    def test_unknown_format(self):
+        with pytest.raises(GraphError):
+            write_graph(path_graph(2), io.StringIO(), fmt="yaml")

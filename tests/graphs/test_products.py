@@ -1,0 +1,95 @@
+"""Unit tests for graph products."""
+
+import pytest
+
+from repro.graphs import (
+    cartesian_product,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    diameter,
+    double_cover,
+    hypercube_graph,
+    is_bipartite,
+    is_connected,
+    k2,
+    path_graph,
+    tensor_double_cover,
+    tensor_product,
+    torus_graph,
+)
+
+
+class TestTensorProduct:
+    def test_sizes(self):
+        product = tensor_product(cycle_graph(5), k2())
+        assert product.num_nodes == 10
+        assert product.num_edges == 10
+
+    def test_matches_double_cover(self):
+        """The generic product and the dedicated construction agree."""
+        for graph in (cycle_graph(5), cycle_graph(6), complete_graph(4)):
+            via_product = tensor_double_cover(graph)
+            direct = double_cover(graph)
+            assert via_product == direct
+
+    def test_connectivity_dichotomy(self):
+        # non-bipartite factor -> connected product with K2
+        assert is_connected(tensor_product(complete_graph(3), k2()))
+        # bipartite factor -> two components
+        product = tensor_product(path_graph(4), k2())
+        assert len(connected_components(product)) == 2
+
+    def test_tensor_of_two_bipartite_graphs_disconnects(self):
+        product = tensor_product(path_graph(3), path_graph(3))
+        assert len(connected_components(product)) >= 2
+
+
+class TestCartesianProduct:
+    def test_sizes(self):
+        product = cartesian_product(path_graph(3), path_graph(4))
+        assert product.num_nodes == 12
+        # |E| = n_G * m_H + n_H * m_G
+        assert product.num_edges == 3 * 3 + 4 * 2
+
+    def test_k2_square_is_c4(self):
+        square = cartesian_product(k2(), k2())
+        assert square.num_nodes == 4
+        assert all(square.degree(n) == 2 for n in square.nodes())
+
+    def test_hypercube_as_product_power(self):
+        cube = cartesian_product(cartesian_product(k2(), k2()), k2())
+        reference = hypercube_graph(3)
+        assert cube.num_nodes == reference.num_nodes
+        assert cube.num_edges == reference.num_edges
+        assert diameter(cube) == diameter(reference) == 3
+        assert is_bipartite(cube)
+
+    def test_torus_as_cycle_product(self):
+        product = cartesian_product(cycle_graph(4), cycle_graph(6))
+        reference = torus_graph(4, 6)
+        assert product.num_nodes == reference.num_nodes
+        assert product.num_edges == reference.num_edges
+        assert is_bipartite(product) == is_bipartite(reference) is True
+
+
+class TestProductsAsFloodingWorkloads:
+    def test_flooding_on_tensor_square(self):
+        from repro.core import predict, simulate
+
+        product = tensor_product(cycle_graph(5), k2())
+        source = product.nodes()[0]
+        run = simulate(product, [source])
+        prediction = predict(product, [source])
+        assert run.terminated
+        assert run.termination_round == prediction.termination_round
+
+    def test_flooding_on_cartesian_grid_like(self):
+        from repro.core import simulate
+        from repro.graphs import eccentricity
+
+        product = cartesian_product(path_graph(4), cycle_graph(6))
+        source = product.nodes()[0]
+        run = simulate(product, [source])
+        assert is_bipartite(product)
+        assert run.termination_round == eccentricity(product, source)

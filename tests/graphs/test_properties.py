@@ -1,0 +1,137 @@
+"""Unit tests for structural graph properties."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bipartition,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    girth,
+    graph_summary,
+    grid_graph,
+    is_bipartite,
+    is_connected,
+    is_tree,
+    odd_girth,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    triangle_count,
+    wheel_graph,
+)
+from repro.graphs.properties import is_cycle_graph
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(path_graph(5))) == 1
+
+    def test_multiple_components_sorted_by_size(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert components[0] == {2, 3, 4}
+        assert components[1] == {0, 1}
+
+    def test_isolated_nodes_are_components(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[9])
+        assert {9} in connected_components(graph)
+
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(4))
+        assert not is_connected(Graph.from_edges([(0, 1)], isolated=[2]))
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph({}))
+
+
+class TestBipartiteness:
+    def test_even_cycle_bipartition(self):
+        parts = bipartition(cycle_graph(6))
+        assert parts is not None
+        part0, part1 = parts
+        assert part0 | part1 == set(range(6))
+        assert part0 & part1 == set()
+        # no edge inside a part
+        graph = cycle_graph(6)
+        for u, v in graph.edges():
+            assert (u in part0) != (v in part0)
+
+    def test_odd_cycle_not_bipartite(self):
+        assert bipartition(cycle_graph(7)) is None
+        assert not is_bipartite(cycle_graph(7))
+
+    def test_disconnected_bipartite(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        assert is_bipartite(graph)
+
+    def test_disconnected_with_odd_component(self):
+        triangle_plus_edge = Graph.from_edges([(0, 1), (1, 2), (2, 0), (4, 5)])
+        assert not is_bipartite(triangle_plus_edge)
+
+    def test_trees_are_bipartite(self):
+        assert is_bipartite(star_graph(6))
+        assert is_bipartite(path_graph(9))
+
+
+class TestGirth:
+    def test_odd_girth_of_odd_cycles(self):
+        for n in (3, 5, 9):
+            assert odd_girth(cycle_graph(n)) == n
+
+    def test_odd_girth_bipartite_none(self):
+        assert odd_girth(grid_graph(3, 3)) is None
+        assert odd_girth(path_graph(5)) is None
+
+    def test_odd_girth_petersen(self):
+        assert odd_girth(petersen_graph()) == 5
+
+    def test_odd_girth_wheel(self):
+        assert odd_girth(wheel_graph(5)) == 3
+
+    def test_girth_cycle(self):
+        assert girth(cycle_graph(6)) == 6
+
+    def test_girth_forest_none(self):
+        assert girth(path_graph(4)) is None
+
+    def test_girth_petersen(self):
+        assert girth(petersen_graph()) == 5
+
+    def test_girth_complete(self):
+        assert girth(complete_graph(5)) == 3
+
+
+class TestShapePredicates:
+    def test_is_tree(self):
+        assert is_tree(path_graph(4))
+        assert not is_tree(cycle_graph(4))
+        assert not is_tree(Graph.from_edges([(0, 1)], isolated=[2]))
+
+    def test_is_cycle_graph(self):
+        assert is_cycle_graph(cycle_graph(5))
+        assert not is_cycle_graph(path_graph(5))
+        assert not is_cycle_graph(wheel_graph(4))
+
+    def test_triangle_count(self):
+        assert triangle_count(complete_graph(4)) == 4
+        assert triangle_count(cycle_graph(5)) == 0
+        assert triangle_count(wheel_graph(5)) == 5
+
+
+class TestSummary:
+    def test_summary_connected(self):
+        summary = graph_summary(cycle_graph(5))
+        assert summary["nodes"] == 5
+        assert summary["connected"] is True
+        assert summary["bipartite"] is False
+        assert summary["odd_girth"] == 5
+        assert summary["diameter"] == 2
+
+    def test_summary_disconnected_omits_diameter(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[5])
+        summary = graph_summary(graph)
+        assert summary["connected"] is False
+        assert "diameter" not in summary

@@ -1,0 +1,144 @@
+"""Unit tests for seeded random graph generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    barabasi_albert,
+    erdos_renyi,
+    is_bipartite,
+    is_connected,
+    is_tree,
+    random_bipartite,
+    random_connected_graph,
+    random_tree,
+    watts_strogatz,
+)
+from repro.graphs.random_graphs import random_regular_even
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: erdos_renyi(20, 0.2, seed=seed),
+            lambda seed: random_tree(20, seed=seed),
+            lambda seed: random_bipartite(8, 8, 0.3, seed=seed),
+            lambda seed: watts_strogatz(20, 4, 0.3, seed=seed),
+            lambda seed: barabasi_albert(20, 2, seed=seed),
+            lambda seed: random_connected_graph(20, seed=seed),
+        ],
+        ids=["er", "tree", "bipartite", "ws", "ba", "connected"],
+    )
+    def test_same_seed_same_graph(self, factory):
+        assert factory(42) == factory(42)
+
+    def test_different_seeds_usually_differ(self):
+        graphs = {erdos_renyi(20, 0.3, seed=s) for s in range(5)}
+        assert len(graphs) > 1
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        graph = erdos_renyi(10, 0.0, seed=1)
+        assert graph.num_edges == 0
+        assert graph.num_nodes == 10
+
+    def test_p_one_complete(self):
+        graph = erdos_renyi(8, 1.0, seed=1)
+        assert graph.num_edges == 28
+
+    def test_connected_flag(self):
+        for seed in range(5):
+            assert is_connected(erdos_renyi(30, 0.05, seed=seed, connected=True))
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(5, 1.5)
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 17, 40])
+    def test_is_tree(self, n):
+        for seed in range(4):
+            assert is_tree(random_tree(n, seed=seed))
+
+    def test_trees_are_bipartite(self):
+        assert is_bipartite(random_tree(25, seed=9))
+
+
+class TestRandomBipartite:
+    def test_is_bipartite(self):
+        for seed in range(4):
+            graph = random_bipartite(6, 7, 0.4, seed=seed)
+            assert is_bipartite(graph)
+
+    def test_connected_flag_preserves_bipartiteness(self):
+        for seed in range(6):
+            graph = random_bipartite(5, 6, 0.1, seed=seed, connected=True)
+            assert is_connected(graph)
+            assert is_bipartite(graph)
+
+    def test_edges_cross_parts_only(self):
+        graph = random_bipartite(4, 5, 0.8, seed=3)
+        for u, v in graph.edges():
+            assert (u < 4) != (v < 4)
+
+
+class TestWattsStrogatz:
+    def test_node_and_rough_edge_count(self):
+        graph = watts_strogatz(20, 4, 0.0, seed=1)
+        assert graph.num_nodes == 20
+        assert graph.num_edges == 40  # ring lattice exact
+
+    def test_rewiring_keeps_edge_count(self):
+        graph = watts_strogatz(20, 4, 0.5, seed=1)
+        assert graph.num_edges == 40
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 3, 0.1)
+
+
+class TestBarabasiAlbert:
+    def test_connected(self):
+        for seed in range(4):
+            assert is_connected(barabasi_albert(30, 2, seed=seed))
+
+    def test_edge_count(self):
+        graph = barabasi_albert(30, 2, seed=5)
+        # star seed contributes `attach` edges; each later node adds `attach`
+        assert graph.num_edges == 2 + (30 - 3) * 2
+
+    def test_requires_n_above_attach(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(3, 3)
+
+
+class TestRandomConnected:
+    def test_always_connected(self):
+        for seed in range(8):
+            assert is_connected(
+                random_connected_graph(15, extra_edge_prob=0.1, seed=seed)
+            )
+
+    def test_zero_extra_prob_gives_tree(self):
+        graph = random_connected_graph(12, extra_edge_prob=0.0, seed=2)
+        assert is_tree(graph)
+
+    def test_single_node(self):
+        graph = random_connected_graph(1, seed=1)
+        assert graph.num_nodes == 1
+
+
+class TestRandomRegularEven:
+    def test_degrees_close_to_target(self):
+        graph = random_regular_even(20, 4, seed=7)
+        assert graph.num_nodes == 20
+        degrees = [graph.degree(n) for n in graph.nodes()]
+        assert max(degrees) <= 4
+        assert sum(degrees) / len(degrees) >= 3.5
+
+    def test_rejects_odd_degree(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_even(10, 3)

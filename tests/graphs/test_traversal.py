@@ -1,0 +1,166 @@
+"""Unit tests for BFS traversal primitives."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs import (
+    Graph,
+    all_eccentricities,
+    bfs_distances,
+    bfs_layers,
+    bfs_tree_edges,
+    center,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    distance_matrix,
+    eccentricity,
+    grid_graph,
+    multi_source_bfs_distances,
+    path_graph,
+    periphery,
+    radius,
+    set_eccentricity,
+    shortest_path,
+    star_graph,
+)
+
+
+class TestDistances:
+    def test_path_distances(self):
+        distances = bfs_distances(path_graph(5), 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_absent(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[2])
+        distances = bfs_distances(graph, 0)
+        assert 2 not in distances
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path_graph(3), 99)
+
+    def test_multi_source(self):
+        distances = multi_source_bfs_distances(path_graph(5), [0, 4])
+        assert distances == {0: 0, 4: 0, 1: 1, 3: 1, 2: 2}
+
+    def test_multi_source_duplicates_ok(self):
+        distances = multi_source_bfs_distances(path_graph(3), [0, 0])
+        assert distances[2] == 2
+
+    def test_distance_matrix(self):
+        matrix = distance_matrix(cycle_graph(4))
+        assert matrix[0][2] == 2
+        assert matrix[1][3] == 2
+        assert matrix[0][0] == 0
+
+
+class TestLayers:
+    def test_layers_partition_nodes(self):
+        layers = bfs_layers(grid_graph(3, 3), (0, 0))
+        flattened = set().union(*layers)
+        assert flattened == set(grid_graph(3, 3).nodes())
+        assert layers[0] == {(0, 0)}
+        assert layers[1] == {(0, 1), (1, 0)}
+
+    def test_layer_count_is_eccentricity_plus_one(self):
+        graph = path_graph(6)
+        assert len(bfs_layers(graph, 0)) == eccentricity(graph, 0) + 1
+
+
+class TestBfsTree:
+    def test_tree_edges_span_component(self):
+        graph = cycle_graph(6)
+        edges = bfs_tree_edges(graph, 0)
+        assert len(edges) == 5  # spanning tree of 6 nodes
+        touched = {0} | {child for _, child in edges}
+        assert touched == set(range(6))
+
+    def test_tree_edges_deterministic(self):
+        graph = complete_graph(5)
+        assert bfs_tree_edges(graph, 0) == bfs_tree_edges(graph, 0)
+
+    def test_parents_one_level_up(self):
+        graph = grid_graph(3, 4)
+        distances = bfs_distances(graph, (0, 0))
+        for parent, child in bfs_tree_edges(graph, (0, 0)):
+            assert distances[child] == distances[parent] + 1
+
+
+class TestEccentricity:
+    def test_path_endpoints(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 0) == 4
+        assert eccentricity(graph, 2) == 2
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert all(eccentricity(graph, n) == 1 for n in graph.nodes())
+
+    def test_all_eccentricities(self):
+        graph = path_graph(3)
+        assert all_eccentricities(graph) == {0: 2, 1: 1, 2: 2}
+
+    def test_set_eccentricity(self):
+        graph = path_graph(7)
+        assert set_eccentricity(graph, [0]) == 6
+        assert set_eccentricity(graph, [0, 6]) == 3
+        assert set_eccentricity(graph, [3]) == 3
+
+    def test_isolated_node_zero(self):
+        graph = Graph({0: []})
+        assert eccentricity(graph, 0) == 0
+
+
+class TestDiameterRadiusCenter:
+    def test_path(self):
+        graph = path_graph(7)
+        assert diameter(graph) == 6
+        assert radius(graph) == 3
+        assert center(graph) == [3]
+        assert set(periphery(graph)) == {0, 6}
+
+    def test_cycle(self):
+        graph = cycle_graph(8)
+        assert diameter(graph) == 4
+        assert radius(graph) == 4
+        assert len(center(graph)) == 8
+
+    def test_star(self):
+        graph = star_graph(5)
+        assert diameter(graph) == 2
+        assert radius(graph) == 1
+        assert center(graph) == [0]
+
+    def test_empty_graph(self):
+        assert diameter(Graph({})) == 0
+        assert radius(Graph({})) == 0
+        assert center(Graph({})) == []
+
+    def test_disconnected_per_component(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        # max within-component eccentricity: component {2,3,4} has D = 2
+        assert diameter(graph) == 2
+
+
+class TestShortestPath:
+    def test_simple(self):
+        path = shortest_path(cycle_graph(6), 0, 3)
+        assert path is not None
+        assert path[0] == 0
+        assert path[-1] == 3
+        assert len(path) == 4
+
+    def test_source_is_target(self):
+        assert shortest_path(path_graph(3), 1, 1) == [1]
+
+    def test_disconnected_none(self):
+        graph = Graph.from_edges([(0, 1)], isolated=[2])
+        assert shortest_path(graph, 0, 2) is None
+
+    def test_consecutive_hops_adjacent(self):
+        graph = grid_graph(4, 4)
+        path = shortest_path(graph, (0, 0), (3, 3))
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)

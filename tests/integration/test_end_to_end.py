@@ -1,0 +1,125 @@
+"""Integration tests across the package's layers."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    paper_even_cycle,
+    paper_line,
+    paper_triangle,
+    petersen_graph,
+)
+from repro.core import simulate, flood_trace, predict
+from repro.asynchrony import (
+    AsyncOutcome,
+    ConvergecastHoldAdversary,
+    FixedScheduleAdversary,
+    SynchronousAdversary,
+    find_nonterminating_schedule,
+    run_async,
+)
+from repro.analysis import detect_at_source, full_cross_check
+from repro.baselines import compare_on
+from repro.variants import concurrent_floods, independence_holds
+
+
+class TestPaperStoryEndToEnd:
+    """The paper's complete narrative on its own three graphs."""
+
+    def test_line_story(self):
+        graph = paper_line()
+        run = simulate(graph, ["b"])
+        prediction = predict(graph, ["b"])
+        assert run.termination_round == prediction.termination_round == 2
+        assert detect_at_source(graph, "b").bipartite
+        # trees are adversary-proof
+        assert find_nonterminating_schedule(graph, ["b"]) is None
+
+    def test_triangle_story(self):
+        graph = paper_triangle()
+        sync_run = simulate(graph, ["b"])
+        assert sync_run.termination_round == 3
+        assert not detect_at_source(graph, "b").bipartite
+        # but asynchrony breaks it
+        async_run = run_async(graph, ["b"], ConvergecastHoldAdversary())
+        assert async_run.certified_nonterminating
+
+    def test_even_cycle_story(self):
+        graph = paper_even_cycle()
+        for source in graph.nodes():
+            assert simulate(graph, [source]).termination_round == 3
+        assert detect_at_source(graph, "a").bipartite
+
+
+class TestCertificateRoundTrip:
+    """Search -> certificate -> replay through the async engine."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_found_schedule_replays_as_nonterminating(self, n):
+        graph = cycle_graph(n)
+        lasso = find_nonterminating_schedule(graph, [0])
+        assert lasso is not None
+        adversary = FixedScheduleAdversary(
+            lasso.deliveries, loop_from=len(lasso.stem)
+        )
+        rerun = run_async(graph, [0], adversary, max_steps=500)
+        assert rerun.outcome is AsyncOutcome.CYCLE_DETECTED
+
+    def test_convergecast_lasso_replays(self):
+        graph = paper_triangle()
+        run = run_async(graph, ["b"], ConvergecastHoldAdversary())
+        lasso = run.lasso
+        assert lasso.replay_is_consistent(graph)
+        adversary = FixedScheduleAdversary(
+            lasso.deliveries, loop_from=len(lasso.stem)
+        )
+        rerun = run_async(graph, ["b"], adversary, max_steps=300)
+        assert rerun.outcome is AsyncOutcome.CYCLE_DETECTED
+
+
+class TestSyncAsyncConsistency:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [paper_triangle, lambda: cycle_graph(6), lambda: complete_graph(4), petersen_graph],
+        ids=["triangle", "c6", "k4", "petersen"],
+    )
+    def test_sync_schedule_in_async_engine_matches(self, graph_factory):
+        graph = graph_factory()
+        source = graph.nodes()[0]
+        async_run = run_async(graph, [source], SynchronousAdversary())
+        sync_run = simulate(graph, [source])
+        assert async_run.terminated
+        assert async_run.steps == sync_run.termination_round
+        assert async_run.total_messages_delivered() == sync_run.total_messages
+
+
+class TestRandomGraphPipeline:
+    """Generator -> simulator -> oracle -> detection, on ER graphs."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_er_pipeline(self, seed):
+        graph = erdos_renyi(24, 0.15, seed=seed, connected=True)
+        source = graph.nodes()[0]
+        report = full_cross_check(graph, [source])
+        assert report.ok, report.failures
+        detection = detect_at_source(graph, source)
+        assert detection.correct
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_er_comparison_consistency(self, seed):
+        graph = erdos_renyi(20, 0.2, seed=seed, connected=True)
+        row = compare_on(graph, graph.nodes()[0])
+        assert row.amnesiac.reached_all
+        assert row.classic.reached_all
+        assert row.round_overhead() >= 1.0 or row.bipartite
+
+
+class TestConcurrentFloodsIntegration:
+    def test_three_rumors_on_petersen(self):
+        graph = petersen_graph()
+        origins = {"r1": [0], "r2": [5], "r3": [0, 9]}
+        trace = concurrent_floods(graph, origins)
+        assert trace.terminated
+        assert independence_holds(graph, origins)

@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The slower survey/robustness examples are exercised by the benchmark
+suite through the same code paths; here we run the quick ones whole
+and import-check the rest, keeping the unit suite fast.
+"""
+
+import importlib.util
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+QUICK_EXAMPLES = [
+    "quickstart.py",
+    "bipartiteness_probe.py",
+    "adversarial_asynchrony.py",
+]
+
+ALL_EXAMPLES = QUICK_EXAMPLES + [
+    "social_cascade.py",
+    "robustness_phase_diagram.py",
+    "termination_survey.py",
+]
+
+
+class TestExamples:
+    def test_every_example_exists(self):
+        present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert set(ALL_EXAMPLES) <= present
+
+    @pytest.mark.parametrize("name", QUICK_EXAMPLES)
+    def test_quick_example_runs(self, name, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+        output = capsys.readouterr().out
+        assert output.strip(), f"{name} produced no output"
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_compiles(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        compile(source, name, "exec")
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_has_docstring_and_main(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        assert source.lstrip().startswith(('"""', '#!/usr/bin/env python3'))
+        assert 'if __name__ == "__main__":' in source

@@ -1,0 +1,108 @@
+"""Property-based tests for the application and extension layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import echo_broadcast
+from repro.asynchrony import (
+    ConvergecastHoldAdversary,
+    SynchronousAdversary,
+    audit_schedule,
+    run_async,
+)
+from repro.core import (
+    configuration_terminates,
+    evolve,
+    simulate,
+    source_configuration,
+)
+from repro.graphs import eccentricity, is_bipartite
+from repro.variants import probabilistic_flood
+
+from tests.conftest import connected_graph_with_source, trees
+
+
+@settings(max_examples=50, deadline=None)
+@given(connected_graph_with_source(max_nodes=12))
+def test_echo_always_detects_and_builds_tree(graph_and_source):
+    """Echo detects completion on every connected graph and its wave
+    builds a spanning tree of the component."""
+    graph, source = graph_and_source
+    result = echo_broadcast(graph, source)
+    assert result.detected
+    assert len(result.parents) == graph.num_nodes - 1
+    for child, parent in result.parents.items():
+        assert graph.has_edge(child, parent)
+
+
+@settings(max_examples=50, deadline=None)
+@given(connected_graph_with_source(max_nodes=12))
+def test_echo_detection_after_double_eccentricity(graph_and_source):
+    """Completion proof needs a wave down and acks back: >= 2 e(source)."""
+    graph, source = graph_and_source
+    result = echo_broadcast(graph, source)
+    if graph.num_edges:
+        assert result.detection_round >= 2 * eccentricity(graph, source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source(max_nodes=10))
+def test_source_configuration_evolution_matches_simulation(graph_and_source):
+    """The configuration-space evolution and the simulator agree on
+    source-style initial states."""
+    graph, source = graph_and_source
+    result = evolve(graph, source_configuration(graph, [source]))
+    run = simulate(graph, [source])
+    assert result.terminates
+    assert result.steps_to_outcome == run.termination_round
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees(max_nodes=8), st.integers(min_value=0, max_value=2**31 - 1))
+def test_trees_terminate_from_random_configurations(tree, seed):
+    """Any random subset of directed edges dies out on a tree."""
+    import random
+
+    rng = random.Random(seed)
+    directed = [(u, v) for u, v in tree.edges()] + [
+        (v, u) for u, v in tree.edges()
+    ]
+    if not directed:
+        return
+    sample = rng.sample(directed, rng.randint(1, len(directed)))
+    assert configuration_terminates(tree, sample)
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_with_source(max_nodes=10))
+def test_probabilistic_q1_equals_deterministic(graph_and_source):
+    graph, source = graph_and_source
+    run = probabilistic_flood(graph, source, 1.0, seed=0)
+    deterministic = simulate(graph, [source])
+    assert run.terminated
+    assert run.termination_round == deterministic.termination_round
+    assert run.total_messages == deterministic.total_messages
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_with_source(max_nodes=10))
+def test_synchronous_schedules_audit_clean(graph_and_source):
+    """The deliver-everything schedule holds nothing, ever."""
+    graph, source = graph_and_source
+    run = run_async(graph, [source], SynchronousAdversary(), max_steps=500)
+    audit = audit_schedule(run)
+    assert audit.max_hold == 0
+    assert audit.is_bounded(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_with_source(max_nodes=10))
+def test_convergecast_schedules_are_one_bounded(graph_and_source):
+    """The Figure 5 strategy never holds a message more than one step,
+    terminating or not -- its non-termination is maximally fair."""
+    graph, source = graph_and_source
+    run = run_async(
+        graph, [source], ConvergecastHoldAdversary(), max_steps=1000
+    )
+    audit = audit_schedule(run)
+    assert audit.max_hold <= 1

@@ -1,0 +1,96 @@
+"""Property-based tests for the asynchronous layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asynchrony import (
+    AsyncOutcome,
+    RandomDelayAdversary,
+    SynchronousAdversary,
+    apply_delivery,
+    initial_configuration,
+    run_async,
+)
+from repro.core import simulate
+
+from tests.conftest import connected_graph_with_source, trees
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source(max_nodes=12))
+def test_synchronous_adversary_always_matches(graph_and_source):
+    """Deliver-everything asynchrony IS the synchronous process."""
+    graph, source = graph_and_source
+    async_run = run_async(graph, [source], SynchronousAdversary(), max_steps=500)
+    sync_run = simulate(graph, [source])
+    assert async_run.outcome is AsyncOutcome.TERMINATED
+    assert async_run.steps == sync_run.termination_round
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=14),
+    st.floats(min_value=0.0, max_value=0.6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_random_delays_terminate_on_cycles(n, p, seed):
+    """On degree-2 graphs oblivious random delays always terminate:
+    desynchronisation cannot amplify a one-copy-per-receipt frontier.
+    (On dense graphs they do NOT -- see the metastability test below.)"""
+    from repro.graphs import cycle_graph
+
+    run = run_async(
+        cycle_graph(n),
+        [0],
+        RandomDelayAdversary(p, seed=seed),
+        max_steps=20_000,
+        detect_cycles=False,
+    )
+    assert run.outcome is AsyncOutcome.TERMINATED
+
+
+def test_random_delays_metastable_on_dense_graphs():
+    """Hypothesis originally falsified 'random delays always terminate':
+    on K5 at p = 0.5 every sampled run outlives 10k steps.  Oblivious
+    randomness alone breaks termination on dense topologies."""
+    from repro.graphs import complete_graph
+
+    for seed in range(3):
+        run = run_async(
+            complete_graph(5),
+            [0],
+            RandomDelayAdversary(0.5, seed=seed),
+            max_steps=10_000,
+            detect_cycles=False,
+        )
+        assert run.outcome is AsyncOutcome.INCONCLUSIVE
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source(max_nodes=10))
+def test_configuration_transitions_conserve_edges(graph_and_source):
+    """Every configuration only ever contains real directed edges."""
+    graph, source = graph_and_source
+    config = initial_configuration(graph, [source])
+    for _ in range(20):
+        if not config:
+            break
+        for sender, receiver in config:
+            assert graph.has_edge(sender, receiver)
+        config = apply_delivery(graph, config, config)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees(max_nodes=10), st.integers(min_value=0, max_value=2**31 - 1))
+def test_trees_terminate_under_any_random_schedule(tree, seed):
+    """On trees even heavy random delaying terminates: messages only
+    move away from the source."""
+    source = tree.nodes()[0]
+    run = run_async(
+        tree,
+        [source],
+        RandomDelayAdversary(0.7, seed=seed),
+        max_steps=20_000,
+        detect_cycles=False,
+    )
+    assert run.outcome is AsyncOutcome.TERMINATED

@@ -1,0 +1,89 @@
+"""Property-based tests for the later extension layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.wavefront import (
+    predicted_round_sets,
+    verify_round_sets_against_simulation,
+    wave_decomposition,
+)
+from repro.core import receipt_census, simulate
+from repro.graphs import double_cover, is_bipartite, tensor_double_cover
+
+from tests.conftest import (
+    connected_graph_with_source,
+    connected_graph_with_sources,
+    connected_graphs,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs(max_nodes=12))
+def test_tensor_product_equals_double_cover(graph):
+    """The generic tensor product and the dedicated cover construction
+    build the identical graph on every sample."""
+    assert tensor_double_cover(graph) == double_cover(graph)
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graph_with_source())
+def test_per_round_receiver_sets_exact(graph_and_source):
+    """The cover predicts every round's receiver set, not just totals."""
+    graph, source = graph_and_source
+    assert verify_round_sets_against_simulation(graph, source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source())
+def test_round_set_count_matches_termination(graph_and_source):
+    graph, source = graph_and_source
+    predicted = predicted_round_sets(graph, [source])
+    run = simulate(graph, [source])
+    assert len(predicted) == run.termination_round
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source())
+def test_echo_iff_nonbipartite(graph_and_source):
+    graph, source = graph_and_source
+    decomposition = wave_decomposition(graph, source)
+    assert decomposition.has_echo == (not is_bipartite(graph))
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_sources(max_nodes=12))
+def test_receipt_census_matches_simulation(graph_and_sources):
+    """The census (pure cover reachability) equals measured receipt
+    counts for arbitrary source sets."""
+    graph, sources = graph_and_sources
+    census = receipt_census(graph, sources)
+    counts = simulate(graph, sources).receive_counts()
+    assert set(census.never) == {n for n, c in counts.items() if c == 0}
+    assert set(census.once) == {n for n, c in counts.items() if c == 1}
+    assert set(census.twice) == {n for n, c in counts.items() if c == 2}
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source())
+def test_nobody_receives_three_times(graph_and_source):
+    """Two cover copies => at most two receipts, ever, for any node."""
+    graph, source = graph_and_source
+    counts = simulate(graph, [source]).receive_counts()
+    assert max(counts.values(), default=0) <= 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    connected_graphs(min_nodes=3, max_nodes=10),
+    st.integers(min_value=0, max_value=10**9),
+)
+def test_knowledge_matches_structure(graph, salt):
+    """Joint node knowledge decides bipartiteness on every sample."""
+    from repro.core.knowledge import infers_nonbipartite, local_transcripts
+
+    nodes = graph.nodes()
+    source = nodes[salt % len(nodes)]
+    transcripts = local_transcripts(graph, [source])
+    anyone_knows = any(infers_nonbipartite(t) for t in transcripts.values())
+    assert anyone_knows == (not is_bipartite(graph))

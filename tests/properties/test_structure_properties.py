@@ -1,0 +1,102 @@
+"""Property-based tests of graph substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    bipartition,
+    connected_components,
+    diameter,
+    double_cover,
+    eccentricity,
+    is_bipartite,
+    is_connected,
+    odd_girth,
+    radius,
+)
+from repro.graphs.double_cover import cover_distances
+from repro.graphs.traversal import bfs_distances
+
+from tests.conftest import connected_graphs, connected_graph_with_source
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graphs())
+def test_double_cover_doubles(graph):
+    cover = double_cover(graph)
+    assert cover.num_nodes == 2 * graph.num_nodes
+    assert cover.num_edges == 2 * graph.num_edges
+    assert is_bipartite(cover)
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graphs())
+def test_double_cover_connectivity_criterion(graph):
+    """The cover is connected iff the graph is non-bipartite -- the
+    structural heart of the receive-twice dichotomy."""
+    cover = double_cover(graph)
+    components = connected_components(cover)
+    if is_bipartite(graph):
+        assert len(components) == 2
+    else:
+        assert len(components) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graph_with_source())
+def test_cover_distances_bound_graph_distances(graph_and_source):
+    """d_cover((v,0),(u,p)) >= d_G(v,u), equality at the right parity."""
+    graph, source = graph_and_source
+    graph_distances = bfs_distances(graph, source)
+    cover = cover_distances(graph, [source])
+    for node, distance in graph_distances.items():
+        assert cover[(node, distance % 2)] == distance
+        other = (node, 1 - distance % 2)
+        if other in cover:
+            assert cover[other] > distance
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graphs())
+def test_radius_diameter_inequalities(graph):
+    r, d = radius(graph), diameter(graph)
+    assert r <= d <= 2 * r
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graphs())
+def test_bipartition_is_proper_partition(graph):
+    parts = bipartition(graph)
+    if parts is None:
+        assert odd_girth(graph) is not None
+        assert odd_girth(graph) % 2 == 1
+    else:
+        part0, part1 = parts
+        assert part0 | part1 == set(graph.nodes())
+        assert not part0 & part1
+        for u, v in graph.edges():
+            assert (u in part0) != (v in part0)
+        assert odd_girth(graph) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graphs(), st.integers(min_value=0, max_value=10**9))
+def test_eccentricity_triangle_inequality(graph, salt):
+    """|e(u) - e(v)| <= 1 for adjacent u, v."""
+    edges = graph.edges()
+    if not edges:
+        return
+    u, v = edges[salt % len(edges)]
+    assert abs(eccentricity(graph, u) - eccentricity(graph, v)) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs(max_nodes=12))
+def test_components_partition_nodes(graph):
+    components = connected_components(graph)
+    assert is_connected(graph) == (len(components) == 1)
+    seen = set()
+    for component in components:
+        assert not seen & component
+        seen |= component
+    assert seen == set(graph.nodes())

@@ -1,0 +1,129 @@
+"""Property-based tests of the paper's theorems on random graphs.
+
+Each property is one of the paper's statements, checked by hypothesis
+over randomly generated connected graphs (trees through dense graphs)
+and randomly chosen sources.  Together with the double-cover oracle
+agreement in ``test_oracle_properties.py`` these are the reproduction's
+primary correctness argument.
+"""
+
+from hypothesis import given, settings
+
+from repro.graphs import is_bipartite
+from repro.graphs.traversal import diameter, eccentricity, set_eccentricity
+from repro.core import analyze_run, simulate
+from repro.core.multisource import multi_source_bounds
+
+from tests.conftest import (
+    connected_graph_with_source,
+    connected_graph_with_sources,
+    trees,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(connected_graph_with_source())
+def test_theorem_3_1_always_terminates(graph_and_source):
+    """Theorem 3.1: AF terminates on every finite graph."""
+    graph, source = graph_and_source
+    run = simulate(graph, [source])
+    assert run.terminated
+
+
+@settings(max_examples=150, deadline=None)
+@given(connected_graph_with_source())
+def test_universal_bounds(graph_and_source):
+    """e(source) <= rounds <= 2D + 1 on every connected graph."""
+    graph, source = graph_and_source
+    run = simulate(graph, [source])
+    d = diameter(graph)
+    assert eccentricity(graph, source) <= run.termination_round <= 2 * d + 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(connected_graph_with_source())
+def test_lemma_2_1_bipartite_exactness(graph_and_source):
+    """Bipartite: rounds == e(source); non-bipartite: rounds > e(source)."""
+    graph, source = graph_and_source
+    run = simulate(graph, [source])
+    ecc = eccentricity(graph, source)
+    if is_bipartite(graph):
+        assert run.termination_round == ecc
+    else:
+        assert run.termination_round > ecc
+
+
+@settings(max_examples=150, deadline=None)
+@given(connected_graph_with_source())
+def test_receipt_multiplicity_dichotomy(graph_and_source):
+    """Bipartite: everyone receives once; non-bipartite: source once +
+    echo, everyone else exactly twice."""
+    graph, source = graph_and_source
+    run = simulate(graph, [source])
+    counts = run.receive_counts()
+    if is_bipartite(graph):
+        assert counts[source] == 0
+        assert all(
+            counts[node] == 1 for node in graph.nodes() if node != source
+        )
+    else:
+        assert counts[source] == 1
+        assert all(
+            counts[node] == 2 for node in graph.nodes() if node != source
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(connected_graph_with_source())
+def test_message_complexity_dichotomy(graph_and_source):
+    """Messages: exactly m on bipartite, exactly 2m on non-bipartite."""
+    graph, source = graph_and_source
+    run = simulate(graph, [source])
+    if is_bipartite(graph):
+        assert run.total_messages == graph.num_edges
+    else:
+        assert run.total_messages == 2 * graph.num_edges
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graph_with_source())
+def test_theorem_3_1_round_set_structure(graph_and_source):
+    """The proof's structure: no even-duration recurrence, <= 2
+    appearances per node, alternating parity."""
+    graph, source = graph_and_source
+    run = simulate(graph, [source])
+    report = analyze_run(run)
+    assert report.satisfies_theorem
+
+
+@settings(max_examples=100, deadline=None)
+@given(trees())
+def test_trees_flood_like_bfs(tree):
+    """On trees AF is plain BFS broadcast: m messages, e(source) rounds,
+    every node hit exactly once."""
+    source = tree.nodes()[0]
+    run = simulate(tree, [source])
+    assert run.termination_round == eccentricity(tree, source)
+    assert run.total_messages == tree.num_edges
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graph_with_sources())
+def test_multi_source_bounds_hold(graph_and_sources):
+    """Multi-source: e(I) <= rounds <= upper bound (exact on bipartite)."""
+    graph, sources = graph_and_sources
+    run = simulate(graph, sources)
+    bounds = multi_source_bounds(graph, sources)
+    assert run.terminated
+    assert bounds.lower <= run.termination_round <= bounds.upper
+    if bounds.exact is not None:
+        assert run.termination_round == bounds.exact
+
+
+@settings(max_examples=100, deadline=None)
+@given(connected_graph_with_sources())
+def test_multi_source_set_eccentricity_lower_bound(graph_and_sources):
+    """The flood cannot finish before reaching the farthest node."""
+    graph, sources = graph_and_sources
+    run = simulate(graph, sources)
+    assert run.termination_round >= set_eccentricity(graph, sources)

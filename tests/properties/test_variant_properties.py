@@ -1,0 +1,84 @@
+"""Property-based tests of variant and baseline invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import eccentricity, is_bipartite
+from repro.core import simulate
+from repro.baselines import bfs_broadcast, classic_flood_trace
+from repro.variants import k_memory_trace
+
+from tests.conftest import connected_graph_with_source, trees
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source(max_nodes=12))
+def test_classic_flooding_round_bound(graph_and_source):
+    """Seen-flag flooding finishes within e(source) + 1 everywhere,
+    exactly e(source) on bipartite graphs."""
+    graph, source = graph_and_source
+    trace = classic_flood_trace(graph, source)
+    ecc = eccentricity(graph, source)
+    assert trace.terminated
+    if is_bipartite(graph):
+        assert trace.termination_round == ecc
+    else:
+        assert ecc <= trace.termination_round <= ecc + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graph_with_source(max_nodes=12))
+def test_classic_flooding_each_node_sends_once(graph_and_source):
+    graph, source = graph_and_source
+    trace = classic_flood_trace(graph, source)
+    senders = [
+        s
+        for r in range(1, trace.rounds_executed + 1)
+        for s in trace.senders_in_round(r)
+    ]
+    assert len(senders) == len(set(senders))
+
+
+@settings(max_examples=50, deadline=None)
+@given(connected_graph_with_source(max_nodes=12))
+def test_bfs_broadcast_builds_true_tree(graph_and_source):
+    graph, source = graph_and_source
+    result = bfs_broadcast(graph, source)
+    assert result.verify_is_bfs_tree(graph)
+    assert len(result.parents) == graph.num_nodes - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_with_source(max_nodes=10))
+def test_k1_memory_is_amnesiac(graph_and_source):
+    graph, source = graph_and_source
+    amnesiac = simulate(graph, [source])
+    k1 = k_memory_trace(graph, source, k=1)
+    assert k1.termination_round == amnesiac.termination_round
+    assert k1.total_messages() == amnesiac.total_messages
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    connected_graph_with_source(max_nodes=10),
+    st.integers(min_value=2, max_value=4),
+)
+def test_more_memory_never_more_messages(graph_and_source, k):
+    """Widening the sender window can only suppress forwards."""
+    graph, source = graph_and_source
+    k1 = k_memory_trace(graph, source, k=1)
+    kk = k_memory_trace(graph, source, k=k)
+    assert kk.terminated
+    assert kk.total_messages() <= k1.total_messages()
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees(max_nodes=12))
+def test_amnesiac_equals_classic_on_trees(tree):
+    """With no cycles there is nothing to forget: both algorithms do
+    the identical BFS broadcast."""
+    source = tree.nodes()[0]
+    amnesiac = simulate(tree, [source])
+    classic = classic_flood_trace(tree, source)
+    assert amnesiac.termination_round == classic.termination_round
+    assert amnesiac.total_messages == classic.total_messages()

@@ -1,0 +1,152 @@
+"""Unit tests for the synchronous round engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError, NonTerminationError
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+from repro.sync import (
+    Message,
+    NodeContext,
+    Send,
+    StatelessAlgorithm,
+    SynchronousEngine,
+    default_round_budget,
+    run_algorithm,
+    send_to_all,
+)
+from repro.core.amnesiac import AmnesiacFlooding
+
+
+class EchoOnce(StatelessAlgorithm):
+    """Initiator sends to all; receivers stay silent (one-round algorithm)."""
+
+    def on_start(self, state, ctx):
+        return send_to_all(ctx, "ping")
+
+
+class ForwardForever(StatelessAlgorithm):
+    """Every receiver rebroadcasts to all neighbours: never terminates."""
+
+    def on_start(self, state, ctx):
+        return send_to_all(ctx, "M")
+
+    def on_receive(self, state, inbox, ctx):
+        return send_to_all(ctx, "M")
+
+
+class BadSender(StatelessAlgorithm):
+    """Tries to message a non-neighbour: a programming error."""
+
+    def on_start(self, state, ctx):
+        return [Send("nowhere", "M")]
+
+
+class DuplicateSender(StatelessAlgorithm):
+    """Sends the same (target, payload) twice; engine must collapse them."""
+
+    def on_start(self, state, ctx):
+        target = ctx.neighbors[0]
+        return [Send(target, "M"), Send(target, "M")]
+
+
+class TestBasicExecution:
+    def test_one_round_algorithm(self):
+        trace = run_algorithm(star_graph(3), EchoOnce(), initiators=[0])
+        assert trace.terminated
+        assert trace.rounds_executed == 1
+        assert trace.total_messages() == 3
+
+    def test_round_numbering_matches_paper(self, line=None):
+        from repro.graphs import paper_line
+
+        trace = run_algorithm(paper_line(), AmnesiacFlooding(), initiators=["b"])
+        assert trace.senders_in_round(1) == {"b"}
+        assert trace.receivers_in_round(1) == {"a", "c"}
+        assert trace.senders_in_round(2) == {"c"}
+        assert trace.receivers_in_round(2) == {"d"}
+        assert trace.termination_round == 2
+
+    def test_empty_round_beyond_termination(self):
+        trace = run_algorithm(path_graph(3), AmnesiacFlooding(), initiators=[0])
+        assert trace.sent_in_round(trace.termination_round + 1) == ()
+
+    def test_initiator_with_no_neighbors(self):
+        graph = Graph({0: []})
+        trace = run_algorithm(graph, AmnesiacFlooding(), initiators=[0])
+        assert trace.terminated
+        assert trace.rounds_executed == 0
+
+
+class TestValidation:
+    def test_no_initiators_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_algorithm(path_graph(3), AmnesiacFlooding(), initiators=[])
+
+    def test_unknown_initiator_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            run_algorithm(path_graph(3), AmnesiacFlooding(), initiators=[42])
+
+    def test_duplicate_initiators_deduplicated(self):
+        trace = run_algorithm(
+            path_graph(3), AmnesiacFlooding(), initiators=[1, 1]
+        )
+        assert trace.initiators == (1,)
+
+    def test_send_to_non_neighbor_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_algorithm(path_graph(3), BadSender(), initiators=[0])
+
+    def test_duplicate_sends_collapse(self):
+        trace = run_algorithm(path_graph(2), DuplicateSender(), initiators=[0])
+        assert trace.total_messages() == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            run_algorithm(
+                path_graph(3), AmnesiacFlooding(), initiators=[0], max_rounds=0
+            )
+
+
+class TestBudget:
+    def test_nonterminating_marked(self):
+        trace = run_algorithm(
+            path_graph(2), ForwardForever(), initiators=[0], max_rounds=10
+        )
+        assert not trace.terminated
+        assert trace.rounds_executed == 10
+
+    def test_nonterminating_raises_when_asked(self):
+        with pytest.raises(NonTerminationError):
+            run_algorithm(
+                path_graph(2),
+                ForwardForever(),
+                initiators=[0],
+                max_rounds=10,
+                raise_on_budget=True,
+            )
+
+    def test_default_budget_exceeds_theorem_bound(self):
+        graph = cycle_graph(9)
+        # Theorem 3.3 bound is 2D + 1 = 9; default must be far above.
+        assert default_round_budget(graph) > 2 * 4 + 1
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        graph = cycle_graph(7)
+        first = run_algorithm(graph, AmnesiacFlooding(), initiators=[0])
+        second = run_algorithm(graph, AmnesiacFlooding(), initiators=[0])
+        assert first.deliveries == second.deliveries
+
+    def test_trace_validity(self):
+        graph = cycle_graph(7)
+        trace = run_algorithm(graph, AmnesiacFlooding(), initiators=[0])
+        trace.assert_valid()
+
+
+class TestEngineReuse:
+    def test_engine_run_twice_is_fresh(self):
+        engine = SynchronousEngine(path_graph(4), AmnesiacFlooding())
+        first = engine.run([0])
+        second = engine.run([0])
+        assert first.deliveries == second.deliveries

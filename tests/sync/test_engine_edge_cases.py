@@ -1,0 +1,113 @@
+"""Edge-case tests for the synchronous engine and simulator parity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import Graph, complete_bipartite_graph, cycle_graph, path_graph
+from repro.core import AmnesiacFlooding, flood_trace, simulate
+from repro.sync import Message, Send, StatelessAlgorithm, run_algorithm
+
+
+class MixedPayloads(StatelessAlgorithm):
+    """Sends two distinct payloads; exercises per-payload delivery."""
+
+    def on_start(self, state, ctx):
+        sends = []
+        for neighbour in ctx.neighbors:
+            sends.append(Send(neighbour, "alpha"))
+            sends.append(Send(neighbour, ("beta", 1)))
+        return sends
+
+
+class TestPayloadHandling:
+    def test_distinct_payloads_both_delivered(self):
+        graph = path_graph(2)
+        trace = run_algorithm(graph, MixedPayloads(), initiators=[0])
+        payloads = {m.payload for m in trace.sent_in_round(1)}
+        assert payloads == {"alpha", ("beta", 1)}
+
+    def test_amnesiac_ignores_foreign_payloads(self):
+        """AF nodes only react to their own payload."""
+        graph = path_graph(3)
+        algorithm = AmnesiacFlooding(payload="mine")
+
+        class Noise(StatelessAlgorithm):
+            def on_start(self, state, ctx):
+                return [Send(n, "other") for n in ctx.neighbors]
+
+        noise_trace = run_algorithm(graph, Noise(), initiators=[0])
+        assert noise_trace.rounds_executed == 1  # receivers stay silent
+
+    def test_tuple_payload_hashable_roundtrip(self):
+        message = Message(0, 1, ("nested", (1, 2)))
+        assert message.payload == ("nested", (1, 2))
+
+
+class TestDisconnectedGraphs:
+    def test_flood_confined_to_component(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (5, 6)])
+        run = simulate(graph, [0])
+        assert run.terminated
+        assert run.nodes_reached() == {0, 1, 2}
+        assert run.receive_rounds[5] == ()
+        assert run.receive_rounds[6] == ()
+
+    def test_multi_source_across_components(self):
+        graph = Graph.from_edges([(0, 1), (5, 6)])
+        run = simulate(graph, [0, 5])
+        assert run.terminated
+        assert run.nodes_reached() == {0, 1, 5, 6}
+
+    def test_engine_matches_simulator_on_disconnected(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (5, 6), (6, 7), (7, 5)])
+        run = simulate(graph, [0, 5])
+        trace = flood_trace(graph, [0, 5])
+        assert trace.termination_round == run.termination_round
+        assert trace.receive_rounds() == run.receive_rounds
+
+
+class TestMultipleInitiatorsEdgeCases:
+    def test_adjacent_sources_silence_each_other(self):
+        graph = path_graph(2)
+        run = simulate(graph, [0, 1])
+        # both send in round 1; each received from its only neighbour,
+        # so nothing is forwarded.
+        assert run.termination_round == 1
+        assert run.total_messages == 2
+
+    def test_complete_bipartite_both_sides(self):
+        graph = complete_bipartite_graph(3, 3)
+        run = simulate(graph, [0, 3])
+        prediction_sources = [0, 3]
+        from repro.core import predict
+
+        assert (
+            run.termination_round
+            == predict(graph, prediction_sources).termination_round
+        )
+
+    def test_source_order_irrelevant(self):
+        graph = cycle_graph(9)
+        forward = simulate(graph, [0, 4])
+        backward = simulate(graph, [4, 0])
+        assert forward.termination_round == backward.termination_round
+        assert forward.receive_rounds == backward.receive_rounds
+
+
+class TestBudgetBoundaries:
+    def test_budget_exactly_at_termination(self):
+        graph = cycle_graph(7)  # terminates in 7 rounds
+        run = simulate(graph, [0], max_rounds=7)
+        assert run.terminated
+        assert run.termination_round == 7
+
+    def test_budget_one_short(self):
+        graph = cycle_graph(7)
+        run = simulate(graph, [0], max_rounds=6)
+        assert not run.terminated
+
+    def test_engine_budget_parity_with_simulator(self):
+        graph = cycle_graph(7)
+        trace = flood_trace(graph, [0], max_rounds=6)
+        assert not trace.terminated
+        assert trace.rounds_executed == 6

@@ -1,0 +1,122 @@
+"""Unit tests for fault models on the synchronous engine."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph
+from repro.core.amnesiac import AmnesiacFlooding, flood_trace
+from repro.sync import (
+    BernoulliLoss,
+    FirstRoundsLoss,
+    NoFaults,
+    ScheduledCrashes,
+    TargetedEdgeLoss,
+    run_algorithm,
+)
+from repro.sync.message import Message
+
+
+class TestNoFaults:
+    def test_everything_delivered(self):
+        model = NoFaults()
+        assert model.delivered(Message(0, 1), 1)
+        assert model.alive(0, 100)
+
+
+class TestBernoulliLoss:
+    def test_rate_zero_equals_no_faults(self):
+        graph = cycle_graph(6)
+        lossless = run_algorithm(
+            graph, AmnesiacFlooding(), [0], faults=BernoulliLoss(0.0, seed=1)
+        )
+        baseline = flood_trace(graph, [0])
+        assert lossless.deliveries == baseline.deliveries
+
+    def test_rate_one_kills_everything(self):
+        graph = cycle_graph(6)
+        trace = run_algorithm(
+            graph, AmnesiacFlooding(), [0], faults=BernoulliLoss(1.0, seed=1)
+        )
+        assert trace.total_messages() == 0
+        assert trace.terminated
+
+    def test_seeded_reproducibility(self):
+        graph = cycle_graph(8)
+        runs = [
+            run_algorithm(
+                graph, AmnesiacFlooding(), [0], faults=BernoulliLoss(0.4, seed=7)
+            ).deliveries
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+
+class TestScheduledCrashes:
+    def test_crashed_node_stops_forwarding(self):
+        graph = path_graph(5)
+        # node 2 crashes at round 2: it receives in round 2 but never acts.
+        trace = run_algorithm(
+            graph,
+            AmnesiacFlooding(),
+            [0],
+            faults=ScheduledCrashes({2: 2}),
+        )
+        assert trace.terminated
+        reached = trace.nodes_reached()
+        assert 3 not in reached
+        assert 4 not in reached
+
+    def test_crash_round_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledCrashes({0: 0})
+
+    def test_crash_after_termination_is_noop(self):
+        graph = path_graph(3)
+        trace = run_algorithm(
+            graph, AmnesiacFlooding(), [0], faults=ScheduledCrashes({2: 50})
+        )
+        baseline = flood_trace(graph, [0])
+        assert trace.deliveries == baseline.deliveries
+
+
+class TestTargetedEdgeLoss:
+    def test_dropping_edge_equals_removing_it(self):
+        graph = cycle_graph(6)
+        dropped = run_algorithm(
+            graph,
+            AmnesiacFlooding(),
+            [0],
+            faults=TargetedEdgeLoss([(2, 3)]),
+        )
+        removed = flood_trace(graph.without_edge(2, 3), [0])
+        assert dropped.termination_round == removed.termination_round
+        assert dropped.receive_rounds() == removed.receive_rounds()
+
+    def test_both_directions_blocked(self):
+        model = TargetedEdgeLoss([(0, 1)])
+        assert not model.delivered(Message(0, 1), 1)
+        assert not model.delivered(Message(1, 0), 1)
+        assert model.delivered(Message(1, 2), 1)
+
+
+class TestFirstRoundsLoss:
+    def test_flood_never_starts(self):
+        graph = path_graph(4)
+        trace = run_algorithm(
+            graph, AmnesiacFlooding(), [0], faults=FirstRoundsLoss(100)
+        )
+        assert trace.total_messages() == 0
+
+    def test_zero_rounds_is_noop(self):
+        graph = path_graph(4)
+        trace = run_algorithm(
+            graph, AmnesiacFlooding(), [0], faults=FirstRoundsLoss(0)
+        )
+        assert trace.deliveries == flood_trace(graph, [0]).deliveries
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FirstRoundsLoss(-1)

@@ -1,0 +1,72 @@
+"""Unit tests for node-algorithm helpers and message types."""
+
+import pytest
+
+from repro.graphs import Graph, star_graph
+from repro.sync import (
+    FLOOD_PAYLOAD,
+    Message,
+    NodeContext,
+    Send,
+    StatelessAlgorithm,
+    send_to_all,
+    send_to_complement,
+)
+
+
+@pytest.fixture
+def ctx():
+    return NodeContext(node=0, neighbors=(1, 2, 3), round_number=2)
+
+
+class TestHelpers:
+    def test_send_to_all(self, ctx):
+        sends = send_to_all(ctx, "M")
+        assert [s.target for s in sends] == [1, 2, 3]
+        assert all(s.payload == "M" for s in sends)
+
+    def test_send_to_complement(self, ctx):
+        sends = send_to_complement(ctx, [2], "M")
+        assert [s.target for s in sends] == [1, 3]
+
+    def test_send_to_complement_all_excluded(self, ctx):
+        assert send_to_complement(ctx, [1, 2, 3], "M") == []
+
+    def test_send_to_complement_empty_exclusion(self, ctx):
+        assert len(send_to_complement(ctx, [], "M")) == 3
+
+    def test_exclusion_of_non_neighbors_is_harmless(self, ctx):
+        sends = send_to_complement(ctx, [99], "M")
+        assert len(sends) == 3
+
+
+class TestMessage:
+    def test_reversed(self):
+        message = Message(0, 1, "M")
+        flipped = message.reversed()
+        assert flipped.sender == 1
+        assert flipped.receiver == 0
+        assert flipped.payload == "M"
+
+    def test_frozen(self):
+        message = Message(0, 1)
+        with pytest.raises(AttributeError):
+            message.sender = 5
+
+    def test_default_payload(self):
+        assert Message(0, 1).payload == FLOOD_PAYLOAD
+        assert Send(1).payload == FLOOD_PAYLOAD
+
+    def test_equality_and_hash(self):
+        assert Message(0, 1, "M") == Message(0, 1, "M")
+        assert len({Message(0, 1), Message(0, 1)}) == 1
+
+
+class TestStatelessBase:
+    def test_defaults_do_nothing(self):
+        algorithm = StatelessAlgorithm()
+        graph = star_graph(2)
+        assert algorithm.initial_state(0, graph) is None
+        ctx = NodeContext(node=0, neighbors=(1, 2), round_number=1)
+        assert algorithm.on_start(None, ctx) == []
+        assert algorithm.on_receive(None, [Message(1, 0)], ctx) == []

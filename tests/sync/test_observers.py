@@ -1,0 +1,85 @@
+"""Unit tests for round observers."""
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import cycle_graph, paper_triangle
+from repro.core import AmnesiacFlooding, simulate
+from repro.sync import (
+    CollectingObserver,
+    InvariantObserver,
+    PrintingObserver,
+    ProgressObserver,
+    SynchronousEngine,
+    compose,
+)
+
+
+def run_with(observer, graph=None, source="b"):
+    graph = graph if graph is not None else paper_triangle()
+    engine = SynchronousEngine(graph, AmnesiacFlooding())
+    return engine.run([source], observer=observer)
+
+
+class TestCollectingObserver:
+    def test_sees_every_round_in_order(self):
+        observer = CollectingObserver()
+        trace = run_with(observer)
+        assert [r for r, _ in observer.rounds] == [1, 2, 3]
+        assert [batch for _, batch in observer.rounds] == list(trace.deliveries)
+
+    def test_not_called_after_termination(self):
+        observer = CollectingObserver()
+        trace = run_with(observer)
+        assert len(observer.rounds) == trace.rounds_executed
+
+
+class TestPrintingObserver:
+    def test_writes_one_line_per_round(self):
+        stream = io.StringIO()
+        run_with(PrintingObserver(stream))
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("round 1:")
+        assert "{b}" in lines[0]
+
+
+class TestInvariantObserver:
+    def test_passes_when_invariant_holds(self):
+        observer = InvariantObserver(lambda r, sent: len(sent) >= 1)
+        trace = run_with(observer)
+        assert trace.terminated
+
+    def test_aborts_run_on_violation(self):
+        observer = InvariantObserver(
+            lambda r, sent: r < 2, description="round budget"
+        )
+        with pytest.raises(SimulationError, match="round budget"):
+            run_with(observer)
+
+
+class TestProgressObserver:
+    def test_summary_matches_run(self):
+        observer = ProgressObserver()
+        graph = cycle_graph(9)
+        engine = SynchronousEngine(graph, AmnesiacFlooding())
+        trace = engine.run([0], observer=observer)
+        run = simulate(graph, [0])
+        assert observer.rounds == run.termination_round
+        assert observer.messages == run.total_messages
+        assert observer.peak_round_load == max(run.round_edge_counts)
+
+
+class TestCompose:
+    def test_fan_out_in_order(self):
+        first = CollectingObserver()
+        second = ProgressObserver()
+        run_with(compose(first, second))
+        assert len(first.rounds) == 3
+        assert second.rounds == 3
+
+    def test_no_observer_is_default(self):
+        trace = run_with(None)
+        assert trace.terminated

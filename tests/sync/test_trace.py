@@ -1,0 +1,86 @@
+"""Unit tests for execution traces."""
+
+import pytest
+
+from repro.graphs import paper_line, paper_triangle
+from repro.core.amnesiac import flood_trace
+from repro.sync.message import Message
+from repro.sync.trace import ExecutionTrace
+
+
+@pytest.fixture
+def triangle_trace():
+    return flood_trace(paper_triangle(), ["b"])
+
+
+class TestAccessors:
+    def test_rounds_executed(self, triangle_trace):
+        assert triangle_trace.rounds_executed == 3
+        assert triangle_trace.termination_round == 3
+
+    def test_sent_in_round_bounds(self, triangle_trace):
+        assert triangle_trace.sent_in_round(0) == ()
+        assert triangle_trace.sent_in_round(99) == ()
+        assert len(triangle_trace.sent_in_round(1)) == 2
+
+    def test_senders_receivers(self, triangle_trace):
+        assert triangle_trace.senders_in_round(1) == {"b"}
+        assert triangle_trace.receivers_in_round(1) == {"a", "c"}
+        assert triangle_trace.senders_in_round(2) == {"a", "c"}
+        assert triangle_trace.receivers_in_round(2) == {"a", "c"}
+        assert triangle_trace.receivers_in_round(3) == {"b"}
+
+    def test_edges_used(self, triangle_trace):
+        round2 = triangle_trace.edges_used_in_round(2)
+        assert round2 == {("a", "c")} or round2 == {("c", "a")}
+
+
+class TestSummaries:
+    def test_round_sets(self, triangle_trace):
+        sets = triangle_trace.round_sets()
+        assert sets[0] == {"b"}
+        assert sets[1] == {"a", "c"}
+        assert sets[2] == {"a", "c"}
+        assert sets[3] == {"b"}
+
+    def test_total_messages(self, triangle_trace):
+        assert triangle_trace.total_messages() == 6
+
+    def test_receive_rounds(self, triangle_trace):
+        rounds = triangle_trace.receive_rounds()
+        assert rounds["a"] == (1, 2)
+        assert rounds["c"] == (1, 2)
+        assert rounds["b"] == (3,)
+
+    def test_receive_counts(self, triangle_trace):
+        assert triangle_trace.receive_counts() == {"a": 2, "b": 1, "c": 2}
+
+    def test_nodes_reached(self):
+        trace = flood_trace(paper_line(), ["b"])
+        assert trace.nodes_reached() == {"a", "b", "c", "d"}
+
+    def test_per_round_message_counts(self, triangle_trace):
+        assert triangle_trace.per_round_message_counts() == [2, 2, 2]
+
+
+class TestValidation:
+    def test_valid_trace_passes(self, triangle_trace):
+        triangle_trace.assert_valid()
+
+    def test_phantom_edge_detected(self):
+        graph = paper_line()
+        trace = ExecutionTrace(graph=graph, initiators=("a",))
+        trace.deliveries.append((Message("a", "d", "M"),))
+        with pytest.raises(AssertionError):
+            trace.assert_valid()
+
+    def test_duplicate_message_detected(self):
+        graph = paper_line()
+        trace = ExecutionTrace(graph=graph, initiators=("a",))
+        msg = Message("a", "b", "M")
+        trace.deliveries.append((msg, msg))
+        with pytest.raises(AssertionError):
+            trace.assert_valid()
+
+    def test_repr_mentions_status(self, triangle_trace):
+        assert "terminated" in repr(triangle_trace)

@@ -1,0 +1,95 @@
+"""Package-level sanity tests: public API integrity."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "graphs",
+    "sync",
+    "core",
+    "asynchrony",
+    "baselines",
+    "variants",
+    "analysis",
+    "viz",
+    "apps",
+    "experiments",
+]
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_importable(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        """Every name in __all__ must actually exist in the module."""
+        module = importlib.import_module(f"repro.{name}")
+        exported = getattr(module, "__all__", [])
+        assert exported, f"repro.{name} exports nothing"
+        for symbol in exported:
+            assert hasattr(module, symbol), f"repro.{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_exports_have_docstrings(self, name):
+        """Public callables and classes carry documentation."""
+        module = importlib.import_module(f"repro.{name}")
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if getattr(obj, "__module__", "") == "typing":
+                continue  # type aliases carry no docstrings
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"repro.{name}.{symbol} lacks a docstring"
+
+    def test_top_level_all(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        leaf_errors = [
+            errors.GraphError,
+            errors.NodeNotFoundError,
+            errors.EdgeNotFoundError,
+            errors.DisconnectedGraphError,
+            errors.SimulationError,
+            errors.NonTerminationError,
+            errors.ConfigurationError,
+        ]
+        for error_type in leaf_errors:
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_node_not_found_carries_node(self):
+        from repro.errors import NodeNotFoundError
+
+        error = NodeNotFoundError("x")
+        assert error.node == "x"
+        assert "x" in str(error)
+
+    def test_nontermination_carries_rounds(self):
+        from repro.errors import NonTerminationError
+
+        error = NonTerminationError(42)
+        assert error.rounds == 42
+        assert "42" in str(error)
+
+    def test_one_except_catches_everything(self):
+        from repro.errors import ReproError
+        from repro.graphs import path_graph
+        from repro.core import simulate
+
+        with pytest.raises(ReproError):
+            simulate(path_graph(3), [])
+        with pytest.raises(ReproError):
+            path_graph(3).neighbors(99)

@@ -1,0 +1,76 @@
+"""Unit tests for k-memory flooding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import complete_graph, cycle_graph, paper_triangle, path_graph
+from repro.core import flood_trace
+from repro.variants import KMemoryFlooding, k_memory_trace, memory_sweep
+
+
+class TestKEqualsOneIsAmnesiac:
+    @pytest.mark.parametrize(
+        "graph_factory,source",
+        [
+            (paper_triangle, "b"),
+            (lambda: cycle_graph(7), 0),
+            (lambda: cycle_graph(6), 0),
+            (lambda: complete_graph(5), 1),
+            (lambda: path_graph(6), 2),
+        ],
+        ids=["triangle", "c7", "c6", "k5", "path"],
+    )
+    def test_traces_identical(self, graph_factory, source):
+        graph = graph_factory()
+        amnesiac = flood_trace(graph, [source])
+        k1 = k_memory_trace(graph, source, k=1)
+        assert k1.deliveries == amnesiac.deliveries
+
+
+class TestKZeroDiverges:
+    def test_single_edge_ping_pong(self):
+        trace = k_memory_trace(path_graph(2), 0, k=0, max_rounds=20)
+        assert not trace.terminated
+        assert trace.rounds_executed == 20
+
+    def test_cycle_never_terminates(self):
+        trace = k_memory_trace(cycle_graph(5), 0, k=0, max_rounds=30)
+        assert not trace.terminated
+
+
+class TestMoreMemoryHelps:
+    def test_triangle_k2_terminates_faster(self):
+        t1 = k_memory_trace(paper_triangle(), "b", k=1)
+        t2 = k_memory_trace(paper_triangle(), "b", k=2)
+        assert t1.terminated and t2.terminated
+        assert t2.termination_round < t1.termination_round
+        assert t2.termination_round == 2
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_positive_k_terminates_on_odd_cycles(self, k):
+        for n in (3, 5, 7):
+            trace = k_memory_trace(cycle_graph(n), 0, k=k)
+            assert trace.terminated
+
+    def test_bipartite_unaffected_by_memory(self):
+        # On bipartite graphs AF already never revisits, so extra
+        # memory changes nothing.
+        graph = cycle_graph(8)
+        t1 = k_memory_trace(graph, 0, k=1)
+        t3 = k_memory_trace(graph, 0, k=3)
+        assert t1.deliveries == t3.deliveries
+
+
+class TestSweep:
+    def test_sweep_points(self):
+        points = memory_sweep(
+            paper_triangle(), "b", ks=[0, 1, 2], max_rounds=30
+        )
+        assert [p.k for p in points] == [0, 1, 2]
+        assert not points[0].terminated
+        assert points[1].terminated and points[1].rounds == 3
+        assert points[2].terminated and points[2].rounds == 2
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KMemoryFlooding(-1)

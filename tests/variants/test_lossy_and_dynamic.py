@@ -1,0 +1,152 @@
+"""Unit tests for the lossy and dynamic-graph variants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.core import simulate
+from repro.variants import (
+    EdgeFlipSchedule,
+    PeriodicSchedule,
+    StaticSchedule,
+    loss_sweep,
+    lossy_flood,
+    lossy_survey,
+    simulate_dynamic,
+)
+
+
+class TestLossyFlood:
+    def test_zero_loss_is_baseline(self):
+        graph = cycle_graph(7)
+        trace = lossy_flood(graph, 0, loss_rate=0.0, seed=1)
+        run = simulate(graph, [0])
+        assert trace.termination_round == run.termination_round
+        assert trace.total_messages() == run.total_messages
+
+    def test_full_loss_stops_immediately(self):
+        trace = lossy_flood(cycle_graph(7), 0, loss_rate=1.0, seed=1)
+        assert trace.total_messages() == 0
+
+    @pytest.mark.parametrize("rate", [0.1, 0.3, 0.6])
+    def test_subcritical_on_cycles_terminates(self, rate):
+        # Degree 2: every delivery begets at most one forward, so loss
+        # strictly shrinks the run -- termination is guaranteed.
+        for seed in range(5):
+            trace = lossy_flood(cycle_graph(9), 0, loss_rate=rate, seed=seed)
+            assert trace.terminated
+
+    def test_cycles_loss_never_increases_messages(self):
+        graph = cycle_graph(9)
+        baseline = simulate(graph, [0]).total_messages
+        for seed in range(5):
+            trace = lossy_flood(graph, 0, loss_rate=0.25, seed=seed)
+            assert trace.total_messages() <= baseline
+
+    def test_supercritical_on_dense_graph_self_sustains(self):
+        # On K6 each delivery spawns ~4 forwards surviving at 75%:
+        # branching factor ~3 > 1, so the flood outlives any budget.
+        # Loss breaks Theorem 3.1's parity structure -- a headline
+        # robustness finding of this reproduction.
+        for seed in range(3):
+            trace = lossy_flood(
+                complete_graph(6), 0, loss_rate=0.25, seed=seed, max_rounds=300
+            )
+            assert not trace.terminated
+
+    def test_high_loss_on_dense_graph_is_subcritical_again(self):
+        # Branching factor ~4 * 0.1 < 1: dies out quickly.
+        for seed in range(5):
+            trace = lossy_flood(
+                complete_graph(6), 0, loss_rate=0.9, seed=seed, max_rounds=2000
+            )
+            assert trace.terminated
+
+
+class TestLossySurvey:
+    def test_summary_fields(self):
+        summary = lossy_survey(cycle_graph(8), 0, 0.2, trials=10, seed=3)
+        assert summary.trials == 10
+        assert 0.0 <= summary.termination_rate <= 1.0
+        assert 0.0 <= summary.coverage <= 1.0
+
+    def test_zero_loss_full_coverage(self):
+        summary = lossy_survey(cycle_graph(8), 0, 0.0, trials=3, seed=3)
+        assert summary.coverage == 1.0
+        assert summary.termination_rate == 1.0
+
+    def test_coverage_degrades_with_loss(self):
+        low = lossy_survey(cycle_graph(12), 0, 0.05, trials=20, seed=5)
+        high = lossy_survey(cycle_graph(12), 0, 0.6, trials=20, seed=5)
+        assert high.coverage < low.coverage
+
+    def test_sweep_ordering(self):
+        summaries = loss_sweep(path_graph(8), 0, [0.0, 0.5], trials=5, seed=2)
+        assert [s.loss_rate for s in summaries] == [0.0, 0.5]
+
+    def test_trials_validated(self):
+        with pytest.raises(ConfigurationError):
+            lossy_survey(path_graph(3), 0, 0.1, trials=0)
+
+
+class TestSchedules:
+    def test_static_schedule(self):
+        graph = cycle_graph(5)
+        schedule = StaticSchedule(graph)
+        assert schedule.graph_at(1) is graph
+        assert schedule.graph_at(99) is graph
+
+    def test_periodic_schedule_cycles(self):
+        a, b = path_graph(4), cycle_graph(4)
+        b = b.relabel({i: i for i in range(4)})
+        schedule = PeriodicSchedule([a, b])
+        assert schedule.graph_at(1) == a
+        assert schedule.graph_at(2) == b
+        assert schedule.graph_at(3) == a
+
+    def test_periodic_requires_same_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSchedule([path_graph(3), path_graph(4)])
+
+    def test_edge_flip_deterministic(self):
+        base = cycle_graph(8)
+        first = EdgeFlipSchedule(base, flips_per_round=1, seed=4)
+        second = EdgeFlipSchedule(base, flips_per_round=1, seed=4)
+        for r in (1, 2, 3, 5):
+            assert first.graph_at(r) == second.graph_at(r)
+
+    def test_edge_flip_cache_consistent(self):
+        schedule = EdgeFlipSchedule(cycle_graph(6), flips_per_round=2, seed=9)
+        later = schedule.graph_at(5)
+        again = schedule.graph_at(5)
+        assert later == again
+
+
+class TestSimulateDynamic:
+    def test_static_schedule_equals_static_simulation(self):
+        graph = cycle_graph(7)
+        dynamic = simulate_dynamic(StaticSchedule(graph), [0])
+        static = simulate(graph, [0])
+        assert dynamic.terminated
+        assert dynamic.termination_round == static.termination_round
+        assert dynamic.total_messages == static.total_messages
+        assert dynamic.receive_rounds == static.receive_rounds
+
+    def test_alternating_topology_runs(self):
+        nodes = list(range(6))
+        ring = cycle_graph(6)
+        chords = Graph.from_edges([(0, 3), (1, 4), (2, 5)])
+        schedule = PeriodicSchedule([ring, chords])
+        run = simulate_dynamic(schedule, [0], max_rounds=100)
+        assert run.termination_round >= 1
+
+    def test_budget_respected(self):
+        # A two-graph schedule alternating a single edge on/off can
+        # bounce the message forever; the budget must cut it off.
+        on = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        run = simulate_dynamic(StaticSchedule(on), [0], max_rounds=2)
+        assert run.termination_round <= 2
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            simulate_dynamic(StaticSchedule(path_graph(3)), [0], max_rounds=0)

@@ -1,0 +1,90 @@
+"""Unit tests for multi-message flooding and random-delay asynchrony."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import complete_graph, cycle_graph, paper_triangle, path_graph
+from repro.core import flood_trace
+from repro.variants import (
+    concurrent_floods,
+    delay_sweep,
+    independence_holds,
+    random_delay_survey,
+    restrict_to_payload,
+)
+
+
+class TestConcurrentFloods:
+    def test_requires_origins(self):
+        with pytest.raises(ConfigurationError):
+            concurrent_floods(path_graph(3), {})
+
+    def test_two_messages_travel_independently(self):
+        graph = cycle_graph(8)
+        trace = concurrent_floods(graph, {"M1": [0], "M2": [4]})
+        assert trace.terminated
+        m1 = restrict_to_payload(trace, "M1")
+        standalone = flood_trace(graph, [0], payload="M1")
+        assert m1 == restrict_to_payload(standalone, "M1")
+
+    def test_restriction_matches_single_run_exactly(self):
+        graph = paper_triangle()
+        trace = concurrent_floods(graph, {"X": ["a"], "Y": ["b"]})
+        single = flood_trace(graph, ["b"], payload="Y")
+        assert restrict_to_payload(trace, "Y") == restrict_to_payload(single, "Y")
+
+    @pytest.mark.parametrize(
+        "origins",
+        [
+            {"M1": [0], "M2": [1]},
+            {"M1": [0], "M2": [2], "M3": [4]},
+            {"M1": [0, 3], "M2": [1]},
+        ],
+        ids=["two", "three", "multi-source"],
+    )
+    def test_independence_invariant(self, origins):
+        graph = cycle_graph(6)
+        assert independence_holds(graph, origins)
+
+    def test_independence_on_nonbipartite(self):
+        graph = complete_graph(4)
+        assert independence_holds(graph, {"A": [0], "B": [1], "C": [2]})
+
+    def test_same_payload_two_sources_is_multisource(self):
+        graph = path_graph(6)
+        trace = concurrent_floods(graph, {"M": [0, 5]})
+        from repro.core import simulate
+
+        run = simulate(graph, [0, 5])
+        assert trace.termination_round == run.termination_round
+
+
+class TestRandomDelaySurvey:
+    def test_zero_delay_always_terminates(self):
+        summary = random_delay_survey(cycle_graph(7), 0, 0.0, trials=5, seed=1)
+        assert summary.termination_rate == 1.0
+        # with no delays every step is a synchronous round
+        assert summary.mean_steps == 7
+
+    def test_moderate_delay_still_terminates(self):
+        summary = random_delay_survey(
+            paper_triangle(), "b", 0.3, trials=20, seed=2
+        )
+        assert summary.termination_rate == 1.0
+
+    def test_sweep_shapes(self):
+        summaries = delay_sweep(
+            cycle_graph(5), 0, [0.0, 0.2, 0.4], trials=5, seed=3
+        )
+        assert [s.delay_probability for s in summaries] == [0.0, 0.2, 0.4]
+        assert all(s.trials == 5 for s in summaries)
+
+    def test_delay_slows_down(self):
+        fast = random_delay_survey(cycle_graph(9), 0, 0.0, trials=10, seed=4)
+        slow = random_delay_survey(cycle_graph(9), 0, 0.5, trials=10, seed=4)
+        assert slow.mean_steps is not None
+        assert slow.mean_steps > fast.mean_steps
+
+    def test_trials_validated(self):
+        with pytest.raises(ConfigurationError):
+            random_delay_survey(path_graph(3), 0, 0.1, trials=0)

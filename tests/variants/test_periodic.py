@@ -1,0 +1,81 @@
+"""Unit tests for periodic re-injection flooding."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    paper_triangle,
+    path_graph,
+    petersen_graph,
+)
+from repro.graphs.random_graphs import random_connected_graph
+from repro.core import simulate
+from repro.variants import injection_phase_diagram, periodic_injection_flood
+
+
+class TestSingleInjectionBaseline:
+    def test_one_injection_equals_plain_flood(self):
+        for graph, source in ((cycle_graph(7), 0), (path_graph(6), 0)):
+            run = periodic_injection_flood(graph, source, period=5, injections=1)
+            plain = simulate(graph, [source])
+            assert run.terminates
+            assert run.total_rounds == plain.termination_round
+            assert run.total_messages == plain.total_messages
+
+
+class TestSymmetricTopologiesSettle:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            paper_triangle,
+            lambda: cycle_graph(5),
+            lambda: cycle_graph(6),
+            lambda: complete_graph(5),
+            petersen_graph,
+        ],
+        ids=["triangle", "c5", "c6", "k5", "petersen"],
+    )
+    @pytest.mark.parametrize("period", [1, 2, 3])
+    def test_all_schedules_terminate(self, graph_factory, period):
+        graph = graph_factory()
+        run = periodic_injection_flood(
+            graph, graph.nodes()[0], period=period, injections=4
+        )
+        assert run.terminates
+        assert run.limit_cycle_length is None
+
+    def test_phase_diagram_shape(self):
+        diagram = injection_phase_diagram(cycle_graph(6), 0, [1, 2, 3])
+        assert diagram == {1: True, 2: True, 3: True}
+
+
+class TestSplicedNontermination:
+    def test_random_graph_witness_loops_forever(self):
+        """Found by the reproduction's sweep: on this seeded random
+        graph, re-injecting every 3 rounds splices the waves into a
+        period-4 limit cycle -- re-injection escapes Theorem 3.1."""
+        graph = random_connected_graph(12, extra_edge_prob=0.3, seed=2)
+        run = periodic_injection_flood(graph, graph.nodes()[0], 3, 3)
+        assert not run.terminates
+        assert run.limit_cycle_length == 4
+
+    def test_same_graph_single_injection_terminates(self):
+        """The witness graph is harmless under the paper's own process."""
+        graph = random_connected_graph(12, extra_edge_prob=0.3, seed=2)
+        assert simulate(graph, [graph.nodes()[0]]).terminated
+
+
+class TestValidation:
+    def test_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            periodic_injection_flood(path_graph(3), 0, period=0, injections=1)
+
+    def test_bad_injections(self):
+        with pytest.raises(ConfigurationError):
+            periodic_injection_flood(path_graph(3), 0, period=1, injections=0)
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            periodic_injection_flood(path_graph(3), 9, period=1, injections=1)

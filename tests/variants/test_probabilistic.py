@@ -1,0 +1,77 @@
+"""Unit tests for probabilistic amnesiac flooding."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graphs import complete_graph, cycle_graph, path_graph
+from repro.core import simulate
+from repro.variants import coverage_curve, probabilistic_flood
+
+
+class TestProbabilisticFlood:
+    def test_q_one_matches_deterministic(self):
+        graph = cycle_graph(9)
+        run = probabilistic_flood(graph, 0, 1.0, seed=1)
+        deterministic = simulate(graph, [0])
+        assert run.terminated
+        assert run.termination_round == deterministic.termination_round
+        assert run.total_messages == deterministic.total_messages
+        assert run.nodes_reached == deterministic.nodes_reached()
+
+    def test_q_zero_sends_nothing(self):
+        run = probabilistic_flood(path_graph(5), 0, 0.0, seed=1)
+        assert run.terminated
+        assert run.total_messages == 0
+        assert run.nodes_reached == {0}
+
+    def test_seeded_reproducibility(self):
+        runs = [
+            probabilistic_flood(cycle_graph(10), 0, 0.6, seed=42)
+            for _ in range(2)
+        ]
+        assert runs[0].total_messages == runs[1].total_messages
+        assert runs[0].nodes_reached == runs[1].nodes_reached
+
+    def test_sparse_always_terminates(self):
+        for seed in range(6):
+            run = probabilistic_flood(cycle_graph(11), 0, 0.7, seed=seed)
+            assert run.terminated
+
+    def test_dense_moderate_q_self_sustains(self):
+        # same supercritical branching as the lossy variant
+        stalled = 0
+        for seed in range(3):
+            run = probabilistic_flood(
+                complete_graph(6), 0, 0.75, seed=seed, max_rounds=300
+            )
+            if not run.terminated:
+                stalled += 1
+        assert stalled == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            probabilistic_flood(path_graph(3), 0, 1.5)
+        with pytest.raises(NodeNotFoundError):
+            probabilistic_flood(path_graph(3), 42, 0.5)
+        with pytest.raises(ConfigurationError):
+            probabilistic_flood(path_graph(3), 0, 0.5, max_rounds=0)
+
+
+class TestCoverageCurve:
+    def test_curve_shape(self):
+        points = coverage_curve(
+            cycle_graph(12), 0, [0.0, 0.5, 1.0], trials=8, seed=3
+        )
+        assert [p.forward_probability for p in points] == [0.0, 0.5, 1.0]
+        assert points[0].mean_coverage < points[2].mean_coverage
+        assert points[2].mean_coverage == 1.0
+
+    def test_coverage_monotone_in_q_roughly(self):
+        points = coverage_curve(
+            cycle_graph(16), 0, [0.2, 0.9], trials=12, seed=5
+        )
+        assert points[0].mean_coverage <= points[1].mean_coverage
+
+    def test_trials_validated(self):
+        with pytest.raises(ConfigurationError):
+            coverage_curve(path_graph(3), 0, [0.5], trials=0)

@@ -1,0 +1,93 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import cycle_graph, path_graph
+from repro.viz import bar_chart, line_chart, profile_chart, series_table, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert len(sparkline(values)) == len(values)
+
+
+class TestBarChart:
+    def test_rows_and_labels(self):
+        chart = bar_chart({"af": 10, "classic": 5}, width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("af")
+        assert "█" in lines[0]
+
+    def test_proportionality(self):
+        chart = bar_chart({"a": 10, "b": 5}, width=10)
+        a_bar, b_bar = (line.count("█") for line in chart.splitlines())
+        assert a_bar == 2 * b_bar
+
+    def test_zero_value_row(self):
+        chart = bar_chart({"x": 0, "y": 3})
+        assert "x" in chart
+
+    def test_empty(self):
+        assert "no data" in bar_chart({})
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart([1, 2, 3, 4], height=4)
+        rows = chart.splitlines()
+        assert len(rows) == 4 + 2  # plot rows + axis + caption
+
+    def test_peak_column_full_height(self):
+        chart = line_chart([1, 4], height=4)
+        first_plot_row = chart.splitlines()[0]
+        assert first_plot_row.rstrip().endswith("█")
+
+    def test_invalid_height(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1], height=0)
+
+    def test_empty(self):
+        assert "no data" in line_chart([])
+
+
+class TestProfileChart:
+    def test_bipartite_profile(self):
+        chart = profile_chart(path_graph(6), 0)
+        assert "messages per round" in chart
+        assert "edges carrying M" in chart
+
+    def test_odd_cycle_profile_has_constant_load(self):
+        chart = profile_chart(cycle_graph(7), 0)
+        # two wavefronts -> 2 edges per round for the whole run
+        assert sparkline([2] * 7) in chart
+
+    def test_isolated_source(self):
+        from repro.graphs import Graph
+
+        assert "no messages" in profile_chart(Graph({0: []}), 0)
+
+
+class TestSeriesTable:
+    def test_alignment_and_content(self):
+        table = series_table(
+            {"af": [1, 2], "classic": [1, 1]}, x_values=[8, 16], x_name="n"
+        )
+        assert "n: [8, 16]" in table
+        assert "af" in table
+        assert "classic" in table
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            series_table({"af": [1]}, x_values=[8, 16])

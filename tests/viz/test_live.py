@@ -1,0 +1,78 @@
+"""Unit tests for live rendering and last-receiver analysis."""
+
+import io
+
+import pytest
+
+from repro.graphs import cycle_graph, paper_line, paper_triangle, petersen_graph, path_graph
+from repro.analysis import last_receivers
+from repro.core import simulate
+from repro.viz import watch_flood
+
+
+class TestWatchFlood:
+    def test_path_layout(self):
+        buffer = io.StringIO()
+        trace = watch_flood(paper_line(), "b", stream=buffer)
+        output = buffer.getvalue()
+        assert "round 1:" in output
+        assert "(b)" in output
+        assert "terminated after round 2" in output
+        assert trace.termination_round == 2
+
+    def test_cycle_layout(self):
+        buffer = io.StringIO()
+        watch_flood(paper_triangle(), "b", stream=buffer)
+        assert "round 3:" in buffer.getvalue()
+
+    def test_table_fallback(self):
+        buffer = io.StringIO()
+        watch_flood(petersen_graph(), 0, stream=buffer)
+        assert "->" in buffer.getvalue()
+
+    def test_budget_cutoff_reported(self):
+        buffer = io.StringIO()
+        trace = watch_flood(cycle_graph(9), 0, stream=buffer, max_rounds=2)
+        assert not trace.terminated
+        assert "cut off" in buffer.getvalue()
+
+    def test_trace_matches_plain_run(self):
+        buffer = io.StringIO()
+        trace = watch_flood(cycle_graph(6), 0, stream=buffer)
+        run = simulate(cycle_graph(6), [0])
+        assert trace.termination_round == run.termination_round
+
+
+class TestLastReceivers:
+    def test_bipartite_far_end(self):
+        nodes, final_round = last_receivers(path_graph(5), 0)
+        assert nodes == {4}
+        assert final_round == 4
+
+    def test_odd_cycle_echo_comes_home(self):
+        """On C_n (odd) the LAST receiver is the source itself -- the
+        echo travels all the way back."""
+        nodes, final_round = last_receivers(cycle_graph(7), 0)
+        assert nodes == {0}
+        assert final_round == 7
+
+    def test_matches_simulation(self):
+        for graph, source in (
+            (cycle_graph(8), 0),
+            (petersen_graph(), 0),
+            (path_graph(6), 2),
+        ):
+            nodes, final_round = last_receivers(graph, source)
+            run = simulate(graph, [source])
+            assert final_round == run.termination_round
+            measured = {
+                node
+                for node, rounds in run.receive_rounds.items()
+                if rounds and rounds[-1] == final_round
+            }
+            assert nodes == measured
+
+    def test_isolated_source(self):
+        from repro.graphs import Graph
+
+        assert last_receivers(Graph({0: []}), 0) == (set(), 0)

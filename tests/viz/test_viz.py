@@ -1,0 +1,123 @@
+"""Unit tests for the visualisation helpers."""
+
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    paper_even_cycle,
+    paper_line,
+    paper_triangle,
+    path_graph,
+    star_graph,
+)
+from repro.core import flood_trace, simulate
+from repro.viz import (
+    cycle_order,
+    message_flow_table,
+    path_order,
+    receive_timeline,
+    render_run,
+    round_to_dot,
+    run_summary_line,
+    run_to_dot_sequence,
+    sender_table,
+)
+
+
+class TestOrders:
+    def test_path_order_endpoints(self):
+        order = path_order(paper_line())
+        assert order[0] in ("a", "d")
+        assert order[-1] in ("a", "d")
+        assert len(order) == 4
+
+    def test_path_order_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            path_order(cycle_graph(4))
+
+    def test_cycle_order_adjacency(self):
+        graph = paper_even_cycle()
+        order = cycle_order(graph)
+        assert len(order) == 6
+        for a, b in zip(order, order[1:]):
+            assert graph.has_edge(a, b)
+        assert graph.has_edge(order[-1], order[0])
+
+    def test_cycle_order_rejects_path(self):
+        with pytest.raises(ValueError):
+            cycle_order(path_graph(4))
+
+
+class TestRenderRun:
+    def test_line_figure_shows_circled_source(self):
+        run = simulate(paper_line(), ["b"])
+        art = render_run(paper_line(), run, title="fig1")
+        assert "fig1" in art
+        assert "(b)" in art
+        assert "round 1" in art
+        assert "terminated after round 2" in art
+
+    def test_cycle_render_has_two_rows_per_round(self):
+        run = simulate(paper_even_cycle(), ["a"])
+        art = render_run(paper_even_cycle(), run)
+        assert "(a)" in art
+        assert "round 3" in art
+
+    def test_fallback_to_sender_table(self):
+        run = simulate(star_graph(4), [0])
+        art = render_run(star_graph(4), run)
+        assert "sending nodes" in art
+
+
+class TestTables:
+    def test_sender_table_rows(self):
+        run = simulate(paper_triangle(), ["b"])
+        table = sender_table(run)
+        assert "{b}" in table
+        assert "{a, c}" in table
+        assert table.count("\n") == 4  # header + separator + 3 rounds
+
+    def test_sender_table_works_on_traces(self):
+        trace = flood_trace(paper_triangle(), ["b"])
+        assert "{a, c}" in sender_table(trace)
+
+    def test_receive_timeline(self):
+        run = simulate(paper_line(), ["b"])
+        timeline = receive_timeline(run)
+        assert "(never)" in timeline  # source never receives
+        assert "2" in timeline
+
+    def test_message_flow_table(self):
+        trace = flood_trace(paper_line(), ["b"])
+        table = message_flow_table(trace)
+        assert "b->a" in table
+        assert "c->d" in table
+
+    def test_run_summary_line(self):
+        run = simulate(paper_line(), ["b"])
+        line = run_summary_line(run, label="fig1")
+        assert "fig1" in line
+        assert "round 2" in line
+
+
+class TestDotExport:
+    def test_round_dot_highlights_senders(self):
+        run = simulate(paper_triangle(), ["b"])
+        dot = round_to_dot(paper_triangle(), run, 1)
+        assert "lightblue" in dot
+        assert "penwidth" in dot
+
+    def test_sequence_length(self):
+        run = simulate(paper_triangle(), ["b"])
+        docs = run_to_dot_sequence(paper_triangle(), run)
+        assert len(docs) == 3
+        assert all(doc.startswith("graph") for doc in docs)
+
+    def test_trace_and_run_agree(self):
+        graph = cycle_graph(6)
+        run = simulate(graph, [0])
+        trace = flood_trace(graph, [0])
+        for round_number in (1, 2, 3):
+            assert round_to_dot(graph, run, round_number) == round_to_dot(
+                graph, trace, round_number
+            )
