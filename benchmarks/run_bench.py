@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Run the fast-path scaling benchmarks and trim a perf-trajectory file.
+
+Invokes pytest-benchmark on ``benchmarks/bench_scaling.py`` with
+``--benchmark-json`` and distils the machine-readable export into
+``BENCH_fastpath.json``: one row per fast-path benchmark with the graph
+size, backend, mean/min seconds and derived rounds/sec throughput, plus
+the asserted 10k-node speedup row.  Future PRs regenerate the file and
+diff it against the committed trajectory to see whether the hot path
+moved.
+
+Usage::
+
+    python benchmarks/run_bench.py [--output BENCH_fastpath.json]
+
+Exits non-zero if the benchmark run fails (the correctness assertions
+inside each benchmark are part of the run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "bench_scaling.py"
+FASTPATH_PREFIXES = (
+    "test_ext_scale_fastpath_backends",
+    "test_ext_scale_fastpath_speedup_10k",
+)
+
+
+def run_benchmarks(json_path: Path) -> int:
+    """Run the scaling benchmark file with a JSON export."""
+    env_src = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        env_src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else env_src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    return completed.returncode
+
+
+def trim(raw: dict) -> list:
+    """Reduce the pytest-benchmark export to the perf-trajectory rows."""
+    rows = []
+    for entry in raw.get("benchmarks", []):
+        name = entry.get("name", "")
+        if not name.startswith(FASTPATH_PREFIXES):
+            continue
+        info = entry.get("extra_info", {})
+        stats = entry.get("stats", {})
+        mean = stats.get("mean")
+        rounds = info.get("measured_rounds")
+        row = {
+            "benchmark": name,
+            "n": info.get("nodes"),
+            "backend": info.get("backend"),
+            "mean_seconds": mean,
+            "min_seconds": stats.get("min"),
+            "rounds_per_sec": (
+                round(rounds / mean, 1) if rounds and mean else None
+            ),
+        }
+        if "speedup" in info:
+            row["speedup_vs_reference"] = info["speedup"]
+        rows.append(row)
+    rows.sort(key=lambda r: (str(r["backend"]), r["n"] or 0))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_fastpath.json",
+        help="where to write the trimmed trajectory (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    # Fail before the (slow) benchmark run, not after it.
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        code = run_benchmarks(json_path)
+        if code != 0:
+            print("benchmark run failed", file=sys.stderr)
+            return code
+        raw = json.loads(json_path.read_text())
+
+    rows = trim(raw)
+    payload = {
+        "suite": "bench_scaling",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.fastpath import simulate_indexed
 from repro.graphs.double_cover import cover_distances
 from repro.graphs.graph import Graph, Node
 from repro.graphs.traversal import bfs_distances
@@ -98,9 +99,13 @@ def frontier_profile(graph: Graph, source: Node) -> List[int]:
     """Edges carrying ``M`` per round -- the network load curve.
 
     Bipartite graphs show a single BFS bulge; non-bipartite graphs a
-    second bulge as the echo wave plays out.
+    second bulge as the echo wave plays out.  Collected on the fast
+    path with only per-round counters -- no per-node bookkeeping -- so
+    profiling large graphs costs O(messages) flat.
     """
-    run = simulate(graph, [source])
+    run = simulate_indexed(
+        graph, [source], collect_senders=False, collect_receives=False
+    )
     return list(run.round_edge_counts)
 
 

@@ -18,6 +18,7 @@ from repro.core.amnesiac import (
     initial_frontier,
     message_complexity,
     simulate,
+    simulate_reference,
     step_frontier,
     termination_round,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "initial_frontier",
     "message_complexity",
     "simulate",
+    "simulate_reference",
     "step_frontier",
     "termination_round",
     "MultiSourceBounds",

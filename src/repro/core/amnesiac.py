@@ -9,13 +9,20 @@ test suite:
    its inbox for the current round and its neighbour list, exactly as in
    the paper ("memory only of the present round").
 
-2. :func:`simulate`, a fast frontier-based simulator that tracks the
-   set of directed edges carrying ``M`` each round.  The global state of
-   amnesiac flooding *is* that edge set -- nodes keep nothing -- so this
-   simulator is exact while being orders of magnitude faster for the
-   large parameter sweeps in the benchmarks.
+2. :func:`simulate_reference`, a frontier-based simulator that tracks
+   the set of directed edges carrying ``M`` each round as a Python set
+   of node tuples.  The global state of amnesiac flooding *is* that
+   edge set -- nodes keep nothing -- so this simulator is exact, and
+   its transparent three-line step (:func:`step_frontier`) makes it the
+   reference the fast path is checked against.
 
-Both count rounds the paper's way: the initiator sends in round 1 and
+3. :func:`simulate`, the production entry point: same statistics,
+   delegated to the CSR-indexed engines of :mod:`repro.fastpath`
+   (pure-Python bitmasks, or numpy when importable and the graph is
+   large).  The equivalence-matrix tests hold all three bit-for-bit
+   equal.
+
+All count rounds the paper's way: the initiator sends in round 1 and
 the process terminates in round ``T`` when messages are sent in round
 ``T`` but none in round ``T + 1``.
 """
@@ -37,6 +44,7 @@ from typing import (
 )
 
 from repro.errors import ConfigurationError, NodeNotFoundError, NonTerminationError
+from repro.fastpath import simulate_indexed
 from repro.graphs.graph import Graph, Node
 from repro.sync.engine import default_round_budget, run_algorithm
 from repro.sync.message import FLOOD_PAYLOAD, Message, Send
@@ -201,20 +209,58 @@ def simulate(
     sources: Iterable[Node],
     max_rounds: Optional[int] = None,
     raise_on_budget: bool = False,
+    backend: Optional[str] = None,
 ) -> FloodingRun:
     """Fast exact simulation of amnesiac flooding.
 
     Parameters mirror :func:`flood_trace`; the result is a
     :class:`FloodingRun` carrying every statistic the analysis layer
-    needs without materialising per-message objects.
+    needs without materialising per-message objects.  The run executes
+    on the CSR-indexed engines of :mod:`repro.fastpath`; ``backend``
+    pins ``"pure"`` or ``"numpy"`` (default: auto-select).
 
     Raises
     ------
     ConfigurationError
-        If no sources are given.
+        If no sources are given, ``max_rounds < 1``, or ``backend`` is
+        unknown/unavailable.
     NonTerminationError
         If ``raise_on_budget`` is set and the budget is exhausted.
     """
+    run = simulate_indexed(
+        graph,
+        sources,
+        max_rounds=max_rounds,
+        raise_on_budget=raise_on_budget,
+        backend=backend,
+    )
+    return FloodingRun(
+        graph=graph,
+        sources=run.sources,
+        terminated=run.terminated,
+        termination_round=run.termination_round,
+        total_messages=run.total_messages,
+        receive_rounds=run.receive_rounds(),
+        round_edge_counts=run.round_edge_counts,
+        sender_sets=run.sender_sets(),
+    )
+
+
+def simulate_reference(
+    graph: Graph,
+    sources: Iterable[Node],
+    max_rounds: Optional[int] = None,
+    raise_on_budget: bool = False,
+) -> FloodingRun:
+    """Set-based reference simulation of amnesiac flooding.
+
+    The original frontier simulator, kept as the transparent
+    second opinion: the equivalence-matrix tests check the fast
+    backends against it, and the scaling benchmarks use it as the
+    speedup baseline.  Semantics are identical to :func:`simulate`.
+    """
+    if max_rounds is not None and max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
     source_list: List[Node] = []
     seen: Set[Node] = set()
     for source in sources:
@@ -267,9 +313,13 @@ def simulate(
 
 def termination_round(graph: Graph, source: Node) -> int:
     """The round in which amnesiac flooding from ``source`` terminates."""
-    return simulate(graph, [source]).termination_round
+    return simulate_indexed(
+        graph, [source], collect_senders=False, collect_receives=False
+    ).termination_round
 
 
 def message_complexity(graph: Graph, source: Node) -> int:
     """Total messages amnesiac flooding from ``source`` sends."""
-    return simulate(graph, [source]).total_messages
+    return simulate_indexed(
+        graph, [source], collect_senders=False, collect_receives=False
+    ).total_messages

@@ -27,11 +27,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.fastpath import (
+    IndexedGraph,
+    arc_mask_of,
+    configuration_of_mask,
+    evolve_arc_mask,
+    step_arc_mask,
+)
 from repro.graphs.graph import Graph, Node
-from repro.core.amnesiac import step_frontier
 
 DirectedEdge = Tuple[Node, Node]
 Configuration = FrozenSet[DirectedEdge]
@@ -74,31 +80,21 @@ def evolve(graph: Graph, initial: Iterable[DirectedEdge]) -> EvolutionResult:
     Termination is decided exactly by memoising the orbit; there is no
     budget to tune because the state space is finite (though
     exponential, so keep graphs small for adversarially dense inputs --
-    orbits of source-style states are short).
+    orbits of source-style states are short).  The orbit runs on
+    :mod:`repro.fastpath` arc bitmasks: each configuration is one
+    integer, so hashing and stepping cost machine-word operations
+    instead of frozenset churn.
     """
     config = validate_configuration(graph, initial)
-    seen: Dict[Configuration, int] = {config: 0}
-    current = config
-    peak = len(config)
-    step = 0
-    while current:
-        current = frozenset(step_frontier(graph, set(current)))
-        step += 1
-        peak = max(peak, len(current))
-        if current in seen:
-            return EvolutionResult(
-                initial=config,
-                terminates=False,
-                steps_to_outcome=seen[current],
-                cycle_length=step - seen[current],
-                max_configuration_size=peak,
-            )
-        seen[current] = step
+    index = IndexedGraph.of(graph)
+    terminates, steps, cycle_length, peak = evolve_arc_mask(
+        index, arc_mask_of(index, config)
+    )
     return EvolutionResult(
         initial=config,
-        terminates=True,
-        steps_to_outcome=step,
-        cycle_length=None,
+        terminates=terminates,
+        steps_to_outcome=steps,
+        cycle_length=cycle_length,
         max_configuration_size=peak,
     )
 
@@ -157,16 +153,21 @@ def classify_all_configurations(
             f"census over {len(directed)} directed edges is too large "
             f"(cap: {max_directed_edges})"
         )
+    index = IndexedGraph.of(graph)
+    bits = [1 << index.arc_slot(u, v) for u, v in directed]
     total = 0
     terminating = 0
     witnesses: List[Configuration] = []
-    for size in range(1, len(directed) + 1):
-        for combo in combinations(directed, size):
+    for size in range(1, len(bits) + 1):
+        for combo in combinations(bits, size):
             total += 1
-            if evolve(graph, combo).terminates:
+            mask = 0
+            for bit in combo:
+                mask |= bit
+            if evolve_arc_mask(index, mask)[0]:
                 terminating += 1
             elif len(witnesses) < 5:
-                witnesses.append(frozenset(combo))
+                witnesses.append(configuration_of_mask(index, mask))
     return ConfigurationCensus(
         graph=graph,
         total=total,
@@ -184,11 +185,12 @@ def single_message_orbit(
     ``max_steps``); on a tree it slides to a leaf and vanishes.
     """
     config = validate_configuration(graph, [edge])
+    index = IndexedGraph.of(graph)
+    mask = arc_mask_of(index, config)
     orbit = [config]
-    current = config
     for _ in range(max_steps):
-        if not current:
+        if not mask:
             break
-        current = frozenset(step_frontier(graph, set(current)))
-        orbit.append(current)
+        mask = step_arc_mask(index, mask)
+        orbit.append(configuration_of_mask(index, mask))
     return orbit

@@ -1,0 +1,64 @@
+"""Fast flooding backends over a CSR-indexed graph.
+
+The reference simulators in :mod:`repro.core.amnesiac` manipulate sets
+of hashable-node tuples, which is exact but caps sweeps at a few
+thousand nodes.  This subsystem freezes a
+:class:`~repro.graphs.graph.Graph` once into flat integer arrays
+(:class:`IndexedGraph`) and runs the directed-edge frontier on one of
+two engines:
+
+* the **pure** backend (:mod:`repro.fastpath.pure_backend`) -- per-node
+  integer bitmasks, no dependencies, O(messages) per round;
+* the **numpy** backend (:mod:`repro.fastpath.numpy_backend`) --
+  vectorised boolean arc arrays, O(arcs) per round, used automatically
+  when numpy is importable and the graph is large enough
+  (:data:`~repro.fastpath.engine.NUMPY_ARC_THRESHOLD` directed arcs);
+  everything degrades gracefully to pure when numpy is absent.
+
+Pass ``backend="pure"`` / ``backend="numpy"`` to pin an engine, or
+``backend=None`` (the default) to auto-select;
+:func:`available_backends` reports what this process can run.  Both
+backends are exact -- integer/boolean arithmetic only -- and the
+equivalence-matrix tests (``tests/core/test_engine_equivalence.py``)
+hold them bit-for-bit equal to the reference frontier simulator and the
+message-passing engine.
+
+Entry points:
+
+* :func:`simulate_indexed` -- one flood, full statistics
+  (:func:`repro.core.amnesiac.simulate` delegates here);
+* :func:`sweep` -- many floods over one graph, indexing amortised,
+  light statistics (powers ``all_pairs_termination`` and the scaling
+  benchmarks);
+* :func:`step_arc_mask` / :func:`evolve_arc_mask` -- arbitrary initial
+  configurations packed into arc bitmasks (powers the
+  initial-conditions census).
+"""
+
+from repro.fastpath.engine import (
+    NUMPY_ARC_THRESHOLD,
+    IndexedRun,
+    arc_mask_of,
+    available_backends,
+    configuration_of_mask,
+    evolve_arc_mask,
+    select_backend,
+    simulate_indexed,
+    step_arc_mask,
+    sweep,
+)
+from repro.fastpath.indexed import IndexedGraph
+
+__all__ = [
+    "NUMPY_ARC_THRESHOLD",
+    "IndexedGraph",
+    "IndexedRun",
+    "arc_mask_of",
+    "available_backends",
+    "configuration_of_mask",
+    "evolve_arc_mask",
+    "select_backend",
+    "simulate_indexed",
+    "step_arc_mask",
+    "sweep",
+]

@@ -1,0 +1,324 @@
+"""Backend dispatch, ``simulate_indexed``, batch ``sweep`` and arc-mask orbits.
+
+This module is the public face of the fast path.  It validates inputs
+with the same errors as the reference simulators, picks a backend, and
+wraps the raw backend output in :class:`IndexedRun`, whose fields are
+bit-for-bit identical to the statistics of
+:func:`repro.core.amnesiac.simulate` (the equivalence-matrix tests
+assert this on every engine pair).
+
+Backend selection
+-----------------
+* ``"pure"`` -- per-node integer bitmasks; always available; cost per
+  round is O(messages).  Best for small graphs and sparse frontiers.
+* ``"numpy"`` -- vectorised boolean arc arrays; available when numpy
+  imports; cost per round is O(arcs) regardless of frontier size.  Best
+  for large dense floods.
+
+``backend=None`` auto-selects: numpy when it is importable *and* the
+graph has at least :data:`NUMPY_ARC_THRESHOLD` directed arcs, else
+pure.  Pass an explicit name to pin a backend (tests pin both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError, NonTerminationError
+from repro.fastpath import numpy_backend, pure_backend
+from repro.fastpath.indexed import IndexedGraph
+from repro.graphs.graph import Graph, Node
+from repro.sync.engine import default_round_budget
+
+PURE = "pure"
+NUMPY = "numpy"
+
+NUMPY_ARC_THRESHOLD = 4096
+"""Auto-selection switches to numpy at this many directed arcs."""
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backends importable in this process (pure is always first)."""
+    return (PURE, NUMPY) if numpy_backend.HAS_NUMPY else (PURE,)
+
+
+def select_backend(index: IndexedGraph, backend: Optional[str] = None) -> str:
+    """Resolve a backend name, auto-selecting when ``backend`` is None."""
+    if backend is None:
+        if numpy_backend.HAS_NUMPY and index.num_arcs >= NUMPY_ARC_THRESHOLD:
+            return NUMPY
+        return PURE
+    if backend == PURE:
+        return PURE
+    if backend == NUMPY:
+        if not numpy_backend.HAS_NUMPY:
+            raise ConfigurationError(
+                "numpy backend requested but numpy is not importable"
+            )
+        return NUMPY
+    raise ConfigurationError(
+        f"unknown fastpath backend {backend!r}; expected one of "
+        f"{(PURE, NUMPY)}"
+    )
+
+
+def _resolve_budget(graph: Graph, max_rounds: Optional[int]) -> int:
+    if max_rounds is None:
+        return default_round_budget(graph)
+    if max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
+    return max_rounds
+
+
+@dataclass
+class IndexedRun:
+    """Result of one fast-path flood, in id space with label accessors.
+
+    ``termination_round``, ``total_messages`` and ``round_edge_counts``
+    carry exactly the semantics of
+    :class:`repro.core.amnesiac.FloodingRun`; ``sender_sets()`` and
+    ``receive_rounds()`` convert the id-space payloads back to node
+    labels (and are only available when the run collected them --
+    sweeps skip collection for speed).
+    """
+
+    index: IndexedGraph
+    sources: Tuple[Node, ...]
+    backend: str
+    terminated: bool
+    termination_round: int
+    total_messages: int
+    round_edge_counts: List[int]
+    sender_ids: Optional[List[List[int]]] = None
+    receive_rounds_by_id: Optional[List[List[int]]] = None
+
+    @property
+    def graph(self) -> Graph:
+        return self.index.graph
+
+    def sender_sets(self) -> List[FrozenSet[Node]]:
+        """Per round, the frozenset of sending node labels."""
+        if self.sender_ids is None:
+            raise ConfigurationError(
+                "sender sets were not collected for this run "
+                "(pass collect_senders=True)"
+            )
+        labels = self.index.labels
+        return [
+            frozenset(labels[sender] for sender in senders)
+            for senders in self.sender_ids
+        ]
+
+    def receive_rounds(self) -> Dict[Node, Tuple[int, ...]]:
+        """Per node label, the ascending rounds it received the message."""
+        if self.receive_rounds_by_id is None:
+            raise ConfigurationError(
+                "receive rounds were not collected for this run "
+                "(pass collect_receives=True)"
+            )
+        labels = self.index.labels
+        return {
+            labels[node_id]: tuple(rounds)
+            for node_id, rounds in enumerate(self.receive_rounds_by_id)
+        }
+
+    def __repr__(self) -> str:
+        status = "terminated" if self.terminated else "cut off"
+        return (
+            f"IndexedRun(rounds={self.termination_round}, "
+            f"messages={self.total_messages}, backend={self.backend}, {status})"
+        )
+
+
+def _dispatch(
+    index: IndexedGraph,
+    source_ids: Sequence[int],
+    budget: int,
+    backend: str,
+    collect_senders: bool,
+    collect_receives: bool,
+) -> pure_backend.RawRun:
+    runner = numpy_backend.run if backend == NUMPY else pure_backend.run
+    return runner(
+        index,
+        source_ids,
+        budget,
+        collect_senders=collect_senders,
+        collect_receives=collect_receives,
+    )
+
+
+def simulate_indexed(
+    graph: Graph,
+    sources: Iterable[Node],
+    max_rounds: Optional[int] = None,
+    raise_on_budget: bool = False,
+    backend: Optional[str] = None,
+    collect_senders: bool = True,
+    collect_receives: bool = True,
+    index: Optional[IndexedGraph] = None,
+) -> IndexedRun:
+    """Fast exact amnesiac flooding on the CSR index.
+
+    Mirrors :func:`repro.core.amnesiac.simulate` (which delegates
+    here), including validation errors and budget semantics; pass
+    ``index`` to reuse a prebuilt :class:`IndexedGraph` across calls.
+    """
+    if index is None:
+        index = IndexedGraph.of(graph)
+    source_ids = index.resolve_sources(sources)
+    budget = _resolve_budget(graph, max_rounds)
+    chosen = select_backend(index, backend)
+    terminated, round_counts, total, sender_ids, receives = _dispatch(
+        index, source_ids, budget, chosen, collect_senders, collect_receives
+    )
+    if not terminated and raise_on_budget:
+        raise NonTerminationError(budget)
+    return IndexedRun(
+        index=index,
+        sources=tuple(index.labels[source] for source in source_ids),
+        backend=chosen,
+        terminated=terminated,
+        termination_round=len(round_counts),
+        total_messages=total,
+        round_edge_counts=round_counts,
+        sender_ids=sender_ids,
+        receive_rounds_by_id=receives,
+    )
+
+
+def sweep(
+    graph: Graph,
+    source_sets: Iterable[Iterable[Node]],
+    max_rounds: Optional[int] = None,
+    backend: Optional[str] = None,
+    collect_senders: bool = False,
+    collect_receives: bool = False,
+) -> List[IndexedRun]:
+    """Run many floods over one graph, indexing it exactly once.
+
+    The batch form behind ``all_pairs_termination``, the
+    initial-conditions census sweeps and the scaling benchmarks: the
+    CSR freeze, backend choice and budget resolution are hoisted out of
+    the per-run loop, and per-run collection defaults to the cheap
+    statistics (termination round, message totals, per-round counts).
+    """
+    index = IndexedGraph.of(graph)
+    budget = _resolve_budget(graph, max_rounds)
+    chosen = select_backend(index, backend)
+    runs: List[IndexedRun] = []
+    for sources in source_sets:
+        source_ids = index.resolve_sources(sources)
+        terminated, round_counts, total, sender_ids, receives = _dispatch(
+            index, source_ids, budget, chosen, collect_senders, collect_receives
+        )
+        runs.append(
+            IndexedRun(
+                index=index,
+                sources=tuple(index.labels[source] for source in source_ids),
+                backend=chosen,
+                terminated=terminated,
+                termination_round=len(round_counts),
+                total_messages=total,
+                round_edge_counts=round_counts,
+                sender_ids=sender_ids,
+                receive_rounds_by_id=receives,
+            )
+        )
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Arc-mask configurations (arbitrary initial conditions)
+# ----------------------------------------------------------------------
+#
+# A configuration -- any set of in-transit directed messages, not just
+# the source-style states the paper starts from -- packs into a single
+# arbitrary-precision int with one bit per arc slot.  Ints are hashable
+# and compare in O(words), so orbit detection over the exponential
+# configuration space runs on machine integers instead of frozensets of
+# label tuples.
+
+
+def arc_mask_of(
+    index: IndexedGraph, configuration: Iterable[Tuple[Node, Node]]
+) -> int:
+    """Pack labelled directed messages into an arc bitmask."""
+    mask = 0
+    for sender, receiver in configuration:
+        mask |= 1 << index.arc_slot(sender, receiver)
+    return mask
+
+
+def configuration_of_mask(
+    index: IndexedGraph, mask: int
+) -> FrozenSet[Tuple[Node, Node]]:
+    """Unpack an arc bitmask back into labelled directed messages."""
+    arcs = []
+    while mask:
+        low = mask & -mask
+        arcs.append(index.arc_of_slot(low.bit_length() - 1))
+        mask ^= low
+    return frozenset(arcs)
+
+
+def step_arc_mask(index: IndexedGraph, mask: int) -> int:
+    """One synchronous round of amnesiac flooding on an arc bitmask.
+
+    The integer-space twin of :func:`repro.core.amnesiac.step_frontier`:
+    every receiver forwards along the complement of the slots it heard
+    along.
+    """
+    targets = index.targets
+    reverse_bit = index.reverse_bit
+    heard: Dict[int, int] = {}
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        slot = low.bit_length() - 1
+        remaining ^= low
+        receiver = targets[slot]
+        heard[receiver] = heard.get(receiver, 0) | reverse_bit[slot]
+    offsets = index.offsets
+    full_masks = index.full_masks
+    next_mask = 0
+    for receiver, heard_mask in heard.items():
+        send = full_masks[receiver] & ~heard_mask
+        if send:
+            next_mask |= send << offsets[receiver]
+    return next_mask
+
+
+def evolve_arc_mask(
+    index: IndexedGraph, mask: int
+) -> Tuple[bool, int, Optional[int], int]:
+    """Decide termination of a configuration by exact orbit detection.
+
+    Returns ``(terminates, steps_to_outcome, cycle_length, peak_size)``
+    with the semantics of
+    :class:`repro.core.initial_conditions.EvolutionResult`.
+    """
+    seen: Dict[int, int] = {mask: 0}
+    current = mask
+    peak = mask.bit_count()
+    step = 0
+    while current:
+        current = step_arc_mask(index, current)
+        step += 1
+        size = current.bit_count()
+        if size > peak:
+            peak = size
+        first_seen = seen.get(current)
+        if first_seen is not None:
+            return False, first_seen, step - first_seen, peak
+        seen[current] = step
+    return True, step, None, peak

@@ -34,6 +34,22 @@ Node = Hashable
 Edge = Tuple[Node, Node]
 
 
+def sort_nodes(nodes: Iterable[Node]) -> List[Node]:
+    """Sort nodes deterministically: naturally when comparable, else by ``repr``.
+
+    This is *the* node ordering of the package.  :meth:`Graph.nodes`,
+    :meth:`Graph.edges`, the synchronous engine's neighbour lists and
+    inbox iteration, and the fast-path CSR indexing all use it, so every
+    layer agrees on what "deterministic order" means (``repr`` ordering
+    alone would put the int node ``10`` before ``2``).
+    """
+    items = list(nodes)
+    try:
+        return sorted(items)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(items, key=repr)
+
+
 def _normalise_edge(u: Node, v: Node) -> Edge:
     """Return a canonical representation of the undirected edge ``{u, v}``.
 
@@ -89,10 +105,7 @@ class Graph:
 
     @staticmethod
     def _sorted_nodes(adj: Mapping[Node, FrozenSet[Node]]) -> List[Node]:
-        try:
-            return sorted(adj)  # type: ignore[type-var]
-        except TypeError:
-            return sorted(adj, key=repr)
+        return sort_nodes(adj)
 
     @classmethod
     def from_edges(
@@ -154,16 +167,13 @@ class Graph:
 
     def edges(self) -> List[Edge]:
         """All undirected edges, each reported once, in deterministic order."""
-        seen = set()
+        position = {node: index for index, node in enumerate(self._nodes)}
         result: List[Edge] = []
         for node in self._nodes:
-            for other in self._sorted_nodes(
-                {n: frozenset() for n in self._adj[node]}
-            ):
-                edge = _normalise_edge(node, other)
-                if edge not in seen:
-                    seen.add(edge)
-                    result.append(edge)
+            rank = position[node]
+            for other in sort_nodes(self._adj[node]):
+                if position[other] > rank:
+                    result.append(_normalise_edge(node, other))
         return result
 
     def neighbors(self, node: Node) -> FrozenSet[Node]:

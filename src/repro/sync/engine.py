@@ -23,7 +23,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, NonTerminationError
-from repro.graphs.graph import Graph, Node
+from repro.graphs.graph import Graph, Node, sort_nodes
 from repro.sync.faults import FaultModel, NoFaults
 from repro.sync.message import Message, Send
 from repro.sync.node import NodeAlgorithm, NodeContext
@@ -64,7 +64,7 @@ class SynchronousEngine:
         self.algorithm = algorithm
         self.faults: FaultModel = faults if faults is not None else NoFaults()
         self._neighbor_cache: Dict[Node, Tuple[Node, ...]] = {
-            node: tuple(sorted(graph.neighbors(node), key=repr))
+            node: tuple(sort_nodes(graph.neighbors(node)))
             for node in graph.nodes()
         }
 
@@ -116,13 +116,19 @@ class SynchronousEngine:
 
         round_number = 2
         while in_flight:
-            if round_number > budget:
-                trace.terminated = False
-                if raise_on_budget:
-                    raise NonTerminationError(budget)
-                return trace
             in_flight = self._step(in_flight, states, round_number)
             if in_flight:
+                # The budget caps *sending* rounds.  A run that sends in
+                # round ``budget`` and falls silent in ``budget + 1``
+                # terminated within budget (the paper's round T), so the
+                # cut-off is only declared once round ``budget + 1``
+                # actually produces messages -- matching
+                # :func:`repro.core.amnesiac.simulate` exactly.
+                if round_number > budget:
+                    trace.terminated = False
+                    if raise_on_budget:
+                        raise NonTerminationError(budget)
+                    return trace
                 trace.deliveries.append(tuple(in_flight))
                 if observer is not None:
                     observer.on_round(round_number, trace.deliveries[-1])
@@ -205,7 +211,7 @@ class SynchronousEngine:
             inboxes[message.receiver].append(message)
 
         messages: List[Message] = []
-        for node in sorted(inboxes, key=repr):
+        for node in sort_nodes(inboxes):
             if not self.faults.alive(node, round_number):
                 continue
             sends = self.algorithm.on_receive(

@@ -1,0 +1,101 @@
+"""CSR indexing invariants of :class:`repro.fastpath.IndexedGraph`."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.fastpath import IndexedGraph
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    erdos_renyi,
+    paper_triangle,
+    petersen_graph,
+)
+from repro.graphs.graph import sort_nodes
+
+
+@pytest.fixture(
+    params=[
+        cycle_graph(6),
+        paper_triangle(),
+        petersen_graph(),
+        erdos_renyi(30, 0.2, seed=7, connected=True),
+        Graph.from_edges([(0, 1)], isolated=[5]),
+    ],
+    ids=["cycle-6", "paper-triangle", "petersen", "er-30", "isolated"],
+)
+def index(request):
+    return IndexedGraph(request.param)
+
+
+class TestCsrStructure:
+    def test_labels_follow_graph_order(self, index):
+        assert index.labels == index.graph.nodes()
+        assert [index.ids[label] for label in index.labels] == list(
+            range(index.n)
+        )
+
+    def test_blocks_match_sorted_adjacency(self, index):
+        graph = index.graph
+        for label in graph.nodes():
+            v = index.ids[label]
+            block = list(
+                index.targets[index.offsets[v] : index.offsets[v + 1]]
+            )
+            expected = [
+                index.ids[n] for n in sort_nodes(graph.neighbors(label))
+            ]
+            assert block == sorted(block) == expected
+            assert index.degree(v) == graph.degree(label)
+
+    def test_reverse_slot_is_an_involution(self, index):
+        for slot in range(index.num_arcs):
+            mirror = index.reverse_slot[slot]
+            assert index.reverse_slot[mirror] == slot
+            assert index.owner_of_slot(mirror) == index.targets[slot]
+
+    def test_full_masks_are_degree_masks(self, index):
+        for v in range(index.n):
+            assert index.full_masks[v] == (1 << index.degree(v)) - 1
+
+    def test_arc_slot_roundtrip(self, index):
+        for slot in range(index.num_arcs):
+            sender, receiver = index.arc_of_slot(slot)
+            assert index.graph.has_edge(sender, receiver)
+            assert index.arc_slot(sender, receiver) == slot
+
+    def test_arc_count_is_twice_edges(self, index):
+        assert index.num_arcs == 2 * index.graph.num_edges
+
+
+class TestValidation:
+    def test_arc_slot_unknown_node(self):
+        index = IndexedGraph(cycle_graph(4))
+        with pytest.raises(NodeNotFoundError):
+            index.arc_slot(99, 0)
+
+    def test_arc_slot_non_edge(self):
+        index = IndexedGraph(cycle_graph(6))
+        with pytest.raises(ConfigurationError):
+            index.arc_slot(0, 3)
+
+    def test_resolve_sources_dedupes_and_validates(self):
+        index = IndexedGraph(cycle_graph(5))
+        assert index.resolve_sources([3, 3, 0]) == [3, 0]
+        with pytest.raises(NodeNotFoundError):
+            index.resolve_sources([0, 77])
+        with pytest.raises(ConfigurationError):
+            index.resolve_sources([])
+
+
+class TestCache:
+    def test_of_returns_same_index_for_equal_graphs(self):
+        first = cycle_graph(11)
+        second = cycle_graph(11)
+        assert first is not second
+        assert IndexedGraph.of(first) is IndexedGraph.of(second)
+
+    def test_of_distinguishes_different_graphs(self):
+        assert IndexedGraph.of(cycle_graph(10)) is not IndexedGraph.of(
+            cycle_graph(12)
+        )
