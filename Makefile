@@ -1,0 +1,25 @@
+# Developer/CI entry points for the flooding reproduction.
+#
+#   make test   - tier-1 verification (the gate every change keeps green)
+#   make smoke  - CI smoke lane: scaled-down benchmark run (assertions
+#                 included, trajectory file untouched) + the tier-1 suite
+#   make bench  - full benchmark run; rewrites BENCH_fastpath.json
+#   make example- the quickstart example, as a living doc check
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) benchmarks/run_bench.py --quick
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+example:
+	$(PYTHON) examples/quickstart.py

@@ -1,17 +1,27 @@
 #!/usr/bin/env python
-"""Run the fast-path scaling benchmarks and trim a perf-trajectory file.
+"""Run the fast-path + parallel benchmarks and trim a perf-trajectory file.
 
-Invokes pytest-benchmark on ``benchmarks/bench_scaling.py`` with
-``--benchmark-json`` and distils the machine-readable export into
-``BENCH_fastpath.json``: one row per fast-path benchmark with the graph
-size, backend, mean/min seconds and derived rounds/sec throughput, plus
-the asserted 10k-node speedup row.  Future PRs regenerate the file and
-diff it against the committed trajectory to see whether the hot path
-moved.
+Invokes pytest-benchmark on ``benchmarks/bench_scaling.py`` (the CSR
+backend rows) and ``benchmarks/bench_parallel.py`` (the sharded sweep
+pool and oracle fast-lane rows) with ``--benchmark-json`` and distils
+the machine-readable export into ``BENCH_fastpath.json``: one row per
+fast-path benchmark with the graph size, backend, worker count,
+mean/min seconds and derived throughput, plus the asserted speedup
+rows.  Future PRs regenerate the file and diff it against the
+committed trajectory to see whether the hot path moved.
 
 Usage::
 
     python benchmarks/run_bench.py [--output BENCH_fastpath.json]
+    python benchmarks/run_bench.py --quick
+
+``--quick`` is the CI smoke lane: it shrinks the parallel workload
+(1k nodes, 64 source sets -- see ``REPRO_BENCH_QUICK`` in
+``bench_parallel.py``), still runs every correctness assertion baked
+into the benchmarks, and does *not* rewrite the committed trajectory
+file (smoke numbers from a scaled-down workload would poison the
+diff).  The repo's smoke target (``make smoke``) is ``--quick`` plus
+the tier-1 suite.
 
 Exits non-zero if the benchmark run fails (the correctness assertions
 inside each benchmark are part of the run).
@@ -21,35 +31,49 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = Path(__file__).resolve().parent / "bench_scaling.py"
+BENCH_DIR = Path(__file__).resolve().parent
+BENCH_FILES = ("bench_scaling.py", "bench_parallel.py")
+QUICK_BENCH_FILES = ("bench_parallel.py",)
 FASTPATH_PREFIXES = (
     "test_ext_scale_fastpath_backends",
     "test_ext_scale_fastpath_speedup_10k",
+    "test_ext_par_",
+)
+EXTRA_ROW_KEYS = (
+    "workers",
+    "batch",
+    "chunksize",
+    "usable_cores",
+    "serial_seconds",
+    "auto_backend",
+    "pure_seconds",
 )
 
 
-def run_benchmarks(json_path: Path) -> int:
-    """Run the scaling benchmark file with a JSON export."""
+def run_benchmarks(json_path: Path, quick: bool) -> int:
+    """Run the benchmark files with a JSON export."""
     env_src = str(REPO_ROOT / "src")
-    import os
-
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         env_src + os.pathsep + env["PYTHONPATH"]
         if env.get("PYTHONPATH")
         else env_src
     )
+    if quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    files = QUICK_BENCH_FILES if quick else BENCH_FILES
     command = [
         sys.executable,
         "-m",
         "pytest",
-        str(BENCH_FILE),
+        *(str(BENCH_DIR / name) for name in files),
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -69,6 +93,7 @@ def trim(raw: dict) -> list:
         stats = entry.get("stats", {})
         mean = stats.get("mean")
         rounds = info.get("measured_rounds")
+        batch = info.get("batch")
         row = {
             "benchmark": name,
             "n": info.get("nodes"),
@@ -79,10 +104,25 @@ def trim(raw: dict) -> list:
                 round(rounds / mean, 1) if rounds and mean else None
             ),
         }
+        if batch and mean:
+            row["runs_per_sec"] = round(batch / mean, 1)
         if "speedup" in info:
-            row["speedup_vs_reference"] = info["speedup"]
+            # Two different baselines share the extra_info key: PR 1's
+            # scaling rows measure against the reference simulator, the
+            # parallel rows against the serial sweep (or the
+            # auto-selected engine for the oracle rows) -- name them
+            # apart in the trajectory.
+            if name.startswith("test_ext_par_"):
+                row["speedup_vs_serial"] = info["speedup"]
+            else:
+                row["speedup_vs_reference"] = info["speedup"]
+        for key in EXTRA_ROW_KEYS:
+            if key in info:
+                row[key] = info[key]
         rows.append(row)
-    rows.sort(key=lambda r: (str(r["backend"]), r["n"] or 0))
+    rows.sort(
+        key=lambda r: (r["benchmark"], str(r["backend"]), r["n"] or 0)
+    )
     return rows
 
 
@@ -94,21 +134,35 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_fastpath.json",
         help="where to write the trimmed trajectory (default: repo root)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "smoke mode: scaled-down parallel workload, assertions still "
+            "run, trajectory file NOT rewritten"
+        ),
+    )
     args = parser.parse_args(argv)
     # Fail before the (slow) benchmark run, not after it.
     args.output.parent.mkdir(parents=True, exist_ok=True)
 
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
-        code = run_benchmarks(json_path)
+        code = run_benchmarks(json_path, quick=args.quick)
         if code != 0:
             print("benchmark run failed", file=sys.stderr)
             return code
         raw = json.loads(json_path.read_text())
 
     rows = trim(raw)
+    if args.quick:
+        print(
+            f"smoke run ok: {len(rows)} rows verified "
+            f"(trajectory file left untouched)"
+        )
+        return 0
     payload = {
-        "suite": "bench_scaling",
+        "suite": "bench_scaling+bench_parallel",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
         "python": raw.get("machine_info", {}).get("python_version"),
         "rows": rows,

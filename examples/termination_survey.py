@@ -4,14 +4,28 @@
 The paper proves worst cases (e(v) exactly on bipartite graphs, 2D + 1
 on the rest).  This example measures *typical* behaviour across random
 graph ensembles and charts where real topologies live inside the proven
-window — then zooms into a single flood's per-round heartbeat.
+window — then runs the paper's headline batch experiment, an all-pairs
+termination census, through the sharded multi-core sweep pool
+(:mod:`repro.parallel`), and zooms into a single flood's per-round
+heartbeat.
 
 Run:  python examples/termination_survey.py
+
+Expected runtime: ~10-20 s end to end on one core; the all-pairs
+section (2016 two-source floods on a 64-node graph) is the part that
+scales with the machine — it shards across every usable core via
+``parallel_sweep`` and answers each pair from the double-cover oracle
+in O(n + m), so on a 4-core box it finishes ~4x sooner than the same
+loop run serially on the frontier engines.
 """
 
+import time
+
 from repro.apps import Strategy, broadcast_matrix, matrix_table
+from repro.core import all_pairs_termination
 from repro.experiments import check_survey_invariants, run_survey, survey_table
-from repro.graphs import cycle_graph, petersen_graph
+from repro.graphs import cycle_graph, diameter, erdos_renyi, petersen_graph
+from repro.parallel import worker_count
 from repro.viz import bar_chart, profile_chart
 
 
@@ -34,6 +48,27 @@ def main() -> None:
     print()
     at_64 = {c.family: c.rounds.mean for c in cells if c.size == 64}
     print(bar_chart(at_64, unit="rounds"))
+
+    print()
+    print("=== all-pairs termination, sharded across the machine ===")
+    print()
+    graph = erdos_renyi(64, 8 / 64, seed=2019, connected=True)
+    started = time.perf_counter()
+    pairs = all_pairs_termination(graph)  # parallel_sweep + oracle inside
+    elapsed = time.perf_counter() - started
+    rounds = [r for _, r in pairs]
+    bound = 2 * diameter(graph) + 1
+    print(
+        f"{len(pairs)} two-source floods on {graph.describe()} in "
+        f"{elapsed:.2f}s across {worker_count()} worker(s)"
+    )
+    print(
+        f"termination rounds: min {min(rounds)}, max {max(rounds)}, "
+        f"mean {sum(rounds) / len(rounds):.2f} (2D + 1 bound: {bound})"
+    )
+    assert max(rounds) <= bound
+    spread_out = max(pairs, key=lambda item: item[1])
+    print(f"slowest pair: {spread_out[0]} at {spread_out[1]} rounds")
 
     print()
     print("=== the flood's heartbeat: per-round message load ===")

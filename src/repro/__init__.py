@@ -20,6 +20,8 @@ Package map
 ``repro.graphs``      topology substrate (generators, properties, double cover)
 ``repro.sync``        synchronous message-passing engine
 ``repro.core``        amnesiac flooding + termination analysis (the paper)
+``repro.fastpath``    CSR-indexed flooding engines (pure / numpy / oracle)
+``repro.parallel``    sharded multi-core sweep pool over the fast path
 ``repro.asynchrony``  asynchronous AF and adversaries (Section 4)
 ``repro.baselines``   classic flooding, BFS broadcast, rumor spreading
 ``repro.variants``    k-memory, lossy, dynamic, multi-message extensions
@@ -33,6 +35,8 @@ from repro._version import __version__
 from repro import graphs
 from repro import sync
 from repro import core
+from repro import fastpath
+from repro import parallel
 from repro import asynchrony
 from repro import baselines
 from repro import variants
@@ -46,6 +50,8 @@ __all__ = [
     "graphs",
     "sync",
     "core",
+    "fastpath",
+    "parallel",
     "asynchrony",
     "baselines",
     "variants",

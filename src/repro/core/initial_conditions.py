@@ -137,13 +137,25 @@ class ConfigurationCensus:
 
 
 def classify_all_configurations(
-    graph: Graph, max_directed_edges: int = 14
+    graph: Graph,
+    max_directed_edges: int = 14,
+    workers: Optional[int] = None,
 ) -> ConfigurationCensus:
     """Evolve every non-empty configuration of a small graph.
 
     Raises :class:`ConfigurationError` if the graph has more than
     ``max_directed_edges`` directed edges (the census is exponential).
+
+    The ``2^(2m) - 1`` orbit detections are independent, so the census
+    runs through :func:`repro.parallel.classify_masks`, which shards
+    them across the machine's cores (``workers=None`` auto-sizes and
+    stays serial for small graphs or single-core machines).  Witness
+    selection is position-merged, so the result -- counts *and* the
+    first five non-terminating examples -- is identical for every
+    worker count.
     """
+    from repro.parallel import classify_masks
+
     directed: List[DirectedEdge] = []
     for u, v in graph.edges():
         directed.append((u, v))
@@ -155,24 +167,24 @@ def classify_all_configurations(
         )
     index = IndexedGraph.of(graph)
     bits = [1 << index.arc_slot(u, v) for u, v in directed]
-    total = 0
-    terminating = 0
-    witnesses: List[Configuration] = []
+    # Enumeration order (by size, then combination order) is part of
+    # the output contract: witnesses are the *first* non-terminating
+    # configurations in this order.
+    masks: List[int] = []
     for size in range(1, len(bits) + 1):
         for combo in combinations(bits, size):
-            total += 1
             mask = 0
             for bit in combo:
                 mask |= bit
-            if evolve_arc_mask(index, mask)[0]:
-                terminating += 1
-            elif len(witnesses) < 5:
-                witnesses.append(configuration_of_mask(index, mask))
+            masks.append(mask)
+    terminating, witness_masks = classify_masks(graph, masks, workers=workers)
     return ConfigurationCensus(
         graph=graph,
-        total=total,
+        total=len(masks),
         terminating=terminating,
-        nonterminating_examples=witnesses,
+        nonterminating_examples=[
+            configuration_of_mask(index, mask) for mask in witness_masks
+        ],
     )
 
 

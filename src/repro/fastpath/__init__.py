@@ -13,11 +13,16 @@ two engines:
   vectorised boolean arc arrays, O(arcs) per round, used automatically
   when numpy is importable and the graph is large enough
   (:data:`~repro.fastpath.engine.NUMPY_ARC_THRESHOLD` directed arcs);
-  everything degrades gracefully to pure when numpy is absent.
+  everything degrades gracefully to pure when numpy is absent;
+* the **oracle** backend (:mod:`repro.fastpath.oracle_backend`) -- no
+  frontier at all: one BFS over the implicit double cover predicts the
+  full statistics of a flood in O(n + m) total, independent of round
+  count.  Never auto-selected; request it with ``backend="oracle"``
+  when you want sweep statistics at BFS cost.
 
-Pass ``backend="pure"`` / ``backend="numpy"`` to pin an engine, or
-``backend=None`` (the default) to auto-select;
-:func:`available_backends` reports what this process can run.  Both
+Pass ``backend="pure"`` / ``"numpy"`` / ``"oracle"`` to pin an engine,
+or ``backend=None`` (the default) to auto-select a frontier engine;
+:func:`available_backends` reports what this process can run.  All
 backends are exact -- integer/boolean arithmetic only -- and the
 equivalence-matrix tests (``tests/core/test_engine_equivalence.py``)
 hold them bit-for-bit equal to the reference frontier simulator and the
@@ -29,7 +34,8 @@ Entry points:
   (:func:`repro.core.amnesiac.simulate` delegates here);
 * :func:`sweep` -- many floods over one graph, indexing amortised,
   light statistics (powers ``all_pairs_termination`` and the scaling
-  benchmarks);
+  benchmarks); :func:`repro.parallel.parallel_sweep` is its sharded
+  multi-core form;
 * :func:`step_arc_mask` / :func:`evolve_arc_mask` -- arbitrary initial
   configurations packed into arc bitmasks (powers the
   initial-conditions census).
@@ -37,6 +43,7 @@ Entry points:
 
 from repro.fastpath.engine import (
     NUMPY_ARC_THRESHOLD,
+    ORACLE,
     IndexedRun,
     arc_mask_of,
     available_backends,
@@ -51,6 +58,7 @@ from repro.fastpath.indexed import IndexedGraph
 
 __all__ = [
     "NUMPY_ARC_THRESHOLD",
+    "ORACLE",
     "IndexedGraph",
     "IndexedRun",
     "arc_mask_of",

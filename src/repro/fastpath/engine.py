@@ -14,10 +14,19 @@ Backend selection
 * ``"numpy"`` -- vectorised boolean arc arrays; available when numpy
   imports; cost per round is O(arcs) regardless of frontier size.  Best
   for large dense floods.
+* ``"oracle"`` -- no frontier at all: one BFS over the implicit double
+  cover predicts every statistic the frontier engines report
+  (termination round, message totals, per-round counts, sender sets,
+  receive rounds) in O(n + m) total, independent of how many rounds
+  the flood runs.  Always available; the fast lane for sweep
+  statistics.
 
-``backend=None`` auto-selects: numpy when it is importable *and* the
-graph has at least :data:`NUMPY_ARC_THRESHOLD` directed arcs, else
-pure.  Pass an explicit name to pin a backend (tests pin both).
+``backend=None`` auto-selects between the frontier engines: numpy when
+it is importable *and* the graph has at least
+:data:`NUMPY_ARC_THRESHOLD` directed arcs, else pure.  The oracle is
+never auto-selected -- it is a *prediction* of the process rather than
+an execution of it, so callers opt in explicitly (and the equivalence
+matrix holds it bit-for-bit equal to the executions).
 """
 
 from __future__ import annotations
@@ -34,31 +43,44 @@ from typing import (
 )
 
 from repro.errors import ConfigurationError, NonTerminationError
-from repro.fastpath import numpy_backend, pure_backend
+from repro.fastpath import numpy_backend, oracle_backend, pure_backend
 from repro.fastpath.indexed import IndexedGraph
 from repro.graphs.graph import Graph, Node
 from repro.sync.engine import default_round_budget
 
 PURE = "pure"
 NUMPY = "numpy"
+ORACLE = "oracle"
 
 NUMPY_ARC_THRESHOLD = 4096
 """Auto-selection switches to numpy at this many directed arcs."""
 
 
 def available_backends() -> Tuple[str, ...]:
-    """The backends importable in this process (pure is always first)."""
-    return (PURE, NUMPY) if numpy_backend.HAS_NUMPY else (PURE,)
+    """The backends runnable in this process (pure is always first).
+
+    Pure and the double-cover oracle are dependency-free and always
+    present; numpy appears when it is importable.
+    """
+    if numpy_backend.HAS_NUMPY:
+        return (PURE, NUMPY, ORACLE)
+    return (PURE, ORACLE)
 
 
 def select_backend(index: IndexedGraph, backend: Optional[str] = None) -> str:
-    """Resolve a backend name, auto-selecting when ``backend`` is None."""
+    """Resolve a backend name, auto-selecting when ``backend`` is None.
+
+    Auto-selection only ever picks a frontier engine (pure or numpy);
+    the oracle must be requested by name.
+    """
     if backend is None:
         if numpy_backend.HAS_NUMPY and index.num_arcs >= NUMPY_ARC_THRESHOLD:
             return NUMPY
         return PURE
     if backend == PURE:
         return PURE
+    if backend == ORACLE:
+        return ORACLE
     if backend == NUMPY:
         if not numpy_backend.HAS_NUMPY:
             raise ConfigurationError(
@@ -67,7 +89,7 @@ def select_backend(index: IndexedGraph, backend: Optional[str] = None) -> str:
         return NUMPY
     raise ConfigurationError(
         f"unknown fastpath backend {backend!r}; expected one of "
-        f"{(PURE, NUMPY)}"
+        f"{(PURE, NUMPY, ORACLE)}"
     )
 
 
@@ -147,13 +169,45 @@ def _dispatch(
     collect_senders: bool,
     collect_receives: bool,
 ) -> pure_backend.RawRun:
-    runner = numpy_backend.run if backend == NUMPY else pure_backend.run
+    if backend == NUMPY:
+        runner = numpy_backend.run
+    elif backend == ORACLE:
+        runner = oracle_backend.run
+    else:
+        runner = pure_backend.run
     return runner(
         index,
         source_ids,
         budget,
         collect_senders=collect_senders,
         collect_receives=collect_receives,
+    )
+
+
+def wrap_raw_run(
+    index: IndexedGraph,
+    source_ids: Sequence[int],
+    backend: str,
+    raw: pure_backend.RawRun,
+) -> IndexedRun:
+    """Build an :class:`IndexedRun` from a backend's raw statistics tuple.
+
+    The single place the ``RawRun`` shape is interpreted: the serial
+    entry points below and the worker pool's result rehydration
+    (:mod:`repro.parallel.pool`) all construct results here, so serial
+    and sharded runs cannot drift apart field by field.
+    """
+    terminated, round_counts, total, sender_ids, receives = raw
+    return IndexedRun(
+        index=index,
+        sources=tuple(index.labels[source] for source in source_ids),
+        backend=backend,
+        terminated=terminated,
+        termination_round=len(round_counts),
+        total_messages=total,
+        round_edge_counts=round_counts,
+        sender_ids=sender_ids,
+        receive_rounds_by_id=receives,
     )
 
 
@@ -178,22 +232,12 @@ def simulate_indexed(
     source_ids = index.resolve_sources(sources)
     budget = _resolve_budget(graph, max_rounds)
     chosen = select_backend(index, backend)
-    terminated, round_counts, total, sender_ids, receives = _dispatch(
+    raw = _dispatch(
         index, source_ids, budget, chosen, collect_senders, collect_receives
     )
-    if not terminated and raise_on_budget:
+    if not raw[0] and raise_on_budget:
         raise NonTerminationError(budget)
-    return IndexedRun(
-        index=index,
-        sources=tuple(index.labels[source] for source in source_ids),
-        backend=chosen,
-        terminated=terminated,
-        termination_round=len(round_counts),
-        total_messages=total,
-        round_edge_counts=round_counts,
-        sender_ids=sender_ids,
-        receive_rounds_by_id=receives,
-    )
+    return wrap_raw_run(index, source_ids, chosen, raw)
 
 
 def sweep(
@@ -211,6 +255,28 @@ def sweep(
     CSR freeze, backend choice and budget resolution are hoisted out of
     the per-run loop, and per-run collection defaults to the cheap
     statistics (termination round, message totals, per-round counts).
+
+    Results come back in input order, one :class:`IndexedRun` per
+    source set, and are plain picklable dataclasses (the shared index
+    serialises without its process-local memo caches), so they can
+    cross process boundaries -- :func:`repro.parallel.parallel_sweep`
+    is the drop-in sharded form of this function for batches large
+    enough to spread across cores.
+
+    Pass ``backend="oracle"`` for the statistics fast lane: the
+    double-cover oracle answers termination rounds and message counts
+    in O(n + m) per source set, independent of flood length, and is
+    held bit-for-bit equal to the frontier engines by the equivalence
+    matrix.
+
+    >>> from repro.fastpath import sweep
+    >>> from repro.graphs import cycle_graph
+    >>> runs = sweep(cycle_graph(9), [[0], [3], [0, 4]])
+    >>> [run.termination_round for run in runs]
+    [9, 9, 7]
+    >>> fast = sweep(cycle_graph(9), [[0], [3], [0, 4]], backend="oracle")
+    >>> [run.termination_round for run in fast]
+    [9, 9, 7]
     """
     index = IndexedGraph.of(graph)
     budget = _resolve_budget(graph, max_rounds)
@@ -218,22 +284,10 @@ def sweep(
     runs: List[IndexedRun] = []
     for sources in source_sets:
         source_ids = index.resolve_sources(sources)
-        terminated, round_counts, total, sender_ids, receives = _dispatch(
+        raw = _dispatch(
             index, source_ids, budget, chosen, collect_senders, collect_receives
         )
-        runs.append(
-            IndexedRun(
-                index=index,
-                sources=tuple(index.labels[source] for source in source_ids),
-                backend=chosen,
-                terminated=terminated,
-                termination_round=len(round_counts),
-                total_messages=total,
-                round_edge_counts=round_counts,
-                sender_ids=sender_ids,
-                receive_rounds_by_id=receives,
-            )
-        )
+        runs.append(wrap_raw_run(index, source_ids, chosen, raw))
     return runs
 
 

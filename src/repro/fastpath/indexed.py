@@ -99,6 +99,31 @@ class IndexedGraph:
         self._send_cache = None  # lazily built by the pure backend
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    #
+    # Indexes cross process boundaries in :mod:`repro.parallel`: the
+    # sweep pool pickles the frozen CSR once per worker.  Only the CSR
+    # arrays travel -- the backend-private memo caches (`_send_cache`,
+    # `_numpy_arrays`) are process-local working state, can be large,
+    # and rebuild lazily on first use, so they are dropped on the wire.
+
+    _TRANSIENT_SLOTS = ("_numpy_arrays", "_send_cache")
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in self._TRANSIENT_SLOTS
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._numpy_arrays = None
+        self._send_cache = None
+
+    # ------------------------------------------------------------------
 
     @classmethod
     def of(cls, graph: Graph) -> "IndexedGraph":

@@ -134,7 +134,9 @@ def run(
         round_counts.append(count)
         total += count
         if sender_rounds is not None:
-            sender_rounds.append(active)
+            # Ascending ids, matching the numpy and oracle backends, so
+            # raw sender lists are comparable across backends.
+            sender_rounds.append(sorted(active))
         next_active: List[int] = []
         for receiver in touched:
             next_mask = full_masks[receiver] & ~heard[receiver]

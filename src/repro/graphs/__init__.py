@@ -82,6 +82,7 @@ from repro.graphs.double_cover import (
     double_cover,
     predicted_message_complexity,
     predicted_receive_rounds,
+    predicted_round_message_counts,
     predicted_termination_round,
     receives_exactly_once_everywhere,
 )
@@ -155,6 +156,7 @@ __all__ = [
     "double_cover",
     "predicted_message_complexity",
     "predicted_receive_rounds",
+    "predicted_round_message_counts",
     "predicted_termination_round",
     "receives_exactly_once_everywhere",
 ]

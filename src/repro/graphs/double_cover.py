@@ -130,6 +130,34 @@ def predicted_message_complexity(graph: Graph, sources: Iterable[Node]) -> int:
     return count
 
 
+def predicted_round_message_counts(
+    graph: Graph, sources: Iterable[Node]
+) -> List[int]:
+    """Oracle: directed messages sent in each round, first round first.
+
+    Every reachable cover edge carries the message exactly once, and --
+    the cover being bipartite -- its endpoints always sit on adjacent
+    BFS levels, so the edge is crossed at round ``max`` of its endpoint
+    distances.  Counting cover edges by that crossing round therefore
+    reproduces the simulator's ``round_edge_counts`` exactly, without
+    running a single round.
+
+    This is the explicit-cover twin of the CSR fast lane
+    (:mod:`repro.fastpath.oracle_backend`); the two share no code and
+    cross-check each other in the tests.
+    """
+    distances = cover_distances(graph, list(sources))
+    horizon = max(distances.values()) if distances else 0
+    counts = [0] * horizon
+    for a, b in double_cover(graph).edges():
+        da = distances.get(a)
+        db = distances.get(b)
+        if da is None or db is None:
+            continue
+        counts[max(da, db) - 1] += 1
+    return counts
+
+
 def receives_exactly_once_everywhere(graph: Graph, source: Node) -> bool:
     """Oracle predicate: every reachable node receives the message exactly once.
 

@@ -1,0 +1,353 @@
+"""The sharded sweep pool: one graph, many floods, all cores.
+
+A sweep (:func:`repro.fastpath.sweep`) is embarrassingly parallel
+across source sets: every run reads the same frozen CSR index and
+writes an independent result.  This module shards a batch across
+``multiprocessing`` workers with exactly one expensive transfer:
+
+* the parent pickles the :class:`~repro.fastpath.indexed.IndexedGraph`
+  **once** into a bytes payload (the index's pickle support drops its
+  process-local memo caches), and every worker unpickles it **once** in
+  its pool initializer -- never per run, never per chunk;
+* tasks are ``(position, [source-id lists])`` chunks -- a few dozen
+  bytes each -- and results stream back as raw statistic tuples
+  (:data:`~repro.fastpath.pure_backend.RawRun`), which the parent wraps
+  into :class:`~repro.fastpath.engine.IndexedRun` against its own copy
+  of the index;
+* ordered ``imap`` keeps results streaming back in deterministic input
+  order regardless of which worker finishes first, so parallel output
+  is **bit-identical** to the serial sweep -- same dataclasses, same
+  field values, same ordering (the determinism tests assert this across
+  worker counts and chunk sizes, budget cut-offs included).
+
+Entry points
+------------
+
+:func:`parallel_sweep`
+    One-shot drop-in for :func:`repro.fastpath.sweep`.  Auto-sizes the
+    pool to the usable cores, falls back to the serial loop for small
+    batches or single-core machines (identical results either way), and
+    accepts the same ``backend=`` names, including ``"oracle"``.
+
+:class:`SweepPool`
+    The reusable form for serving workloads: keep one pool of warm
+    workers per graph and push many batches through it, paying worker
+    start-up and index transfer once per pool instead of once per call.
+
+Usage::
+
+    from repro.graphs import erdos_renyi
+    from repro.parallel import SweepPool, parallel_sweep
+
+    graph = erdos_renyi(10_000, 8 / 10_000, seed=1, connected=True)
+    sets = [[v] for v in graph.nodes()[:512]]
+
+    runs = parallel_sweep(graph, sets)            # auto workers/chunks
+    runs = parallel_sweep(graph, sets, workers=4) # pin the pool size
+
+    with SweepPool(graph, workers=4) as pool:     # serving shape
+        first = pool.sweep(sets)
+        again = pool.sweep(sets, backend="oracle")
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fastpath.engine import (
+    IndexedRun,
+    _dispatch,
+    _resolve_budget,
+    select_backend,
+    wrap_raw_run,
+)
+from repro.fastpath.indexed import IndexedGraph
+from repro.fastpath.pure_backend import RawRun
+from repro.graphs.graph import Graph, Node
+
+MIN_PARALLEL_BATCH = 32
+"""Below this many source sets, auto mode keeps the sweep serial.
+
+Pool start-up plus one index transfer per worker costs a few
+milliseconds; a batch has to amortise that to win.  An explicit
+``workers=`` request overrides the floor (the caller asked for a pool,
+they get one).
+"""
+
+MAX_CHUNK = 64
+"""Upper bound on the chunk heuristic, to keep results streaming."""
+
+_Task = Tuple[int, List[List[int]], int, str, bool, bool]
+_TaskResult = Tuple[int, List[RawRun]]
+
+# Per-worker state, populated exactly once by _init_worker.  Plain
+# module globals: each worker process gets its own copy, and the pool
+# initializer runs before any task, so tasks never race on it.
+_WORKER_INDEX: Optional[IndexedGraph] = None
+
+
+def worker_count(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit, else the usable cores.
+
+    ``None`` means "what this machine can actually run in parallel":
+    the scheduling affinity when the platform exposes it (containers
+    often restrict it below ``cpu_count``), else ``os.cpu_count()``.
+    """
+    if workers is not None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        return workers
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_chunksize(batch_size: int, workers: int) -> int:
+    """The chunk heuristic: ~4 chunks per worker, capped at ``MAX_CHUNK``.
+
+    Large enough that per-chunk dispatch overhead (one pickle of a few
+    id lists, one queue round trip) is amortised over many runs; small
+    enough that every worker gets several chunks (tail latency -- one
+    slow chunk cannot serialise the whole batch) and results stream
+    back early.
+    """
+    if batch_size <= 0:
+        return 1
+    target = -(-batch_size // (workers * 4))  # ceil division
+    return max(1, min(MAX_CHUNK, target))
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle the shared CSR index, once per worker."""
+    global _WORKER_INDEX
+    _WORKER_INDEX = pickle.loads(payload)
+
+
+def _run_chunk(task: _Task) -> _TaskResult:
+    """Worker body: run one chunk of source-id lists on the local index."""
+    position, id_lists, budget, backend, collect_senders, collect_receives = task
+    index = _WORKER_INDEX
+    results = [
+        _dispatch(index, ids, budget, backend, collect_senders, collect_receives)
+        for ids in id_lists
+    ]
+    return position, results
+
+
+def _wrap_runs(
+    index: IndexedGraph,
+    id_lists: Sequence[List[int]],
+    raw_runs: Iterable[RawRun],
+    backend: str,
+) -> List[IndexedRun]:
+    """Rehydrate raw statistic tuples into IndexedRuns on the parent index.
+
+    Delegates to the engine's shared wrapper so sharded results are
+    constructed by exactly the same code as serial ones.
+    """
+    return [
+        wrap_raw_run(index, ids, backend, raw)
+        for ids, raw in zip(id_lists, raw_runs)
+    ]
+
+
+class SweepPool:
+    """A persistent pool of workers warmed with one graph's CSR index.
+
+    The serving-scale shape: build once per graph, push many batches
+    through :meth:`sweep`.  Construction forks/spawns ``workers``
+    processes and ships each the pickled index exactly once; after
+    that, every batch costs only its per-chunk dispatch.
+
+    Use as a context manager (or call :meth:`close`) to reap the
+    workers deterministically.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.graph = graph
+        self.index = IndexedGraph.of(graph)
+        self.workers = worker_count(workers)
+        if start_method is None and sys.platform == "linux":
+            # fork is the cheapest way to stand workers up, but it is
+            # only reliably safe on Linux (macOS frameworks and helper
+            # threads do not survive fork; spawn is that platform's
+            # default for a reason) -- everywhere else, keep the
+            # platform default.
+            start_method = "fork"
+        context = multiprocessing.get_context(start_method)
+        payload = pickle.dumps(self.index, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        source_sets: Iterable[Iterable[Node]],
+        max_rounds: Optional[int] = None,
+        backend: Optional[str] = None,
+        chunksize: Optional[int] = None,
+        collect_senders: bool = False,
+        collect_receives: bool = False,
+    ) -> List[IndexedRun]:
+        """Run one batch across the pool; results in input order.
+
+        Same signature and semantics as :func:`repro.fastpath.sweep`
+        (validation, budget resolution and backend selection all happen
+        in the parent, so errors surface before any work is dispatched).
+        """
+        id_lists = [
+            self.index.resolve_sources(sources) for sources in source_sets
+        ]
+        budget = _resolve_budget(self.graph, max_rounds)
+        chosen = select_backend(self.index, backend)
+        return self._sweep_ids(
+            id_lists, budget, chosen, chunksize, collect_senders, collect_receives
+        )
+
+    def _sweep_ids(
+        self,
+        id_lists: Sequence[List[int]],
+        budget: int,
+        backend: str,
+        chunksize: Optional[int],
+        collect_senders: bool,
+        collect_receives: bool,
+    ) -> List[IndexedRun]:
+        """Dispatch already-resolved id lists (the post-validation core)."""
+        if not id_lists:
+            return []
+        if chunksize is None:
+            chunksize = default_chunksize(len(id_lists), self.workers)
+        elif chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1")
+        tasks: List[_Task] = [
+            (
+                start,
+                list(id_lists[start : start + chunksize]),
+                budget,
+                backend,
+                collect_senders,
+                collect_receives,
+            )
+            for start in range(0, len(id_lists), chunksize)
+        ]
+        raw_runs: List[RawRun] = []
+        # Ordered imap: chunks stream back in submission order even
+        # when a later chunk finishes first, so concatenation recovers
+        # input order without a sort.
+        for position, chunk_results in self._pool.imap(_run_chunk, tasks):
+            assert position == len(raw_runs), "chunk streamed out of order"
+            raw_runs.extend(chunk_results)
+        return _wrap_runs(self.index, id_lists, raw_runs, backend)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the workers down and wait for them to exit."""
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        """Kill the workers without draining queued work."""
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+    def __repr__(self) -> str:
+        return f"SweepPool(workers={self.workers}, index={self.index!r})"
+
+
+def _serial_sweep(
+    index: IndexedGraph,
+    id_lists: Sequence[List[int]],
+    budget: int,
+    backend: str,
+    collect_senders: bool,
+    collect_receives: bool,
+) -> List[IndexedRun]:
+    """The in-process fallback: same loop the pool runs, no processes."""
+    raw_runs = [
+        _dispatch(index, ids, budget, backend, collect_senders, collect_receives)
+        for ids in id_lists
+    ]
+    return _wrap_runs(index, id_lists, raw_runs, backend)
+
+
+def parallel_sweep(
+    graph: Graph,
+    source_sets: Iterable[Iterable[Node]],
+    max_rounds: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    collect_senders: bool = False,
+    collect_receives: bool = False,
+) -> List[IndexedRun]:
+    """Sharded drop-in for :func:`repro.fastpath.sweep`.
+
+    Partitions ``source_sets`` into chunks, runs them across a worker
+    pool, and returns :class:`IndexedRun` results in input order,
+    bit-identical to the serial sweep.
+
+    Parameters beyond the serial signature:
+
+    workers:
+        ``None`` (default) auto-sizes to the usable cores and *also*
+        enables the serial fallback: batches smaller than
+        :data:`MIN_PARALLEL_BATCH` (or machines with one usable core)
+        run in-process, because a pool cannot pay for itself there.  An
+        explicit count -- including ``workers=1`` -- always builds a
+        real pool of exactly that size; the determinism tests rely on
+        this to exercise actual cross-process runs (pickling included)
+        on small batches.
+    chunksize:
+        Source sets per task; ``None`` applies
+        :func:`default_chunksize`.  Only affects scheduling, never
+        results.
+
+    >>> from repro.graphs import cycle_graph
+    >>> runs = parallel_sweep(cycle_graph(9), [[0], [3], [0, 4]])
+    >>> [run.termination_round for run in runs]
+    [9, 9, 7]
+    """
+    index = IndexedGraph.of(graph)
+    id_lists = [index.resolve_sources(sources) for sources in source_sets]
+    budget = _resolve_budget(graph, max_rounds)
+    chosen = select_backend(index, backend)
+    if chunksize is not None and chunksize < 1:
+        raise ConfigurationError("chunksize must be >= 1")
+    resolved_workers = worker_count(workers)
+    serial = workers is None and (
+        resolved_workers <= 1 or len(id_lists) < MIN_PARALLEL_BATCH
+    )
+    if serial:
+        return _serial_sweep(
+            index, id_lists, budget, chosen, collect_senders, collect_receives
+        )
+    with SweepPool(graph, workers=resolved_workers) as pool:
+        return pool._sweep_ids(
+            id_lists, budget, chosen, chunksize, collect_senders, collect_receives
+        )

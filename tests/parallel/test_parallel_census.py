@@ -1,0 +1,60 @@
+"""Sharded census determinism: counts and witnesses match the serial loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import classify_all_configurations
+from repro.fastpath import IndexedGraph
+from repro.graphs import cycle_graph, paper_triangle, path_graph
+from repro.parallel import classify_masks
+
+
+class TestClassifyMasks:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    @pytest.mark.parametrize("chunksize", (None, 1, 17))
+    def test_matches_serial(self, workers, chunksize):
+        graph = cycle_graph(4)
+        index = IndexedGraph.of(graph)
+        masks = list(range(1, 1 << index.num_arcs))
+        serial = classify_masks(graph, masks, workers=1)
+        sharded = classify_masks(
+            graph, masks, workers=workers, chunksize=chunksize
+        )
+        assert sharded == serial
+
+    def test_witnesses_are_earliest_in_enumeration_order(self):
+        graph = cycle_graph(3)
+        index = IndexedGraph.of(graph)
+        masks = list(range(1, 1 << index.num_arcs))
+        _, witnesses = classify_masks(graph, masks, workers=2, chunksize=5)
+        from repro.fastpath import evolve_arc_mask
+
+        expected = [m for m in masks if not evolve_arc_mask(index, m)[0]][:5]
+        assert witnesses == expected
+
+    def test_empty_batch(self):
+        assert classify_masks(cycle_graph(4), [], workers=2) == (0, [])
+
+
+class TestCensusRouting:
+    """classify_all_configurations keeps its contract for any workers."""
+
+    @pytest.mark.parametrize("graph", [paper_triangle(), path_graph(4), cycle_graph(4)])
+    def test_census_identical_across_worker_counts(self, graph):
+        baseline = classify_all_configurations(graph, workers=1)
+        for workers in (2, 4):
+            census = classify_all_configurations(graph, workers=workers)
+            assert census.total == baseline.total
+            assert census.terminating == baseline.terminating
+            assert (
+                census.nonterminating_examples
+                == baseline.nonterminating_examples
+            )
+
+    def test_known_values_survive_routing(self):
+        census = classify_all_configurations(cycle_graph(4), workers=2)
+        # 2m = 8 directed edges -> 255 non-empty configurations.
+        assert census.total == 255
+        assert census.nonterminating > 0
+        assert len(census.nonterminating_examples) == 5

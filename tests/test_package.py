@@ -10,6 +10,8 @@ SUBPACKAGES = [
     "graphs",
     "sync",
     "core",
+    "fastpath",
+    "parallel",
     "asynchrony",
     "baselines",
     "variants",
