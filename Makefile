@@ -1,21 +1,33 @@
 # Developer/CI entry points for the flooding reproduction.
 #
 #   make test   - tier-1 verification (the gate every change keeps green)
+#   make lint   - ruff over the whole tree (config in pyproject.toml)
 #   make smoke  - CI smoke lane: scaled-down benchmark run (assertions
-#                 included, trajectory file untouched) + the tier-1 suite
+#                 included, trajectory file untouched, summary written
+#                 to $(SMOKE_SUMMARY) for the CI artifact) + the tier-1
+#                 suite
 #   make bench  - full benchmark run; rewrites BENCH_fastpath.json
 #   make example- the quickstart example, as a living doc check
 
 PYTHON ?= python
+SMOKE_SUMMARY ?= smoke-summary.json
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench example
+.PHONY: test lint smoke bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff is not installed -- skipping lint (CI enforces it;"; \
+		echo "install with: pip install ruff)"; \
+	fi
+
 smoke:
-	$(PYTHON) benchmarks/run_bench.py --quick
+	$(PYTHON) benchmarks/run_bench.py --quick --summary $(SMOKE_SUMMARY)
 	$(PYTHON) -m pytest -x -q
 
 bench:

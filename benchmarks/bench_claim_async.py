@@ -13,7 +13,7 @@ from repro.asynchrony import (
     find_nonterminating_schedule,
     run_async,
 )
-from repro.graphs import cycle_graph, path_graph
+from repro.graphs import path_graph
 from repro.experiments.workloads import odd_cycles
 
 from conftest import record

@@ -1,0 +1,163 @@
+"""EXT-SVC: the async flood-query service under concurrent load.
+
+The serving acceptance row: 256 concurrent single-source queries
+through a :class:`~repro.service.FloodService` over a warm 4-worker
+pool, versus the naive per-query server -- a sequential loop of
+:func:`repro.core.simulate` calls, one flood per request, no batching,
+no warm workers.
+
+The >= 2x throughput assertion arms only when the machine has >= 4
+usable cores (1-core CI boxes cannot show a parallel win); the
+measured ratio and the core count are recorded in the row either way.
+A serial-mode service row is also recorded so the trajectory separates
+the batching win from the multi-core win.
+
+Set ``REPRO_BENCH_QUICK=1`` (or ``run_bench.py --quick``) for the
+smoke-sized workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.core import simulate
+from repro.fastpath import sweep
+from repro.graphs import erdos_renyi
+from repro.parallel import worker_count
+from repro.service import FloodService
+
+from conftest import record
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+NODES = 500 if QUICK else 4_000
+QUERIES = 64 if QUICK else 256
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The serving workload: one ER topology, many single-source queries."""
+    graph = erdos_renyi(NODES, 8.0 / NODES, seed=NODES, connected=True)
+    sources = graph.nodes()[:QUERIES]
+    return graph, sources
+
+
+@pytest.fixture(scope="module")
+def sequential_baseline(workload):
+    """Best-of-3 wall time of the naive server: sequential simulate()."""
+    graph, sources = workload
+    best = None
+    runs = None
+    for _ in range(3):
+        started = time.perf_counter()
+        runs = [simulate(graph, [source]) for source in sources]
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, runs
+
+
+def serve_all(graph, sources, workers):
+    """One service lifetime: register, fire all queries concurrently."""
+
+    async def main():
+        async with FloodService(workers=workers, batch_window=0.001) as svc:
+            svc.register(graph)
+            runs = await asyncio.gather(
+                *(svc.query(graph, [source]) for source in sources)
+            )
+            return runs, svc.stats
+
+    return asyncio.run(main())
+
+
+def _assert_matches_serial(graph, sources, runs):
+    """Service results must equal the serial sweep, request by request."""
+    serial = sweep(graph, [[s] for s in sources], backend=runs[0].backend)
+    for expected, actual in zip(serial, runs):
+        assert expected.sources == actual.sources
+        assert expected.terminated == actual.terminated
+        assert expected.termination_round == actual.termination_round
+        assert expected.total_messages == actual.total_messages
+        assert expected.round_edge_counts == actual.round_edge_counts
+
+
+def test_ext_svc_concurrent_queries(benchmark, workload, sequential_baseline):
+    """The acceptance row: 256 concurrent queries vs sequential simulate().
+
+    Service construction, pool warm-up and close are all inside the
+    timed region -- the cost one serving process pays end to end.
+    """
+    graph, sources = workload
+    sequential_seconds, sequential_runs = sequential_baseline
+
+    runs, stats = benchmark.pedantic(
+        serve_all, args=(graph, sources, 4), rounds=1, iterations=1
+    )
+    _assert_matches_serial(graph, sources, runs)
+    for reference, served in zip(sequential_runs, runs):
+        assert reference.termination_round == served.termination_round
+        assert reference.total_messages == served.total_messages
+    assert stats.queries == len(sources)
+    assert stats.mean_batch_size() > 1.0, "no coalescing happened"
+
+    service_seconds = benchmark.stats.stats.min
+    speedup = sequential_seconds / service_seconds
+    cores = worker_count()
+    # Arm only on the full workload: the smoke-sized batch cannot
+    # amortise pool fork/warm-up/close inside the timed region, so the
+    # assertion would fail on any multi-core CI runner for reasons that
+    # have nothing to do with a regression.  The ratio is recorded in
+    # quick mode regardless.
+    if cores >= 4 and not QUICK:
+        assert speedup >= 2.0, (
+            f"service only {speedup:.2f}x over sequential simulate() "
+            f"on {cores} usable cores"
+        )
+    record(
+        benchmark,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        backend=runs[0].backend,
+        batch=len(sources),
+        workers=4,
+        usable_cores=cores,
+        serial_seconds=sequential_seconds,
+        speedup=round(speedup, 2),
+        mean_batch=round(stats.mean_batch_size(), 1),
+    )
+
+
+def test_ext_svc_serial_mode(benchmark, workload, sequential_baseline):
+    """The batching-only row: workers=0 (in-process), same concurrency.
+
+    Isolates what coalescing alone buys (amortised index reuse, one
+    sweep loop instead of per-query setup) from the multi-core win --
+    and documents service overhead on 1-core machines honestly.
+    """
+    graph, sources = workload
+    sequential_seconds, _ = sequential_baseline
+
+    runs, stats = benchmark.pedantic(
+        serve_all, args=(graph, sources, 0), rounds=1, iterations=1
+    )
+    _assert_matches_serial(graph, sources, runs)
+    assert stats.queries == len(sources)
+
+    speedup = sequential_seconds / benchmark.stats.stats.min
+    record(
+        benchmark,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        backend=runs[0].backend,
+        batch=len(sources),
+        workers=0,
+        usable_cores=worker_count(),
+        serial_seconds=sequential_seconds,
+        speedup=round(speedup, 2),
+        mean_batch=round(stats.mean_batch_size(), 1),
+    )

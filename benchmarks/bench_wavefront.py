@@ -10,7 +10,7 @@ from repro.analysis import (
     verify_round_sets_against_simulation,
     wave_decomposition,
 )
-from repro.graphs import complete_graph, is_bipartite, petersen_graph
+from repro.graphs import complete_graph, petersen_graph
 from repro.experiments.workloads import mixed_suite
 
 from conftest import record

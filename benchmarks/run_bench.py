@@ -2,9 +2,10 @@
 """Run the fast-path + parallel benchmarks and trim a perf-trajectory file.
 
 Invokes pytest-benchmark on ``benchmarks/bench_scaling.py`` (the CSR
-backend rows) and ``benchmarks/bench_parallel.py`` (the sharded sweep
-pool and oracle fast-lane rows) with ``--benchmark-json`` and distils
-the machine-readable export into ``BENCH_fastpath.json``: one row per
+backend rows), ``benchmarks/bench_parallel.py`` (the sharded sweep
+pool and oracle fast-lane rows) and ``benchmarks/bench_service.py``
+(the async service rows) with ``--benchmark-json`` and distils the
+machine-readable export into ``BENCH_fastpath.json``: one row per
 fast-path benchmark with the graph size, backend, worker count,
 mean/min seconds and derived throughput, plus the asserted speedup
 rows.  Future PRs regenerate the file and diff it against the
@@ -13,18 +14,23 @@ committed trajectory to see whether the hot path moved.
 Usage::
 
     python benchmarks/run_bench.py [--output BENCH_fastpath.json]
-    python benchmarks/run_bench.py --quick
+    python benchmarks/run_bench.py --quick [--summary smoke-summary.json]
 
-``--quick`` is the CI smoke lane: it shrinks the parallel workload
-(1k nodes, 64 source sets -- see ``REPRO_BENCH_QUICK`` in
-``bench_parallel.py``), still runs every correctness assertion baked
-into the benchmarks, and does *not* rewrite the committed trajectory
-file (smoke numbers from a scaled-down workload would poison the
-diff).  The repo's smoke target (``make smoke``) is ``--quick`` plus
-the tier-1 suite.
+``--quick`` is the CI smoke lane: it shrinks the workloads (see
+``REPRO_BENCH_QUICK`` in ``bench_parallel.py`` / ``bench_service.py``),
+still runs every correctness assertion baked into the benchmarks, and
+does *not* rewrite the committed trajectory file (smoke numbers from a
+scaled-down workload would poison the diff).  ``--summary PATH``
+writes this run's trimmed rows to a separate file -- the CI smoke job
+uploads it as a per-PR artifact so perf drift stays visible without
+touching the trajectory.  The repo's smoke target (``make smoke``) is
+``--quick`` plus the tier-1 suite.
 
-Exits non-zero if the benchmark run fails (the correctness assertions
-inside each benchmark are part of the run).
+Exits non-zero if the benchmark run fails -- the correctness
+assertions inside each benchmark are part of the run, and an
+assertion failure anywhere fails the whole command (the regression
+test in ``tests/integration/test_run_bench_gate.py`` pins this, so the
+CI smoke job genuinely gates).
 """
 
 from __future__ import annotations
@@ -39,12 +45,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
-BENCH_FILES = ("bench_scaling.py", "bench_parallel.py")
-QUICK_BENCH_FILES = ("bench_parallel.py",)
+BENCH_FILES = ("bench_scaling.py", "bench_parallel.py", "bench_service.py")
+QUICK_BENCH_FILES = ("bench_parallel.py", "bench_service.py")
 FASTPATH_PREFIXES = (
     "test_ext_scale_fastpath_backends",
     "test_ext_scale_fastpath_speedup_10k",
     "test_ext_par_",
+    "test_ext_svc_",
 )
 EXTRA_ROW_KEYS = (
     "workers",
@@ -54,10 +61,11 @@ EXTRA_ROW_KEYS = (
     "serial_seconds",
     "auto_backend",
     "pure_seconds",
+    "mean_batch",
 )
 
 
-def run_benchmarks(json_path: Path, quick: bool) -> int:
+def run_benchmarks(json_path: Path, quick: bool, keyword: str = "") -> int:
     """Run the benchmark files with a JSON export."""
     env_src = str(REPO_ROOT / "src")
     env = dict(os.environ)
@@ -78,6 +86,8 @@ def run_benchmarks(json_path: Path, quick: bool) -> int:
         "--benchmark-only",
         f"--benchmark-json={json_path}",
     ]
+    if keyword:
+        command.extend(["-k", keyword])
     completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
     return completed.returncode
 
@@ -107,13 +117,16 @@ def trim(raw: dict) -> list:
         if batch and mean:
             row["runs_per_sec"] = round(batch / mean, 1)
         if "speedup" in info:
-            # Two different baselines share the extra_info key: PR 1's
+            # Three different baselines share the extra_info key: PR 1's
             # scaling rows measure against the reference simulator, the
             # parallel rows against the serial sweep (or the
-            # auto-selected engine for the oracle rows) -- name them
-            # apart in the trajectory.
+            # auto-selected engine for the oracle rows), and the service
+            # rows against the sequential simulate()-per-request server
+            # -- name them apart in the trajectory.
             if name.startswith("test_ext_par_"):
                 row["speedup_vs_serial"] = info["speedup"]
+            elif name.startswith("test_ext_svc_"):
+                row["speedup_vs_sequential"] = info["speedup"]
             else:
                 row["speedup_vs_reference"] = info["speedup"]
         for key in EXTRA_ROW_KEYS:
@@ -142,19 +155,56 @@ def main(argv=None) -> int:
             "run, trajectory file NOT rewritten"
         ),
     )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help=(
+            "also write the trimmed rows of THIS run to the given path "
+            "(works in --quick mode too; this is the CI smoke artifact, "
+            "separate from the committed trajectory)"
+        ),
+    )
+    parser.add_argument(
+        "-k",
+        dest="keyword",
+        default="",
+        metavar="EXPR",
+        help="forwarded to pytest -k (select a benchmark subset)",
+    )
     args = parser.parse_args(argv)
     # Fail before the (slow) benchmark run, not after it.
     args.output.parent.mkdir(parents=True, exist_ok=True)
 
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
-        code = run_benchmarks(json_path, quick=args.quick)
+        code = run_benchmarks(json_path, quick=args.quick, keyword=args.keyword)
         if code != 0:
             print("benchmark run failed", file=sys.stderr)
             return code
-        raw = json.loads(json_path.read_text())
+        # pytest exiting 0 without a usable export means nothing ran
+        # (pytest-benchmark pre-creates the file but leaves it empty
+        # when every benchmark was skipped/deselected) -- that must
+        # not pass as a green smoke lane.
+        try:
+            raw = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            print("benchmark run produced no JSON export", file=sys.stderr)
+            return 1
 
     rows = trim(raw)
+    if args.summary is not None:
+        summary = {
+            "mode": "quick" if args.quick else "full",
+            "machine": raw.get("machine_info", {})
+            .get("cpu", {})
+            .get("brand_raw"),
+            "python": raw.get("machine_info", {}).get("python_version"),
+            "rows": rows,
+        }
+        args.summary.parent.mkdir(parents=True, exist_ok=True)
+        args.summary.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote run summary ({len(rows)} rows) to {args.summary}")
     if args.quick:
         print(
             f"smoke run ok: {len(rows)} rows verified "
@@ -162,7 +212,7 @@ def main(argv=None) -> int:
         )
         return 0
     payload = {
-        "suite": "bench_scaling+bench_parallel",
+        "suite": "bench_scaling+bench_parallel+bench_service",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
         "python": raw.get("machine_info", {}).get("python_version"),
         "rows": rows,

@@ -21,7 +21,7 @@ loop run serially on the frontier engines.
 
 import time
 
-from repro.apps import Strategy, broadcast_matrix, matrix_table
+from repro.apps import broadcast_matrix, matrix_table
 from repro.core import all_pairs_termination
 from repro.experiments import check_survey_invariants, run_survey, survey_table
 from repro.graphs import cycle_graph, diameter, erdos_renyi, petersen_graph

@@ -22,6 +22,7 @@ Package map
 ``repro.core``        amnesiac flooding + termination analysis (the paper)
 ``repro.fastpath``    CSR-indexed flooding engines (pure / numpy / oracle)
 ``repro.parallel``    sharded multi-core sweep pool over the fast path
+``repro.service``     async flood-query service over the sweep pool
 ``repro.asynchrony``  asynchronous AF and adversaries (Section 4)
 ``repro.baselines``   classic flooding, BFS broadcast, rumor spreading
 ``repro.variants``    k-memory, lossy, dynamic, multi-message extensions
@@ -37,6 +38,7 @@ from repro import sync
 from repro import core
 from repro import fastpath
 from repro import parallel
+from repro import service
 from repro import asynchrony
 from repro import baselines
 from repro import variants
@@ -52,6 +54,7 @@ __all__ = [
     "core",
     "fastpath",
     "parallel",
+    "service",
     "asynchrony",
     "baselines",
     "variants",

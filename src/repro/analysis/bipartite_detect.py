@@ -34,7 +34,7 @@ from repro.errors import DisconnectedGraphError
 from repro.graphs.graph import Graph, Node
 from repro.graphs.properties import is_bipartite, is_connected
 from repro.graphs.traversal import eccentricity
-from repro.core.amnesiac import FloodingRun, simulate
+from repro.core.amnesiac import simulate
 
 
 @dataclass(frozen=True)

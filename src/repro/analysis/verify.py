@@ -17,7 +17,7 @@ harness runs them once per figure as a sanity gate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.graphs.graph import Graph, Node
 from repro.core.amnesiac import flood_trace, simulate

@@ -23,7 +23,7 @@ from repro.fastpath import simulate_indexed
 from repro.graphs.double_cover import cover_distances
 from repro.graphs.graph import Graph, Node
 from repro.graphs.traversal import bfs_distances
-from repro.core.amnesiac import FloodingRun, simulate
+from repro.core.amnesiac import simulate
 
 
 @dataclass(frozen=True)

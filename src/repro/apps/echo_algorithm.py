@@ -20,12 +20,11 @@ extra message per tree edge, and O(log n) bits of state per node).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph, Node
-from repro.graphs.traversal import bfs_distances
 from repro.sync.engine import SynchronousEngine
 from repro.sync.message import Message, Send
 from repro.sync.node import NodeContext

@@ -24,11 +24,9 @@ scheduling adversary "can always ensure non-termination"; we implement:
 from __future__ import annotations
 
 import random
-from collections import defaultdict
-from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
+from typing import FrozenSet, Optional, Protocol, Sequence, Set
 
 from repro.errors import ConfigurationError
-from repro.graphs.graph import Graph, Node
 from repro.asynchrony.configurations import Configuration, DirectedMessage
 
 

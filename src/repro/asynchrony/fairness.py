@@ -22,7 +22,7 @@ there is no delay-bound refuge between synchrony and non-termination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node

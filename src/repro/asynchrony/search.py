@@ -21,7 +21,7 @@ keep it usable on the small topologies the experiments probe.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node

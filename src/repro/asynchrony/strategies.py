@@ -10,7 +10,7 @@ termination.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node

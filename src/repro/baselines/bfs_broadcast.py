@@ -14,7 +14,7 @@ experiments quantify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -109,7 +109,6 @@ def bfs_broadcast(
     graph: Graph, source: Node, max_rounds: Optional[int] = None
 ) -> BfsBroadcastResult:
     """Run the BFS broadcast and harvest the spanning tree it built."""
-    algorithm = BfsBroadcast()
     states: Dict[Node, BfsState] = {}
 
     class _Recording(BfsBroadcast):

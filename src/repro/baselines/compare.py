@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.graphs.graph import Graph, Node
 from repro.graphs.properties import is_bipartite

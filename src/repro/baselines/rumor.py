@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node
 
 

@@ -27,8 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.graphs.graph import Graph, Node
-from repro.core.amnesiac import FloodingRun, flood_trace, simulate
-from repro.sync.trace import ExecutionTrace
+from repro.core.amnesiac import flood_trace, simulate
 
 
 @dataclass(frozen=True)

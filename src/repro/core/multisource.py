@@ -20,11 +20,11 @@ These are checked by ``tests/core/test_multisource.py`` and swept by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, DisconnectedGraphError
 from repro.graphs.graph import Graph, Node
-from repro.graphs.properties import bipartition, is_bipartite, is_connected
+from repro.graphs.properties import bipartition, is_connected
 from repro.graphs.traversal import diameter, set_eccentricity
 from repro.core.amnesiac import FloodingRun, simulate
 from repro.core.oracle import OraclePrediction, predict

@@ -16,10 +16,9 @@ correct -- they cannot share a bug in the flooding rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.graphs.double_cover import (
-    cover_distances,
     predicted_message_complexity,
     predicted_receive_rounds,
     predicted_termination_round,

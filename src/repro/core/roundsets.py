@@ -26,7 +26,7 @@ This module makes all of that executable on real traces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple, Union
+from typing import Dict, List, Set, Tuple, Union
 
 from repro.core.amnesiac import FloodingRun
 from repro.graphs.graph import Node

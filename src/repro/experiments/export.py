@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List, Optional, TextIO, Union
+from typing import Dict, List, TextIO, Union
 
 from repro.experiments.claims import ClaimResult
 from repro.experiments.figures import FigureReproduction

@@ -7,7 +7,7 @@ runner and CLI treat paper claims and extensions uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.experiments.claims import ClaimResult
 from repro.core.amnesiac import simulate

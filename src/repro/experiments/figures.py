@@ -9,7 +9,7 @@ circled-sender convention.  The figure benchmarks re-run these; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.graphs import generators as gen
@@ -23,7 +23,6 @@ from repro.asynchrony import (
 )
 from repro.experiments.workloads import random_instances
 from repro.viz.ascii_art import render_run
-from repro.viz.timeline import sender_table
 
 
 @dataclass

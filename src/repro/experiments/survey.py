@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.analysis.statistics import SampleSummary, summarize
 from repro.core.amnesiac import simulate
-from repro.graphs.graph import Graph, Node
+from repro.graphs.graph import Graph
 from repro.graphs.properties import is_bipartite
-from repro.graphs.traversal import diameter, eccentricity
+from repro.graphs.traversal import diameter
 from repro.graphs import random_graphs as rnd
 
 GraphFactory = Callable[[int, int], Graph]  # (size, seed) -> graph

@@ -38,7 +38,10 @@ Entry points:
   multi-core form;
 * :func:`step_arc_mask` / :func:`evolve_arc_mask` -- arbitrary initial
   configurations packed into arc bitmasks (powers the
-  initial-conditions census).
+  initial-conditions census);
+* :func:`probe_termination_rounds` / :func:`routed_backend` -- cheap
+  double-cover rounds probes that make backend selection rounds-aware
+  (the service layer routes long floods to the oracle through these).
 """
 
 from repro.fastpath.engine import (
@@ -55,16 +58,26 @@ from repro.fastpath.engine import (
     sweep,
 )
 from repro.fastpath.indexed import IndexedGraph
+from repro.fastpath.probe import (
+    ORACLE_ROUND_THRESHOLD,
+    expected_rounds,
+    probe_termination_rounds,
+    routed_backend,
+)
 
 __all__ = [
     "NUMPY_ARC_THRESHOLD",
     "ORACLE",
+    "ORACLE_ROUND_THRESHOLD",
     "IndexedGraph",
     "IndexedRun",
     "arc_mask_of",
     "available_backends",
     "configuration_of_mask",
     "evolve_arc_mask",
+    "expected_rounds",
+    "probe_termination_rounds",
+    "routed_backend",
     "select_backend",
     "simulate_indexed",
     "step_arc_mask",

@@ -52,6 +52,13 @@ PURE = "pure"
 NUMPY = "numpy"
 ORACLE = "oracle"
 
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - Python 3.9
+
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
 NUMPY_ARC_THRESHOLD = 4096
 """Auto-selection switches to numpy at this many directed arcs."""
 
@@ -363,12 +370,12 @@ def evolve_arc_mask(
     """
     seen: Dict[int, int] = {mask: 0}
     current = mask
-    peak = mask.bit_count()
+    peak = _popcount(mask)
     step = 0
     while current:
         current = step_arc_mask(index, current)
         step += 1
-        size = current.bit_count()
+        size = _popcount(current)
         if size > peak:
             peak = size
         first_seen = seen.get(current)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import ConfigurationError, NodeNotFoundError
 from repro.graphs.graph import Graph, Node

@@ -23,7 +23,7 @@ strong correctness oracle in the property tests.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import NodeNotFoundError
 from repro.graphs.graph import Graph, Node

@@ -10,7 +10,7 @@ unless documented otherwise and return :class:`repro.graphs.graph.Graph`.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node

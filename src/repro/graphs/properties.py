@@ -13,7 +13,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import NodeNotFoundError
 from repro.graphs.graph import Graph, Node
 
 

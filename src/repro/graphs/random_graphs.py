@@ -10,7 +10,7 @@ because the paper's statements concern connected graphs.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node

@@ -10,7 +10,7 @@ double-cover oracle.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import NodeNotFoundError
 from repro.graphs.graph import Graph, Node

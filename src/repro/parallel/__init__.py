@@ -17,7 +17,12 @@ all cores:
   bit-identical to the serial sweep for every worker count and chunk
   size.
 * :class:`SweepPool` -- the reusable serving shape: one pool of warm
-  workers per graph, many batches through it.
+  workers per graph, many batches through it.  Its async hooks
+  (:meth:`~repro.parallel.pool.SweepPool.sweep_async` /
+  :meth:`~repro.parallel.pool.SweepPool.submit_ids`) return
+  :class:`concurrent.futures.Future` s and are what the query service
+  (:mod:`repro.service`) drives; :func:`serial_sweep_ids` is the same
+  post-validation loop without processes (the service's 1-core mode).
 * :func:`repro.parallel.census.classify_masks` -- the same sharding
   for the configuration census's orbit detections.
 
@@ -35,6 +40,7 @@ from repro.parallel.pool import (
     SweepPool,
     default_chunksize,
     parallel_sweep,
+    serial_sweep_ids,
     worker_count,
 )
 
@@ -46,5 +52,6 @@ __all__ = [
     "classify_masks",
     "default_chunksize",
     "parallel_sweep",
+    "serial_sweep_ids",
     "worker_count",
 ]

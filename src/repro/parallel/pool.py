@@ -56,6 +56,7 @@ import multiprocessing
 import os
 import pickle
 import sys
+from concurrent.futures import Future
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -219,6 +220,105 @@ class SweepPool:
             id_lists, budget, chosen, chunksize, collect_senders, collect_receives
         )
 
+    def sweep_async(
+        self,
+        source_sets: Iterable[Iterable[Node]],
+        max_rounds: Optional[int] = None,
+        backend: Optional[str] = None,
+        chunksize: Optional[int] = None,
+        collect_senders: bool = False,
+        collect_receives: bool = False,
+    ) -> "Future[List[IndexedRun]]":
+        """Submit one batch without blocking; returns a future of the runs.
+
+        The non-blocking twin of :meth:`sweep` and the hook the async
+        service layer (:mod:`repro.service`) drives: validation, budget
+        resolution and backend selection still happen synchronously in
+        the caller (errors raise *here*, before anything is enqueued),
+        then the chunks are handed to the pool and a
+        :class:`concurrent.futures.Future` completes -- on the pool's
+        result-handler thread -- with exactly the list :meth:`sweep`
+        would have returned.  Bridge it into an event loop with
+        :func:`asyncio.wrap_future`.
+        """
+        id_lists = [
+            self.index.resolve_sources(sources) for sources in source_sets
+        ]
+        budget = _resolve_budget(self.graph, max_rounds)
+        chosen = select_backend(self.index, backend)
+        return self.submit_ids(
+            id_lists, budget, chosen, chunksize, collect_senders, collect_receives
+        )
+
+    def submit_ids(
+        self,
+        id_lists: Sequence[List[int]],
+        budget: int,
+        backend: str,
+        chunksize: Optional[int] = None,
+        collect_senders: bool = False,
+        collect_receives: bool = False,
+    ) -> "Future[List[IndexedRun]]":
+        """Submit already-resolved id lists; the async post-validation core.
+
+        Used by the service layer, which resolves and validates sources
+        itself so it can batch requests in id space.  The returned
+        future resolves to the same (ordered, parent-index-wrapped)
+        runs the blocking path produces; a worker failure resolves it
+        exceptionally instead.
+        """
+        future: "Future[List[IndexedRun]]" = Future()
+        future.set_running_or_notify_cancel()
+        if not id_lists:
+            future.set_result([])
+            return future
+        tasks = self._make_tasks(
+            id_lists, budget, backend, chunksize, collect_senders, collect_receives
+        )
+
+        def on_done(ordered: List[_TaskResult]) -> None:
+            # map_async delivers every chunk in task order, so flatten
+            # and rehydrate exactly like the blocking path.
+            try:
+                raw_runs = [raw for _, chunk in ordered for raw in chunk]
+                future.set_result(
+                    _wrap_runs(self.index, id_lists, raw_runs, backend)
+                )
+            except BaseException as exc:  # pragma: no cover - defensive
+                future.set_exception(exc)
+
+        self._pool.map_async(
+            _run_chunk, tasks, chunksize=1,
+            callback=on_done, error_callback=future.set_exception,
+        )
+        return future
+
+    def _make_tasks(
+        self,
+        id_lists: Sequence[List[int]],
+        budget: int,
+        backend: str,
+        chunksize: Optional[int],
+        collect_senders: bool,
+        collect_receives: bool,
+    ) -> List[_Task]:
+        """Shard id lists into positioned chunk tasks (shared by both paths)."""
+        if chunksize is None:
+            chunksize = default_chunksize(len(id_lists), self.workers)
+        elif chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1")
+        return [
+            (
+                start,
+                list(id_lists[start : start + chunksize]),
+                budget,
+                backend,
+                collect_senders,
+                collect_receives,
+            )
+            for start in range(0, len(id_lists), chunksize)
+        ]
+
     def _sweep_ids(
         self,
         id_lists: Sequence[List[int]],
@@ -231,21 +331,9 @@ class SweepPool:
         """Dispatch already-resolved id lists (the post-validation core)."""
         if not id_lists:
             return []
-        if chunksize is None:
-            chunksize = default_chunksize(len(id_lists), self.workers)
-        elif chunksize < 1:
-            raise ConfigurationError("chunksize must be >= 1")
-        tasks: List[_Task] = [
-            (
-                start,
-                list(id_lists[start : start + chunksize]),
-                budget,
-                backend,
-                collect_senders,
-                collect_receives,
-            )
-            for start in range(0, len(id_lists), chunksize)
-        ]
+        tasks = self._make_tasks(
+            id_lists, budget, backend, chunksize, collect_senders, collect_receives
+        )
         raw_runs: List[RawRun] = []
         # Ordered imap: chunks stream back in submission order even
         # when a later chunk finishes first, so concatenation recovers
@@ -280,15 +368,20 @@ class SweepPool:
         return f"SweepPool(workers={self.workers}, index={self.index!r})"
 
 
-def _serial_sweep(
+def serial_sweep_ids(
     index: IndexedGraph,
     id_lists: Sequence[List[int]],
     budget: int,
     backend: str,
-    collect_senders: bool,
-    collect_receives: bool,
+    collect_senders: bool = False,
+    collect_receives: bool = False,
 ) -> List[IndexedRun]:
-    """The in-process fallback: same loop the pool runs, no processes."""
+    """The in-process fallback: same loop the pool runs, no processes.
+
+    Public because the service layer's serial mode (``workers=0`` on a
+    single-core box) executes batches through exactly this function --
+    one code path, one determinism contract, pool or no pool.
+    """
     raw_runs = [
         _dispatch(index, ids, budget, backend, collect_senders, collect_receives)
         for ids in id_lists
@@ -344,7 +437,7 @@ def parallel_sweep(
         resolved_workers <= 1 or len(id_lists) < MIN_PARALLEL_BATCH
     )
     if serial:
-        return _serial_sweep(
+        return serial_sweep_ids(
             index, id_lists, budget, chosen, collect_senders, collect_receives
         )
     with SweepPool(graph, workers=resolved_workers) as pool:

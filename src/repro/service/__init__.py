@@ -1,0 +1,48 @@
+"""Async flood-query serving over the sweep pool.
+
+This package is the serving layer of the reproduction: it wraps the
+multi-core sweep machinery (:mod:`repro.parallel`) behind an asyncio
+front-end so many concurrent callers share warm workers, batch
+naturally, and degrade gracefully under load.
+
+* :class:`FloodService` -- the front-end: ``await service.query(graph,
+  sources)`` / ``query_batch``, micro-batching of concurrent requests,
+  bounded-queue backpressure (:class:`QueueFull` or FIFO waiting,
+  caller's choice), per-request round budgets and timeouts
+  (:class:`QueryTimeout`), per-topology registration/caching, and
+  rounds-aware backend routing;
+* :class:`MicroBatcher` -- the window/size coalescing policy;
+* :class:`Router` -- the per-graph cached routing decisions (long
+  floods to the O(n + m) oracle backend, short dense ones to the
+  vectorised frontier engine);
+* :mod:`repro.service.errors` -- the typed error family
+  (:class:`ServiceError` and friends, all under
+  :class:`repro.errors.ReproError`).
+
+Every result is bit-identical to a direct serial
+:func:`repro.fastpath.sweep` of the same request, for every worker
+count, batching window and interleaving -- the determinism contract
+the sweep pool established, now held at the service boundary
+(``tests/service/`` asserts it).
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.errors import (
+    QueryTimeout,
+    QueueFull,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.service.routing import Router
+from repro.service.service import FloodService, ServiceStats
+
+__all__ = [
+    "FloodService",
+    "MicroBatcher",
+    "QueryTimeout",
+    "QueueFull",
+    "Router",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceStats",
+]

@@ -1,0 +1,55 @@
+"""Typed errors of the flood-query service layer.
+
+All derive from :class:`ServiceError`, which itself derives from
+:class:`repro.errors.ReproError`, so a caller can catch service-level
+failures separately from graph/simulation problems or sweep the whole
+family with one ``except ReproError``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for all errors raised by :mod:`repro.service`."""
+
+
+class ServiceClosed(ServiceError):
+    """A query was submitted to a service that has been closed."""
+
+    def __init__(self, message: Optional[str] = None) -> None:
+        super().__init__(message or "the flood service is closed")
+
+
+class QueueFull(ServiceError):
+    """Admission was refused because the pending-request queue is full.
+
+    Raised when the service was configured (or the call asked) to
+    *reject* on backpressure rather than wait; carries the configured
+    limit and how many slots the refused call needed so callers can
+    shed load intelligently (retry later, or split the batch).
+    """
+
+    def __init__(self, limit: int, requested: int = 1) -> None:
+        super().__init__(
+            f"service queue is full ({limit} pending requests); "
+            f"{requested} more would exceed the bound"
+        )
+        self.limit = limit
+        self.requested = requested
+
+
+class QueryTimeout(ServiceError):
+    """A query did not complete within its per-request timeout.
+
+    The underlying flood keeps running to completion in the pool (its
+    admission slot is released only when the work finishes), but the
+    caller gets this error instead of the result.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"flood query timed out after {seconds:g}s")
+        self.seconds = seconds

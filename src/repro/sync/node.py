@@ -18,8 +18,8 @@ classic-flooding baseline returns a mutable flag holder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Protocol, Sequence
 
 from repro.graphs.graph import Graph, Node
 from repro.sync.message import Message, Send

@@ -13,10 +13,9 @@ the same tuples it stores in the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, TextIO, Tuple
+from typing import Callable, List, Optional, Protocol, TextIO, Tuple
 
 from repro.errors import SimulationError
-from repro.graphs.graph import Node
 from repro.sync.message import Message
 
 

@@ -10,7 +10,7 @@ simulation result is a complete, replayable artefact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.graphs.graph import Edge, Graph, Node
 from repro.sync.message import Message

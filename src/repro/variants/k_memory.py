@@ -21,7 +21,7 @@ chart the memory/time trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node

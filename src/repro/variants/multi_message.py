@@ -11,7 +11,6 @@ the introduction, with several rumors in flight at once).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError

@@ -12,8 +12,7 @@ arbitrary graphs fall back to the timeline tables of
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence, Set, Tuple, Union
+from typing import List, Sequence, Set, Union
 
 from repro.core.amnesiac import FloodingRun
 from repro.graphs.graph import Graph, Node

@@ -8,7 +8,7 @@ dependency -- output is plain text suitable for logs and CI.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 

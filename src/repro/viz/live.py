@@ -8,7 +8,7 @@ when debugging a new variant's first divergence.
 from __future__ import annotations
 
 import sys
-from typing import List, Optional, TextIO, Tuple
+from typing import Optional, TextIO, Tuple
 
 from repro.graphs.graph import Graph, Node
 from repro.core.amnesiac import AmnesiacFlooding

@@ -8,7 +8,7 @@ plus per-node receive timelines.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Sequence, Union
 
 from repro.core.amnesiac import FloodingRun
 from repro.graphs.graph import Node

@@ -1,6 +1,5 @@
 """Unit tests for the analysis metric bundles and bound sweeps."""
 
-import pytest
 
 from repro.graphs import (
     complete_graph,

@@ -6,7 +6,6 @@ from repro.graphs import (
     complete_graph,
     cycle_graph,
     eccentricity,
-    paper_triangle,
     path_graph,
     petersen_graph,
     star_graph,
@@ -56,9 +55,6 @@ class TestCoverage:
     def test_each_node_transmits_at_most_once(self):
         graph = complete_graph(6)
         trace = classic_flood_trace(graph, 0)
-        senders = [m.sender for batch in trace.deliveries for m in batch]
-        from collections import Counter
-
         per_round_senders = [
             trace.senders_in_round(r) for r in range(1, trace.rounds_executed + 1)
         ]

@@ -1,6 +1,5 @@
 """Unit tests for the three-way comparison harness."""
 
-import pytest
 
 from repro.graphs import complete_graph, cycle_graph, path_graph
 from repro.baselines import compare_on, comparison_table

@@ -1,6 +1,5 @@
 """Unit tests for the multi-source receipt census."""
 
-import pytest
 
 from repro.graphs import (
     complete_graph,

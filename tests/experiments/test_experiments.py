@@ -7,7 +7,6 @@ import pytest
 from repro.experiments import (
     ALL_CLAIMS,
     ALL_FIGURES,
-    REGISTRY,
     experiment_ids,
     run_experiment,
     run_experiments,

@@ -4,7 +4,6 @@ The real experiments all pass; these tests inject synthetic failures
 to make sure a regression would be *reported*, not silently summed.
 """
 
-import pytest
 
 from repro.experiments.claims import ClaimResult
 from repro.experiments.figures import FigureReproduction

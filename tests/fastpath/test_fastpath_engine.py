@@ -26,7 +26,6 @@ from repro.graphs import (
     cycle_graph,
     erdos_renyi,
     paper_triangle,
-    path_graph,
     random_tree,
 )
 
@@ -142,7 +141,7 @@ class TestArcMasks:
         index = IndexedGraph.of(paper_triangle())
         config = frozenset({("a", "b"), ("c", "a")})
         mask = arc_mask_of(index, config)
-        assert mask.bit_count() == 2
+        assert bin(mask).count("1") == 2  # not int.bit_count: 3.9 support
         assert configuration_of_mask(index, mask) == config
 
     def test_step_matches_reference_step(self):

@@ -1,6 +1,5 @@
 """Unit tests for graph products."""
 
-import pytest
 
 from repro.graphs import (
     cartesian_product,

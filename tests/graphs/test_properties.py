@@ -1,6 +1,5 @@
 """Unit tests for structural graph properties."""
 
-import pytest
 
 from repro.graphs import (
     Graph,

@@ -11,7 +11,7 @@ from repro.graphs import (
     paper_triangle,
     petersen_graph,
 )
-from repro.core import simulate, flood_trace, predict
+from repro.core import simulate, predict
 from repro.asynchrony import (
     AsyncOutcome,
     ConvergecastHoldAdversary,

@@ -5,9 +5,7 @@ suite through the same code paths; here we run the quick ones whole
 and import-check the rest, keeping the unit suite fast.
 """
 
-import importlib.util
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
@@ -18,6 +16,7 @@ QUICK_EXAMPLES = [
     "quickstart.py",
     "bipartiteness_probe.py",
     "adversarial_asynchrony.py",
+    "flood_server.py",
 ]
 
 ALL_EXAMPLES = QUICK_EXAMPLES + [

@@ -1,0 +1,101 @@
+"""The pool's async submission hooks: futures, not blocking calls.
+
+``SweepPool.sweep_async`` / ``submit_ids`` are the bridge the service
+layer stands on: same validation, same determinism, delivered through
+a :class:`concurrent.futures.Future` completed off-thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.fastpath import IndexedGraph, sweep
+from repro.graphs import cycle_graph, erdos_renyi
+from repro.parallel import SweepPool, serial_sweep_ids
+from repro.parallel.pool import _resolve_budget, select_backend
+
+
+def assert_runs_identical(expected, actual):
+    """Field-for-field equality of two IndexedRun lists."""
+    assert len(expected) == len(actual)
+    for left, right in zip(expected, actual):
+        assert left.sources == right.sources
+        assert left.backend == right.backend
+        assert left.terminated == right.terminated
+        assert left.termination_round == right.termination_round
+        assert left.total_messages == right.total_messages
+        assert left.round_edge_counts == right.round_edge_counts
+        assert left.sender_ids == right.sender_ids
+        assert left.receive_rounds_by_id == right.receive_rounds_by_id
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = erdos_renyi(80, 0.08, seed=17, connected=True)
+    return graph, [[v] for v in graph.nodes()[:12]]
+
+
+class TestSweepAsync:
+    def test_future_resolves_to_serial_result(self, workload):
+        graph, source_sets = workload
+        serial = sweep(graph, source_sets)
+        with SweepPool(graph, workers=2) as pool:
+            future = pool.sweep_async(source_sets)
+            assert isinstance(future, Future)
+            assert_runs_identical(serial, future.result(timeout=60))
+
+    def test_many_outstanding_futures(self, workload):
+        graph, source_sets = workload
+        serial = sweep(graph, source_sets)
+        with SweepPool(graph, workers=2) as pool:
+            futures = [pool.sweep_async(source_sets) for _ in range(4)]
+            for future in futures:
+                assert_runs_identical(serial, future.result(timeout=60))
+
+    def test_validation_raises_synchronously(self, workload):
+        graph, _ = workload
+        with SweepPool(graph, workers=1) as pool:
+            with pytest.raises(NodeNotFoundError):
+                pool.sweep_async([["missing"]])
+            with pytest.raises(ConfigurationError):
+                pool.sweep_async([[graph.nodes()[0]]], max_rounds=0)
+            with pytest.raises(ConfigurationError):
+                pool.sweep_async([[graph.nodes()[0]]], backend="cuda")
+
+    def test_empty_batch_resolves_immediately(self, workload):
+        graph, _ = workload
+        with SweepPool(graph, workers=1) as pool:
+            assert pool.sweep_async([]).result(timeout=5) == []
+
+    def test_bridges_into_asyncio(self, workload):
+        graph, source_sets = workload
+        serial = sweep(graph, source_sets, backend="oracle")
+
+        async def main(pool):
+            future = pool.sweep_async(source_sets, backend="oracle")
+            return await asyncio.wrap_future(future)
+
+        with SweepPool(graph, workers=2) as pool:
+            runs = asyncio.run(main(pool))
+        assert_runs_identical(serial, runs)
+
+
+class TestSerialSweepIds:
+    def test_matches_blocking_sweep(self, workload):
+        graph, source_sets = workload
+        index = IndexedGraph.of(graph)
+        id_lists = [index.resolve_sources(s) for s in source_sets]
+        budget = _resolve_budget(graph, None)
+        backend = select_backend(index, None)
+        runs = serial_sweep_ids(index, id_lists, budget, backend)
+        assert_runs_identical(sweep(graph, source_sets), runs)
+
+    def test_cycle_statistics(self):
+        graph = cycle_graph(9)
+        index = IndexedGraph.of(graph)
+        runs = serial_sweep_ids(index, [[0], [4]], 100, "pure")
+        assert [run.termination_round for run in runs] == [9, 9]

@@ -16,7 +16,7 @@ from repro.core import (
     simulate,
     source_configuration,
 )
-from repro.graphs import eccentricity, is_bipartite
+from repro.graphs import eccentricity
 from repro.variants import probabilistic_flood
 
 from tests.conftest import connected_graph_with_source, trees

@@ -1,0 +1,90 @@
+"""MicroBatcher unit behaviour: window, size cap, key separation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import MicroBatcher
+
+
+def run_batcher(window, max_batch, scenario):
+    """Drive a batcher inside a fresh loop; returns dispatched batches."""
+    dispatched = []
+
+    async def main():
+        batcher = MicroBatcher(
+            window, max_batch, lambda key, reqs: dispatched.append((key, reqs))
+        )
+        await scenario(batcher)
+        return batcher
+
+    batcher = asyncio.run(main())
+    return dispatched, batcher
+
+
+class TestFlushPolicy:
+    def test_same_tick_requests_coalesce(self):
+        async def scenario(batcher):
+            for i in range(5):
+                batcher.add("k", i)
+            assert batcher.pending == 5
+            await asyncio.sleep(0)  # zero-window flush on next tick
+
+        dispatched, batcher = run_batcher(0.0, 64, scenario)
+        assert dispatched == [("k", [0, 1, 2, 3, 4])]
+        assert batcher.pending == 0
+
+    def test_size_cap_flushes_early(self):
+        async def scenario(batcher):
+            for i in range(7):
+                batcher.add("k", i)
+            # cap of 3: two full batches flushed synchronously, one open
+            assert batcher.pending == 1
+            await asyncio.sleep(0)
+
+        dispatched, _ = run_batcher(0.0, 3, scenario)
+        assert [reqs for _, reqs in dispatched] == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_window_groups_across_ticks(self):
+        async def scenario(batcher):
+            batcher.add("k", "a")
+            await asyncio.sleep(0.005)
+            batcher.add("k", "b")  # still inside the 50ms window
+            await asyncio.sleep(0.08)  # window elapses
+
+        dispatched, _ = run_batcher(0.05, 64, scenario)
+        assert dispatched == [("k", ["a", "b"])]
+
+    def test_keys_never_merge(self):
+        async def scenario(batcher):
+            batcher.add("a", 1)
+            batcher.add("b", 2)
+            batcher.add("a", 3)
+            await asyncio.sleep(0)
+
+        dispatched, _ = run_batcher(0.0, 64, scenario)
+        assert ("a", [1, 3]) in dispatched
+        assert ("b", [2]) in dispatched
+
+    def test_flush_all_drains_open_buckets(self):
+        async def scenario(batcher):
+            batcher.add("a", 1)
+            batcher.add("b", 2)
+            batcher.flush_all()
+            assert batcher.pending == 0
+            await asyncio.sleep(0)  # cancelled timers must not re-fire
+
+        dispatched, _ = run_batcher(10.0, 64, scenario)
+        assert sorted(dispatched) == [("a", [1]), ("b", [2])]
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(-1.0, 4, lambda k, r: None)
+
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(0.0, 0, lambda k, r: None)

@@ -5,8 +5,6 @@ import pytest
 from repro.errors import ConfigurationError, NodeNotFoundError, NonTerminationError
 from repro.graphs import Graph, cycle_graph, path_graph, star_graph
 from repro.sync import (
-    Message,
-    NodeContext,
     Send,
     StatelessAlgorithm,
     SynchronousEngine,

@@ -1,10 +1,8 @@
 """Edge-case tests for the synchronous engine and simulator parity."""
 
-import pytest
 
-from repro.errors import ConfigurationError
 from repro.graphs import Graph, complete_bipartite_graph, cycle_graph, path_graph
-from repro.core import AmnesiacFlooding, flood_trace, simulate
+from repro.core import flood_trace, simulate
 from repro.sync import Message, Send, StatelessAlgorithm, run_algorithm
 
 
@@ -29,7 +27,6 @@ class TestPayloadHandling:
     def test_amnesiac_ignores_foreign_payloads(self):
         """AF nodes only react to their own payload."""
         graph = path_graph(3)
-        algorithm = AmnesiacFlooding(payload="mine")
 
         class Noise(StatelessAlgorithm):
             def on_start(self, state, ctx):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs import Graph, star_graph
+from repro.graphs import star_graph
 from repro.sync import (
     FLOOD_PAYLOAD,
     Message,

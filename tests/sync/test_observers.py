@@ -65,7 +65,7 @@ class TestProgressObserver:
         observer = ProgressObserver()
         graph = cycle_graph(9)
         engine = SynchronousEngine(graph, AmnesiacFlooding())
-        trace = engine.run([0], observer=observer)
+        engine.run([0], observer=observer)
         run = simulate(graph, [0])
         assert observer.rounds == run.termination_round
         assert observer.messages == run.total_messages

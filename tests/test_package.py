@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "core",
     "fastpath",
     "parallel",
+    "service",
     "asynchrony",
     "baselines",
     "variants",

@@ -133,7 +133,6 @@ class TestSimulateDynamic:
         assert dynamic.receive_rounds == static.receive_rounds
 
     def test_alternating_topology_runs(self):
-        nodes = list(range(6))
         ring = cycle_graph(6)
         chords = Graph.from_edges([(0, 3), (1, 4), (2, 5)])
         schedule = PeriodicSchedule([ring, chords])

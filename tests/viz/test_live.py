@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.graphs import cycle_graph, paper_line, paper_triangle, petersen_graph, path_graph
 from repro.analysis import last_receivers
 from repro.core import simulate
