@@ -45,13 +45,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
-BENCH_FILES = ("bench_scaling.py", "bench_parallel.py", "bench_service.py")
-QUICK_BENCH_FILES = ("bench_parallel.py", "bench_service.py")
+BENCH_FILES = (
+    "bench_scaling.py",
+    "bench_parallel.py",
+    "bench_service.py",
+    "bench_variants.py",
+)
+QUICK_BENCH_FILES = ("bench_parallel.py", "bench_service.py", "bench_variants.py")
 FASTPATH_PREFIXES = (
     "test_ext_scale_fastpath_backends",
     "test_ext_scale_fastpath_speedup_10k",
     "test_ext_par_",
     "test_ext_svc_",
+    "test_ext_var_",
 )
 EXTRA_ROW_KEYS = (
     "workers",
@@ -62,6 +68,8 @@ EXTRA_ROW_KEYS = (
     "auto_backend",
     "pure_seconds",
     "mean_batch",
+    "variant",
+    "loss_rate",
 )
 
 
@@ -127,6 +135,10 @@ def trim(raw: dict) -> list:
                 row["speedup_vs_serial"] = info["speedup"]
             elif name.startswith("test_ext_svc_"):
                 row["speedup_vs_sequential"] = info["speedup"]
+            elif name.startswith("test_ext_var_") and "parallel" in name:
+                # The variant pool row measures against the serial
+                # fast-path survey, not the reference engine.
+                row["speedup_vs_serial"] = info["speedup"]
             else:
                 row["speedup_vs_reference"] = info["speedup"]
         for key in EXTRA_ROW_KEYS:

@@ -41,7 +41,13 @@ Entry points:
   initial-conditions census);
 * :func:`probe_termination_rounds` / :func:`routed_backend` -- cheap
   double-cover rounds probes that make backend selection rounds-aware
-  (the service layer routes long floods to the oracle through these).
+  (bare ``sweep(backend=None)`` and the service layer route long
+  floods to the oracle through these);
+* :class:`VariantSpec` (:func:`thinning` / :func:`bernoulli_loss` /
+  :func:`k_memory`) and :func:`variant_survey` -- arc-mask steppers for
+  the stochastic/memory variants with counter-based per-(run, round)
+  randomness, pluggable into ``sweep``/``parallel_sweep``/the service
+  via ``variant=`` (:mod:`repro.fastpath.variants`).
 """
 
 from repro.fastpath.engine import (
@@ -52,6 +58,7 @@ from repro.fastpath.engine import (
     available_backends,
     configuration_of_mask,
     evolve_arc_mask,
+    routed_sweep_backend,
     select_backend,
     simulate_indexed,
     step_arc_mask,
@@ -64,6 +71,15 @@ from repro.fastpath.probe import (
     probe_termination_rounds,
     routed_backend,
 )
+from repro.fastpath.variants import (
+    VariantSpec,
+    VariantSummary,
+    bernoulli_loss,
+    k_memory,
+    thinning,
+    variant_backend,
+    variant_survey,
+)
 
 __all__ = [
     "NUMPY_ARC_THRESHOLD",
@@ -71,15 +87,23 @@ __all__ = [
     "ORACLE_ROUND_THRESHOLD",
     "IndexedGraph",
     "IndexedRun",
+    "VariantSpec",
+    "VariantSummary",
     "arc_mask_of",
     "available_backends",
+    "bernoulli_loss",
     "configuration_of_mask",
     "evolve_arc_mask",
     "expected_rounds",
+    "k_memory",
     "probe_termination_rounds",
     "routed_backend",
+    "routed_sweep_backend",
     "select_backend",
     "simulate_indexed",
     "step_arc_mask",
     "sweep",
+    "thinning",
+    "variant_backend",
+    "variant_survey",
 ]

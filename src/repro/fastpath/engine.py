@@ -45,6 +45,7 @@ from typing import (
 from repro.errors import ConfigurationError, NonTerminationError
 from repro.fastpath import numpy_backend, oracle_backend, pure_backend
 from repro.fastpath.indexed import IndexedGraph
+from repro.fastpath.variants import VariantSpec, run_variant, variant_backend
 from repro.graphs.graph import Graph, Node
 from repro.sync.engine import default_round_budget
 
@@ -129,10 +130,36 @@ class IndexedRun:
     round_edge_counts: List[int]
     sender_ids: Optional[List[List[int]]] = None
     receive_rounds_by_id: Optional[List[List[int]]] = None
+    variant: Optional[VariantSpec] = None
+    reached_count: Optional[int] = None
 
     @property
     def graph(self) -> Graph:
         return self.index.graph
+
+    def coverage(self, component_size: int) -> float:
+        """Fraction of a component of ``component_size`` nodes reached.
+
+        Available on variant runs (their steppers count reached nodes
+        for free) and on any run collected with
+        ``collect_receives=True``.
+        """
+        if component_size <= 0:
+            return 1.0
+        reached = self.reached_count
+        if reached is None:
+            if self.receive_rounds_by_id is None:
+                raise ConfigurationError(
+                    "reached nodes were not collected for this run "
+                    "(pass collect_receives=True or run a variant)"
+                )
+            source_ids = {self.index.ids[label] for label in self.sources}
+            reached = sum(
+                1
+                for node_id, rounds in enumerate(self.receive_rounds_by_id)
+                if rounds or node_id in source_ids
+            )
+        return reached / component_size
 
     def sender_sets(self) -> List[FrozenSet[Node]]:
         """Per round, the frozenset of sending node labels."""
@@ -175,7 +202,19 @@ def _dispatch(
     backend: str,
     collect_senders: bool,
     collect_receives: bool,
+    variant: Optional[VariantSpec] = None,
+    run_key: int = 0,
 ) -> pure_backend.RawRun:
+    if variant is not None:
+        return run_variant(
+            index,
+            source_ids,
+            budget,
+            variant,
+            run_key,
+            collect_senders=collect_senders,
+            collect_receives=collect_receives,
+        )
     if backend == NUMPY:
         runner = numpy_backend.run
     elif backend == ORACLE:
@@ -196,15 +235,19 @@ def wrap_raw_run(
     source_ids: Sequence[int],
     backend: str,
     raw: pure_backend.RawRun,
+    variant: Optional[VariantSpec] = None,
 ) -> IndexedRun:
     """Build an :class:`IndexedRun` from a backend's raw statistics tuple.
 
     The single place the ``RawRun`` shape is interpreted: the serial
     entry points below and the worker pool's result rehydration
     (:mod:`repro.parallel.pool`) all construct results here, so serial
-    and sharded runs cannot drift apart field by field.
+    and sharded runs cannot drift apart field by field.  Variant
+    steppers append a reached-node count as a sixth element
+    (:data:`~repro.fastpath.variants.VariantRawRun`).
     """
-    terminated, round_counts, total, sender_ids, receives = raw
+    terminated, round_counts, total, sender_ids, receives = raw[:5]
+    reached = raw[5] if len(raw) > 5 else None
     return IndexedRun(
         index=index,
         sources=tuple(index.labels[source] for source in source_ids),
@@ -215,6 +258,8 @@ def wrap_raw_run(
         round_edge_counts=round_counts,
         sender_ids=sender_ids,
         receive_rounds_by_id=receives,
+        variant=variant,
+        reached_count=reached,
     )
 
 
@@ -227,24 +272,61 @@ def simulate_indexed(
     collect_senders: bool = True,
     collect_receives: bool = True,
     index: Optional[IndexedGraph] = None,
+    variant: Optional[VariantSpec] = None,
 ) -> IndexedRun:
     """Fast exact amnesiac flooding on the CSR index.
 
     Mirrors :func:`repro.core.amnesiac.simulate` (which delegates
     here), including validation errors and budget semantics; pass
     ``index`` to reuse a prebuilt :class:`IndexedGraph` across calls.
+    A ``variant`` spec runs the stochastic/memory stepper instead of
+    the deterministic process (as run 0 of its seed stream -- sweeps
+    give later positions to later runs).
     """
     if index is None:
         index = IndexedGraph.of(graph)
     source_ids = index.resolve_sources(sources)
     budget = _resolve_budget(graph, max_rounds)
-    chosen = select_backend(index, backend)
+    if variant is not None:
+        chosen = variant_backend(index, backend, variant)
+    else:
+        chosen = select_backend(index, backend)
     raw = _dispatch(
-        index, source_ids, budget, chosen, collect_senders, collect_receives
+        index,
+        source_ids,
+        budget,
+        chosen,
+        collect_senders,
+        collect_receives,
+        variant,
+        variant.run_key(0) if variant is not None else 0,
     )
     if not raw[0] and raise_on_budget:
         raise NonTerminationError(budget)
-    return wrap_raw_run(index, source_ids, chosen, raw)
+    return wrap_raw_run(index, source_ids, chosen, raw, variant)
+
+
+def routed_sweep_backend(
+    index: IndexedGraph,
+    backend: Optional[str],
+    budget: int,
+    probe: bool = True,
+) -> str:
+    """Backend resolution for batch sweeps: probe-aware by default.
+
+    ``backend=None`` consults the graph's double-cover rounds probe
+    (:mod:`repro.fastpath.probe`) exactly like the service router: long
+    expected floods (>= ``ORACLE_ROUND_THRESHOLD`` executed rounds,
+    budget-clamped) go to the O(n + m) oracle, everything else to the
+    frontier auto-selection.  The probe costs a few cover-BFS passes,
+    hoisted once per batch.  ``probe=False`` opts out and restores the
+    plain frontier auto-selection; explicit backends always win.
+    """
+    if backend is not None or not probe:
+        return select_backend(index, backend)
+    from repro.fastpath.probe import probe_termination_rounds, routed_backend
+
+    return routed_backend(index, probe_termination_rounds(index), budget)
 
 
 def sweep(
@@ -254,6 +336,8 @@ def sweep(
     backend: Optional[str] = None,
     collect_senders: bool = False,
     collect_receives: bool = False,
+    variant: Optional[VariantSpec] = None,
+    probe: bool = True,
 ) -> List[IndexedRun]:
     """Run many floods over one graph, indexing it exactly once.
 
@@ -274,7 +358,18 @@ def sweep(
     double-cover oracle answers termination rounds and message counts
     in O(n + m) per source set, independent of flood length, and is
     held bit-for-bit equal to the frontier engines by the equivalence
-    matrix.
+    matrix.  ``backend=None`` is *probe-aware*: a cheap rounds probe
+    (computed once per batch) routes unambiguously round-heavy
+    topologies to the oracle automatically, the same rule the service
+    router applies -- pass ``probe=False`` to opt out and keep the
+    plain frontier auto-selection.
+
+    A ``variant`` spec (:mod:`repro.fastpath.variants`) runs every
+    source set through the stochastic/memory stepper instead: run
+    ``i`` of the batch draws from the counter-based stream
+    ``derive_key(variant.seed, i)``, so results are bit-identical to
+    any resharding of the same batch (``parallel_sweep`` relies on
+    this) and never route to the oracle.
 
     >>> from repro.fastpath import sweep
     >>> from repro.graphs import cycle_graph
@@ -287,14 +382,24 @@ def sweep(
     """
     index = IndexedGraph.of(graph)
     budget = _resolve_budget(graph, max_rounds)
-    chosen = select_backend(index, backend)
+    if variant is not None:
+        chosen = variant_backend(index, backend, variant)
+    else:
+        chosen = routed_sweep_backend(index, backend, budget, probe)
     runs: List[IndexedRun] = []
-    for sources in source_sets:
+    for position, sources in enumerate(source_sets):
         source_ids = index.resolve_sources(sources)
         raw = _dispatch(
-            index, source_ids, budget, chosen, collect_senders, collect_receives
+            index,
+            source_ids,
+            budget,
+            chosen,
+            collect_senders,
+            collect_receives,
+            variant,
+            variant.run_key(position) if variant is not None else 0,
         )
-        runs.append(wrap_raw_run(index, source_ids, chosen, raw))
+        runs.append(wrap_raw_run(index, source_ids, chosen, raw, variant))
     return runs
 
 

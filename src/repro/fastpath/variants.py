@@ -1,0 +1,497 @@
+"""Arc-mask steppers for the stochastic and memory variants.
+
+The flooding variants of :mod:`repro.variants` (probabilistic thinning,
+Bernoulli message loss, ``k``-memory windows) were the last major
+workload still running on the set-based reference stepper.  This module
+ports the hot ones onto the CSR index and the per-node bitmask frontier
+of :mod:`repro.fastpath.pure_backend`, so Monte-Carlo surveys --
+hundreds of seeded trials per parameter point, exactly the batch shape
+:mod:`repro.parallel` shards -- run at fast-path cost.
+
+Randomness
+----------
+Stochastic steppers draw nothing sequentially.  Every keep/drop
+decision is a counter-based hash of its coordinates (:mod:`repro.rng`):
+
+    ``survive(arc) = slot_draw(round_key(run_key, round), slot) < p``
+
+with ``run_key = derive_key(spec.seed, run_index)``.  The consequences
+are the contract of this module:
+
+* a run's outcome depends only on ``(spec.seed, run_index)`` -- not on
+  execution order, worker count, chunk size, or batch composition;
+* the set-based reference implementations in :mod:`repro.variants`
+  consume the *same* coordinates through the same functions, so the
+  equivalence matrix (``tests/variants/test_fastpath_equivalence.py``)
+  holds fast and reference runs bit-for-bit equal per variant.
+
+Backends
+--------
+Variant runs execute only on the pure arc-mask stepper.  The numpy
+frontier kernel and the double-cover oracle model the *deterministic*
+process: the oracle in particular is a prediction of amnesiac
+flooding's unique execution, which a stochastic run is not, so variant
+requests never route to it -- ``backend="oracle"`` with a variant is a
+:class:`~repro.errors.ConfigurationError`, and automatic selection
+(:func:`variant_backend`) always resolves to ``"pure"``.
+
+Entry points
+------------
+:class:`VariantSpec` (build with :func:`thinning`,
+:func:`bernoulli_loss`, :func:`k_memory`) plugs into
+``fastpath.sweep(..., variant=spec)``, ``parallel_sweep``,
+``SweepPool.sweep`` and ``FloodService.query``;
+:func:`variant_survey` is the Monte-Carlo aggregation over a trial
+batch.  :func:`run_variant` is the raw per-run dispatch the engine and
+the worker pool call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fastpath.indexed import IndexedGraph
+from repro.fastpath.pure_backend import _decode
+from repro.graphs.graph import Graph, Node
+from repro.rng import derive_key, round_key, slot_draw, survival_threshold
+
+THINNING = "thinning"
+LOSS = "loss"
+KMEMORY = "kmemory"
+
+VARIANT_KINDS = (THINNING, LOSS, KMEMORY)
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - Python 3.9
+
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
+
+VariantRawRun = Tuple[
+    bool,  # terminated within budget
+    List[int],  # per-round message counts (round 1 first)
+    int,  # total messages
+    Optional[List[List[int]]],  # per-round sender ids (None when not collected)
+    Optional[List[List[int]]],  # per-node-id ascending receive rounds
+    int,  # nodes that ever held the message (sources included)
+]
+"""The :data:`~repro.fastpath.pure_backend.RawRun` tuple plus a trailing
+reached-node count (coverage is a headline variant statistic and too
+cheap to recompute from full receive collection)."""
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One variant of the flooding process, as a picklable value.
+
+    ``kind`` selects the stepper; ``probability`` is the per-message
+    *survival* probability of the stochastic kinds (``thinning`` and
+    ``loss`` share dynamics -- a dropped forward and a lost message are
+    the same event in the synchronous model -- and differ only in how
+    callers parameterise them); ``k`` is the memory window of
+    ``kmemory``; ``seed`` owns the randomness (run ``i`` of a batch
+    draws from the stream ``derive_key(seed, i)``).
+
+    Frozen and hashable: specs ride in pool task tuples and service
+    micro-batch keys unchanged.  Build through :func:`thinning`,
+    :func:`bernoulli_loss` or :func:`k_memory`.
+    """
+
+    kind: str
+    probability: Optional[float] = None
+    k: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in VARIANT_KINDS:
+            raise ConfigurationError(
+                f"unknown variant kind {self.kind!r}; expected one of "
+                f"{VARIANT_KINDS}"
+            )
+        if self.kind == KMEMORY:
+            if self.k is None or self.k < 0:
+                raise ConfigurationError("kmemory requires k >= 0")
+            if self.probability is not None:
+                raise ConfigurationError("kmemory takes no probability")
+        else:
+            if self.probability is None or not 0.0 <= self.probability <= 1.0:
+                raise ConfigurationError(
+                    f"{self.kind} requires a survival probability in [0, 1]"
+                )
+            if self.k is not None:
+                raise ConfigurationError(f"{self.kind} takes no k")
+
+    @property
+    def stochastic(self) -> bool:
+        """Whether runs of this variant consume randomness."""
+        return self.kind != KMEMORY
+
+    def run_key(self, run_index: int) -> int:
+        """The RNG stream key owned by run ``run_index`` of this spec."""
+        return derive_key(self.seed, run_index)
+
+
+def thinning(forward_probability: float, seed: int = 0) -> VariantSpec:
+    """Probabilistic amnesiac flooding: forward each copy w.p. ``q``."""
+    return VariantSpec(THINNING, probability=forward_probability, seed=seed)
+
+
+def bernoulli_loss(loss_rate: float, seed: int = 0) -> VariantSpec:
+    """Amnesiac flooding where each message is lost w.p. ``loss_rate``."""
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ConfigurationError("loss_rate must be within [0, 1]")
+    return VariantSpec(LOSS, probability=1.0 - loss_rate, seed=seed)
+
+
+def k_memory(k: int) -> VariantSpec:
+    """``k``-round memory windows (``k = 1`` is amnesiac flooding)."""
+    return VariantSpec(KMEMORY, k=k)
+
+
+def variant_backend(
+    index: IndexedGraph, backend: Optional[str], spec: VariantSpec
+) -> str:
+    """Resolve the backend for a variant run: the pure stepper, always.
+
+    Mirrors :func:`repro.fastpath.select_backend` for the variant
+    lanes.  ``None`` auto-selects ``"pure"``; naming any other backend
+    raises -- in particular the oracle, which predicts the
+    deterministic process and therefore can never stand in for a
+    stochastic (or non-amnesiac) execution.
+    """
+    if backend is None or backend == "pure":
+        return "pure"
+    if backend == "oracle":
+        raise ConfigurationError(
+            f"the double-cover oracle predicts the deterministic process; "
+            f"{spec.kind!r} variant runs never route to it"
+        )
+    if backend == "numpy":
+        raise ConfigurationError(
+            f"the numpy kernel runs only the deterministic process; "
+            f"{spec.kind!r} variant runs use backend='pure'"
+        )
+    raise ConfigurationError(
+        f"unknown fastpath backend {backend!r} for variant {spec.kind!r}; "
+        f"expected 'pure' or None"
+    )
+
+
+def run_variant(
+    index: IndexedGraph,
+    source_ids: Sequence[int],
+    budget: int,
+    spec: VariantSpec,
+    run_key: int,
+    collect_senders: bool = False,
+    collect_receives: bool = False,
+) -> VariantRawRun:
+    """One variant flood on the arc-mask stepper; raw statistics tuple.
+
+    ``run_key`` is the already-derived RNG stream key
+    (:meth:`VariantSpec.run_key`); it is threaded explicitly so sharded
+    callers can key runs by their *global* batch position.  Ignored by
+    the deterministic ``kmemory`` stepper.
+    """
+    if spec.kind == KMEMORY:
+        return _run_kmemory(
+            index, source_ids, budget, spec.k, collect_senders, collect_receives
+        )
+    return _run_stochastic(
+        index,
+        source_ids,
+        budget,
+        spec.probability,
+        run_key,
+        collect_senders,
+        collect_receives,
+    )
+
+
+def _run_stochastic(
+    index: IndexedGraph,
+    source_ids: Sequence[int],
+    budget: int,
+    probability: float,
+    run_key: int,
+    collect_senders: bool,
+    collect_receives: bool,
+) -> VariantRawRun:
+    """Survival-thinned amnesiac flooding (thinning and loss variants).
+
+    The loop is :func:`repro.fastpath.pure_backend.run` with one
+    insertion: every send-mask is thinned through the counter-based
+    draws before it enters the frontier, so the arcs that exist in
+    round ``r`` are exactly the messages *delivered* in round ``r``
+    (the complement rule and the statistics then see only survivors,
+    matching the reference fault model).
+    """
+    full_masks = index.full_masks
+    offsets = index.offsets
+    n = index.n
+    threshold = survival_threshold(probability)
+
+    masks = [0] * n
+    heard = [0] * n
+    reached = bytearray(n)
+    reached_count = len(source_ids)
+    for source in source_ids:
+        reached[source] = 1
+
+    active: List[int] = []
+    rkey = round_key(run_key, 1)
+    for source in source_ids:
+        thinned = _thin_mask(offsets[source], full_masks[source], rkey, threshold)
+        if thinned:
+            masks[source] = thinned
+            active.append(source)
+
+    round_counts: List[int] = []
+    sender_rounds: Optional[List[List[int]]] = [] if collect_senders else None
+    receives: Optional[List[List[int]]] = (
+        [[] for _ in range(n)] if collect_receives else None
+    )
+    total = 0
+    terminated = True
+    round_number = 1
+
+    while active:
+        if round_number > budget:
+            terminated = False
+            break
+        count = 0
+        touched: List[int] = []
+        touch = touched.append
+        for sender in active:
+            mask = masks[sender]
+            masks[sender] = 0
+            count += _popcount(mask)
+            for receiver, rbit in _decode(index, sender, mask):
+                if not heard[receiver]:
+                    touch(receiver)
+                    if not reached[receiver]:
+                        reached[receiver] = 1
+                        reached_count += 1
+                    if receives is not None:
+                        receives[receiver].append(round_number)
+                heard[receiver] = heard[receiver] | rbit
+        round_counts.append(count)
+        total += count
+        if sender_rounds is not None:
+            sender_rounds.append(sorted(active))
+        rkey = round_key(run_key, round_number + 1)
+        next_active: List[int] = []
+        for receiver in touched:
+            send = full_masks[receiver] & ~heard[receiver]
+            heard[receiver] = 0
+            if send:
+                send = _thin_mask(offsets[receiver], send, rkey, threshold)
+                if send:
+                    masks[receiver] = send
+                    next_active.append(receiver)
+        active = next_active
+        round_number += 1
+
+    return (
+        terminated,
+        round_counts,
+        total,
+        sender_rounds,
+        receives,
+        reached_count,
+    )
+
+
+def _thin_mask(base: int, mask: int, rkey: int, threshold: int) -> int:
+    """Keep each set bit (arc ``base + position``) independently.
+
+    Iterates low-to-high, but the kept set is order-free: each arc's
+    draw is a pure function of its slot and the round key.
+    """
+    kept = 0
+    position = 0
+    while mask:
+        if mask & 1 and slot_draw(rkey, base + position) < threshold:
+            kept |= 1 << position
+        mask >>= 1
+        position += 1
+    return kept
+
+
+def _run_kmemory(
+    index: IndexedGraph,
+    source_ids: Sequence[int],
+    budget: int,
+    k: int,
+    collect_senders: bool,
+    collect_receives: bool,
+) -> VariantRawRun:
+    """``k``-memory flooding on per-node heard-mask windows.
+
+    A receiver's next send-mask is the complement of the *union* of its
+    heard-masks over the last ``k`` rounds (``k = 1`` keeps only the
+    current round -- amnesiac flooding, bit-identical to the pure
+    backend; ``k = 0`` forgets even that and ping-pongs until the
+    budget cuts it off).  Windows live in a sparse dict keyed by node
+    id -- only nodes with history in range pay for it.
+    """
+    full_masks = index.full_masks
+    n = index.n
+
+    masks = [0] * n
+    heard = [0] * n
+    windows: Dict[int, List[Tuple[int, int]]] = {}
+    reached = bytearray(n)
+    reached_count = len(source_ids)
+
+    active: List[int] = []
+    for source in source_ids:
+        reached[source] = 1
+        if full_masks[source]:
+            masks[source] = full_masks[source]
+            active.append(source)
+
+    round_counts: List[int] = []
+    sender_rounds: Optional[List[List[int]]] = [] if collect_senders else None
+    receives: Optional[List[List[int]]] = (
+        [[] for _ in range(n)] if collect_receives else None
+    )
+    total = 0
+    terminated = True
+    round_number = 1
+
+    while active:
+        if round_number > budget:
+            terminated = False
+            break
+        count = 0
+        touched: List[int] = []
+        touch = touched.append
+        for sender in active:
+            mask = masks[sender]
+            masks[sender] = 0
+            count += _popcount(mask)
+            for receiver, rbit in _decode(index, sender, mask):
+                if not heard[receiver]:
+                    touch(receiver)
+                    if not reached[receiver]:
+                        reached[receiver] = 1
+                        reached_count += 1
+                    if receives is not None:
+                        receives[receiver].append(round_number)
+                heard[receiver] = heard[receiver] | rbit
+        round_counts.append(count)
+        total += count
+        if sender_rounds is not None:
+            sender_rounds.append(sorted(active))
+        next_active: List[int] = []
+        for receiver in touched:
+            heard_mask = heard[receiver]
+            heard[receiver] = 0
+            if k == 0:
+                avoid = 0
+            elif k == 1:
+                avoid = heard_mask
+            else:
+                window = windows.setdefault(receiver, [])
+                window.append((round_number, heard_mask))
+                cutoff = round_number - k
+                while window and window[0][0] <= cutoff:
+                    window.pop(0)
+                avoid = 0
+                for _, remembered in window:
+                    avoid |= remembered
+            send = full_masks[receiver] & ~avoid
+            if send:
+                masks[receiver] = send
+                next_active.append(receiver)
+        active = next_active
+        round_number += 1
+
+    return (
+        terminated,
+        round_counts,
+        total,
+        sender_rounds,
+        receives,
+        reached_count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo aggregation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VariantSummary:
+    """Aggregate of a seeded trial batch of one variant.
+
+    Field semantics follow the reference surveys
+    (:class:`repro.variants.lossy.LossySummary`): rates and means are
+    over *all* trials, terminated or not; ``coverage`` is the mean
+    fraction of the source's component that ever held the message.
+    """
+
+    variant: VariantSpec
+    trials: int
+    termination_rate: float
+    mean_rounds: float
+    mean_messages: float
+    coverage: float
+
+
+def variant_survey(
+    graph: Graph,
+    source: Node,
+    variant: VariantSpec,
+    trials: int,
+    max_rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> VariantSummary:
+    """Monte-Carlo summary of a variant from one source, on the fast path.
+
+    Trial ``i`` draws from the stream ``derive_key(variant.seed, i)``,
+    so the summary is bit-identical for every ``workers`` /
+    ``chunksize`` choice (the pool shards the batch; the keys do not
+    move) and matches the counter-seeded reference surveys trial for
+    trial.  ``workers=None`` auto-sizes exactly like
+    :func:`repro.parallel.parallel_sweep`.
+    """
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    from repro.graphs.traversal import bfs_distances
+    from repro.parallel import parallel_sweep
+
+    component = len(bfs_distances(graph, source))
+    runs = parallel_sweep(
+        graph,
+        [[source]] * trials,
+        max_rounds=max_rounds,
+        variant=variant,
+        workers=workers,
+        chunksize=chunksize,
+    )
+    terminated = 0
+    rounds_total = 0
+    messages_total = 0
+    coverage_total = 0.0
+    for run in runs:
+        if run.terminated:
+            terminated += 1
+        rounds_total += run.termination_round
+        messages_total += run.total_messages
+        coverage_total += run.reached_count / component
+    return VariantSummary(
+        variant=variant,
+        trials=trials,
+        termination_rate=terminated / trials,
+        mean_rounds=rounds_total / trials,
+        mean_messages=messages_total / trials,
+        coverage=coverage_total / trials,
+    )

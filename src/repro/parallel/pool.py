@@ -64,11 +64,13 @@ from repro.fastpath.engine import (
     IndexedRun,
     _dispatch,
     _resolve_budget,
+    routed_sweep_backend,
     select_backend,
     wrap_raw_run,
 )
 from repro.fastpath.indexed import IndexedGraph
 from repro.fastpath.pure_backend import RawRun
+from repro.fastpath.variants import VariantSpec, variant_backend
 from repro.graphs.graph import Graph, Node
 
 MIN_PARALLEL_BATCH = 32
@@ -83,7 +85,16 @@ they get one).
 MAX_CHUNK = 64
 """Upper bound on the chunk heuristic, to keep results streaming."""
 
-_Task = Tuple[int, List[List[int]], int, str, bool, bool]
+_Task = Tuple[
+    int,
+    List[List[int]],
+    int,
+    str,
+    bool,
+    bool,
+    Optional[VariantSpec],
+    Optional[List[int]],
+]
 _TaskResult = Tuple[int, List[RawRun]]
 
 # Per-worker state, populated exactly once by _init_worker.  Plain
@@ -132,11 +143,29 @@ def _init_worker(payload: bytes) -> None:
 
 def _run_chunk(task: _Task) -> _TaskResult:
     """Worker body: run one chunk of source-id lists on the local index."""
-    position, id_lists, budget, backend, collect_senders, collect_receives = task
+    (
+        position,
+        id_lists,
+        budget,
+        backend,
+        collect_senders,
+        collect_receives,
+        variant,
+        run_keys,
+    ) = task
     index = _WORKER_INDEX
     results = [
-        _dispatch(index, ids, budget, backend, collect_senders, collect_receives)
-        for ids in id_lists
+        _dispatch(
+            index,
+            ids,
+            budget,
+            backend,
+            collect_senders,
+            collect_receives,
+            variant,
+            run_keys[offset] if run_keys is not None else 0,
+        )
+        for offset, ids in enumerate(id_lists)
     ]
     return position, results
 
@@ -146,6 +175,7 @@ def _wrap_runs(
     id_lists: Sequence[List[int]],
     raw_runs: Iterable[RawRun],
     backend: str,
+    variant: Optional[VariantSpec] = None,
 ) -> List[IndexedRun]:
     """Rehydrate raw statistic tuples into IndexedRuns on the parent index.
 
@@ -153,9 +183,24 @@ def _wrap_runs(
     constructed by exactly the same code as serial ones.
     """
     return [
-        wrap_raw_run(index, ids, backend, raw)
+        wrap_raw_run(index, ids, backend, raw, variant)
         for ids, raw in zip(id_lists, raw_runs)
     ]
+
+
+def _variant_run_keys(
+    variant: Optional[VariantSpec], count: int
+) -> Optional[List[int]]:
+    """Per-run RNG stream keys for a batch: key ``i`` belongs to run ``i``.
+
+    Keys are derived from the batch *position*, before any sharding, so
+    chunking and worker scheduling cannot move a run onto a different
+    stream -- the root of the cross-worker determinism guarantee for
+    stochastic variants.  ``None`` for deterministic work.
+    """
+    if variant is None:
+        return None
+    return [variant.run_key(position) for position in range(count)]
 
 
 class SweepPool:
@@ -178,6 +223,7 @@ class SweepPool:
     ) -> None:
         self.graph = graph
         self.index = IndexedGraph.of(graph)
+        self._probe_rounds: Optional[Tuple[int, ...]] = None
         self.workers = worker_count(workers)
         if start_method is None and sys.platform == "linux":
             # fork is the cheapest way to stand workers up, but it is
@@ -204,20 +250,32 @@ class SweepPool:
         chunksize: Optional[int] = None,
         collect_senders: bool = False,
         collect_receives: bool = False,
+        variant: Optional[VariantSpec] = None,
+        probe: bool = True,
     ) -> List[IndexedRun]:
         """Run one batch across the pool; results in input order.
 
         Same signature and semantics as :func:`repro.fastpath.sweep`
         (validation, budget resolution and backend selection all happen
-        in the parent, so errors surface before any work is dispatched).
+        in the parent, so errors surface before any work is
+        dispatched), including the probe-aware ``backend=None`` routing
+        and the ``variant`` stepper lane with its per-position seed
+        streams.
         """
         id_lists = [
             self.index.resolve_sources(sources) for sources in source_sets
         ]
         budget = _resolve_budget(self.graph, max_rounds)
-        chosen = select_backend(self.index, backend)
+        chosen = self._resolve_backend(backend, budget, variant, probe)
         return self._sweep_ids(
-            id_lists, budget, chosen, chunksize, collect_senders, collect_receives
+            id_lists,
+            budget,
+            chosen,
+            chunksize,
+            collect_senders,
+            collect_receives,
+            variant,
+            _variant_run_keys(variant, len(id_lists)),
         )
 
     def sweep_async(
@@ -228,6 +286,8 @@ class SweepPool:
         chunksize: Optional[int] = None,
         collect_senders: bool = False,
         collect_receives: bool = False,
+        variant: Optional[VariantSpec] = None,
+        probe: bool = True,
     ) -> "Future[List[IndexedRun]]":
         """Submit one batch without blocking; returns a future of the runs.
 
@@ -245,10 +305,41 @@ class SweepPool:
             self.index.resolve_sources(sources) for sources in source_sets
         ]
         budget = _resolve_budget(self.graph, max_rounds)
-        chosen = select_backend(self.index, backend)
+        chosen = self._resolve_backend(backend, budget, variant, probe)
         return self.submit_ids(
-            id_lists, budget, chosen, chunksize, collect_senders, collect_receives
+            id_lists,
+            budget,
+            chosen,
+            chunksize,
+            collect_senders,
+            collect_receives,
+            variant,
+            _variant_run_keys(variant, len(id_lists)),
         )
+
+    def _resolve_backend(
+        self,
+        backend: Optional[str],
+        budget: int,
+        variant: Optional[VariantSpec],
+        probe: bool,
+    ) -> str:
+        """The same backend rules as the serial sweep, on the pool index.
+
+        The rounds probe is cached on the pool: the index is frozen for
+        the pool's lifetime, and a warm pool serving many small batches
+        (its whole reason to exist) must not pay O(samples * (n + m))
+        cover-BFS per batch.
+        """
+        if variant is not None:
+            return variant_backend(self.index, backend, variant)
+        if backend is not None or not probe:
+            return select_backend(self.index, backend)
+        from repro.fastpath.probe import probe_termination_rounds, routed_backend
+
+        if self._probe_rounds is None:
+            self._probe_rounds = probe_termination_rounds(self.index)
+        return routed_backend(self.index, self._probe_rounds, budget)
 
     def submit_ids(
         self,
@@ -258,14 +349,18 @@ class SweepPool:
         chunksize: Optional[int] = None,
         collect_senders: bool = False,
         collect_receives: bool = False,
+        variant: Optional[VariantSpec] = None,
+        run_keys: Optional[Sequence[int]] = None,
     ) -> "Future[List[IndexedRun]]":
         """Submit already-resolved id lists; the async post-validation core.
 
         Used by the service layer, which resolves and validates sources
-        itself so it can batch requests in id space.  The returned
-        future resolves to the same (ordered, parent-index-wrapped)
-        runs the blocking path produces; a worker failure resolves it
-        exceptionally instead.
+        itself so it can batch requests in id space.  For variant work
+        the caller supplies one RNG stream key per id list (the service
+        derives them per *request*, so coalescing cannot move a query
+        onto a different stream).  The returned future resolves to the
+        same (ordered, parent-index-wrapped) runs the blocking path
+        produces; a worker failure resolves it exceptionally instead.
         """
         future: "Future[List[IndexedRun]]" = Future()
         future.set_running_or_notify_cancel()
@@ -273,7 +368,14 @@ class SweepPool:
             future.set_result([])
             return future
         tasks = self._make_tasks(
-            id_lists, budget, backend, chunksize, collect_senders, collect_receives
+            id_lists,
+            budget,
+            backend,
+            chunksize,
+            collect_senders,
+            collect_receives,
+            variant,
+            run_keys,
         )
 
         def on_done(ordered: List[_TaskResult]) -> None:
@@ -282,7 +384,7 @@ class SweepPool:
             try:
                 raw_runs = [raw for _, chunk in ordered for raw in chunk]
                 future.set_result(
-                    _wrap_runs(self.index, id_lists, raw_runs, backend)
+                    _wrap_runs(self.index, id_lists, raw_runs, backend, variant)
                 )
             except BaseException as exc:  # pragma: no cover - defensive
                 future.set_exception(exc)
@@ -301,12 +403,28 @@ class SweepPool:
         chunksize: Optional[int],
         collect_senders: bool,
         collect_receives: bool,
+        variant: Optional[VariantSpec] = None,
+        run_keys: Optional[Sequence[int]] = None,
     ) -> List[_Task]:
-        """Shard id lists into positioned chunk tasks (shared by both paths)."""
+        """Shard id lists into positioned chunk tasks (shared by both paths).
+
+        ``run_keys`` is sliced with the same offsets as ``id_lists``: a
+        run carries its stream key with it into whichever chunk and
+        worker it lands on.  Variant work with no explicit keys gets
+        the default position-keyed derivation, so a caller reaching
+        this layer directly can never silently run every trial on one
+        stream.
+        """
         if chunksize is None:
             chunksize = default_chunksize(len(id_lists), self.workers)
         elif chunksize < 1:
             raise ConfigurationError("chunksize must be >= 1")
+        if run_keys is None:
+            run_keys = _variant_run_keys(variant, len(id_lists))
+        if run_keys is not None and len(run_keys) != len(id_lists):
+            raise ConfigurationError(
+                "run_keys must align one-to-one with id_lists"
+            )
         return [
             (
                 start,
@@ -315,6 +433,12 @@ class SweepPool:
                 backend,
                 collect_senders,
                 collect_receives,
+                variant,
+                (
+                    list(run_keys[start : start + chunksize])
+                    if run_keys is not None
+                    else None
+                ),
             )
             for start in range(0, len(id_lists), chunksize)
         ]
@@ -327,12 +451,21 @@ class SweepPool:
         chunksize: Optional[int],
         collect_senders: bool,
         collect_receives: bool,
+        variant: Optional[VariantSpec] = None,
+        run_keys: Optional[Sequence[int]] = None,
     ) -> List[IndexedRun]:
         """Dispatch already-resolved id lists (the post-validation core)."""
         if not id_lists:
             return []
         tasks = self._make_tasks(
-            id_lists, budget, backend, chunksize, collect_senders, collect_receives
+            id_lists,
+            budget,
+            backend,
+            chunksize,
+            collect_senders,
+            collect_receives,
+            variant,
+            run_keys,
         )
         raw_runs: List[RawRun] = []
         # Ordered imap: chunks stream back in submission order even
@@ -341,7 +474,7 @@ class SweepPool:
         for position, chunk_results in self._pool.imap(_run_chunk, tasks):
             assert position == len(raw_runs), "chunk streamed out of order"
             raw_runs.extend(chunk_results)
-        return _wrap_runs(self.index, id_lists, raw_runs, backend)
+        return _wrap_runs(self.index, id_lists, raw_runs, backend, variant)
 
     # ------------------------------------------------------------------
 
@@ -375,18 +508,34 @@ def serial_sweep_ids(
     backend: str,
     collect_senders: bool = False,
     collect_receives: bool = False,
+    variant: Optional[VariantSpec] = None,
+    run_keys: Optional[Sequence[int]] = None,
 ) -> List[IndexedRun]:
     """The in-process fallback: same loop the pool runs, no processes.
 
     Public because the service layer's serial mode (``workers=0`` on a
     single-core box) executes batches through exactly this function --
-    one code path, one determinism contract, pool or no pool.
+    one code path, one determinism contract, pool or no pool.  Variant
+    work with ``run_keys=None`` defaults to the position-keyed
+    derivation (run ``i`` on stream ``derive_key(variant.seed, i)``),
+    matching :func:`repro.fastpath.sweep`.
     """
+    if run_keys is None:
+        run_keys = _variant_run_keys(variant, len(id_lists))
     raw_runs = [
-        _dispatch(index, ids, budget, backend, collect_senders, collect_receives)
-        for ids in id_lists
+        _dispatch(
+            index,
+            ids,
+            budget,
+            backend,
+            collect_senders,
+            collect_receives,
+            variant,
+            run_keys[position] if run_keys is not None else 0,
+        )
+        for position, ids in enumerate(id_lists)
     ]
-    return _wrap_runs(index, id_lists, raw_runs, backend)
+    return _wrap_runs(index, id_lists, raw_runs, backend, variant)
 
 
 def parallel_sweep(
@@ -398,6 +547,8 @@ def parallel_sweep(
     chunksize: Optional[int] = None,
     collect_senders: bool = False,
     collect_receives: bool = False,
+    variant: Optional[VariantSpec] = None,
+    probe: bool = True,
 ) -> List[IndexedRun]:
     """Sharded drop-in for :func:`repro.fastpath.sweep`.
 
@@ -429,18 +580,36 @@ def parallel_sweep(
     index = IndexedGraph.of(graph)
     id_lists = [index.resolve_sources(sources) for sources in source_sets]
     budget = _resolve_budget(graph, max_rounds)
-    chosen = select_backend(index, backend)
+    if variant is not None:
+        chosen = variant_backend(index, backend, variant)
+    else:
+        chosen = routed_sweep_backend(index, backend, budget, probe)
     if chunksize is not None and chunksize < 1:
         raise ConfigurationError("chunksize must be >= 1")
+    run_keys = _variant_run_keys(variant, len(id_lists))
     resolved_workers = worker_count(workers)
     serial = workers is None and (
         resolved_workers <= 1 or len(id_lists) < MIN_PARALLEL_BATCH
     )
     if serial:
         return serial_sweep_ids(
-            index, id_lists, budget, chosen, collect_senders, collect_receives
+            index,
+            id_lists,
+            budget,
+            chosen,
+            collect_senders,
+            collect_receives,
+            variant,
+            run_keys,
         )
     with SweepPool(graph, workers=resolved_workers) as pool:
         return pool._sweep_ids(
-            id_lists, budget, chosen, chunksize, collect_senders, collect_receives
+            id_lists,
+            budget,
+            chosen,
+            chunksize,
+            collect_senders,
+            collect_receives,
+            variant,
+            run_keys,
         )

@@ -1,0 +1,114 @@
+"""Counter-based randomness for the stochastic variants.
+
+The reference variants originally drew their randomness from a
+sequential ``random.Random`` stream, which makes every outcome depend
+on *iteration order*: insert a trial, reshard a batch, or visit arcs in
+a different order and every later draw changes.  That is fatal for the
+fast path, whose contract is bit-identical results across backends,
+worker counts and chunk sizes.
+
+This module replaces the stream with a *counter-based* generator in the
+style of Philox/Threefry (see also JAX's ``random.fold_in``): a draw is
+a pure hash of *where it is used* --
+
+    ``uniform = hash(seed, run_index, round_number, arc_slot)``
+
+-- so any execution order, sharding, or batching produces the same
+value for the same coordinates.  The hash is the SplitMix64 finalizer
+(Steele, Lea & Flood 2014), whose avalanche behaviour is more than
+enough for Monte-Carlo thinning decisions, computed with plain Python
+int arithmetic (dependency-free, identical on every platform).
+
+Layout of a draw's coordinates:
+
+* :func:`derive_key` folds a user seed and any number of counter
+  indices (trial number, parameter position) into a 64-bit *stream
+  key*.  The same derivation is used by the surveys of
+  :mod:`repro.variants` and the arc-mask steppers of
+  :mod:`repro.fastpath.variants`, so the reference and the fast path
+  see the same randomness.
+* :func:`round_key` folds a round number into a stream key, once per
+  round.
+* :func:`slot_draw` hashes an arc slot against a round key -- the
+  per-message operation, one SplitMix64 finalize -- yielding a 53-bit
+  integer.  A message survives a thinning probability ``p`` iff its
+  draw is below :func:`survival_threshold` of ``p``; comparing in
+  integer space keeps the decision exact at ``p = 0.0`` (never) and
+  ``p = 1.0`` (always).
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+"""All arithmetic is modulo 2**64 (the SplitMix64 word size)."""
+
+GAMMA = 0x9E3779B97F4A7C15
+"""2**64 / golden ratio: the Weyl-sequence increment of SplitMix64."""
+
+_SEED_SALT = 0x5DEECE66D2B79F8B
+"""Mixed into raw seeds so ``seed=0`` is not the all-zero stream."""
+
+DRAW_BITS = 53
+"""Draws are 53-bit integers (exactly representable as floats)."""
+
+_DRAW_SPACE = 1 << DRAW_BITS
+
+
+def mix64(value: int) -> int:
+    """The SplitMix64 finalizer: a 64-bit avalanche hash."""
+    value &= MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+    return value ^ (value >> 31)
+
+
+def derive_key(seed: int, *indices: int) -> int:
+    """Fold a seed and counter indices into an independent stream key.
+
+    ``derive_key(seed, i)`` is the per-trial (or per-run) derivation:
+    trial ``i`` of a seeded experiment owns the stream
+    ``derive_key(seed, i)`` regardless of how many trials ran before
+    it, in what order, or in which worker process.  Extra indices nest
+    further coordinates (``derive_key(seed, rate_index, trial)``).
+    """
+    key = mix64((seed & MASK64) ^ _SEED_SALT)
+    for index in indices:
+        key = mix64(key ^ ((index & MASK64) * GAMMA) & MASK64)
+    return key
+
+
+def derive_keys(seed: int, count: int) -> list:
+    """The first ``count`` per-run keys of ``seed`` (positions 0..count-1)."""
+    return [derive_key(seed, index) for index in range(count)]
+
+
+def round_key(key: int, round_number: int) -> int:
+    """Fold a round number into a stream key (hoisted out of arc loops)."""
+    return mix64(key ^ ((round_number * GAMMA) & MASK64))
+
+
+def slot_draw(rkey: int, slot: int) -> int:
+    """The 53-bit draw for one arc slot under a round key.
+
+    One finalize per message -- the hot operation of the stochastic
+    steppers.  Distinct ``(key, round, slot)`` coordinates give
+    independent draws; the same coordinates always give the same draw.
+    """
+    return mix64(rkey ^ ((slot * GAMMA) & MASK64)) >> (64 - DRAW_BITS)
+
+
+def slot_uniform(rkey: int, slot: int) -> float:
+    """:func:`slot_draw` scaled to a float in ``[0, 1)``."""
+    return slot_draw(rkey, slot) * (1.0 / _DRAW_SPACE)
+
+
+def survival_threshold(probability: float) -> int:
+    """The integer cut-off for a survival probability.
+
+    A message survives iff ``slot_draw(...) < survival_threshold(p)``;
+    the endpoints are exact: ``p = 0.0`` keeps nothing and ``p = 1.0``
+    keeps everything (every 53-bit draw is below ``2**53``).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be within [0, 1]")
+    return round(probability * _DRAW_SPACE)

@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 from repro.fastpath.engine import select_backend
 from repro.fastpath.indexed import IndexedGraph
 from repro.fastpath.probe import probe_termination_rounds, routed_backend
+from repro.fastpath.variants import VariantSpec, variant_backend
 
 
 MAX_CACHED_PROBES = 64
@@ -84,9 +85,22 @@ class Router:
             self._probes.popitem(last=False)
 
     def resolve(
-        self, index: IndexedGraph, backend: Optional[str], budget: int
+        self,
+        index: IndexedGraph,
+        backend: Optional[str],
+        budget: int,
+        variant: Optional[VariantSpec] = None,
     ) -> str:
-        """Apply the routing rules; returns a concrete backend name."""
+        """Apply the routing rules; returns a concrete backend name.
+
+        Variant requests bypass the rounds probe entirely: a stochastic
+        (or non-amnesiac) run is not the process the double-cover
+        oracle predicts, so no expected-rounds estimate may ever route
+        one there -- they resolve to the pure arc-mask stepper (and an
+        explicit oracle/numpy request is a configuration error).
+        """
+        if variant is not None:
+            return variant_backend(index, backend, variant)
         if backend is not None:
             return select_backend(index, backend)
         return routed_backend(index, self.probe(index), budget)

@@ -50,6 +50,7 @@ from typing import (
 from repro.errors import ConfigurationError
 from repro.fastpath.engine import IndexedRun, _resolve_budget, select_backend
 from repro.fastpath.indexed import IndexedGraph
+from repro.fastpath.variants import VariantSpec, variant_backend
 from repro.graphs.graph import Graph, Node
 from repro.parallel.pool import SweepPool, serial_sweep_ids, worker_count
 from repro.service.batcher import MicroBatcher
@@ -176,10 +177,16 @@ class _AdmissionGate:
 
 @dataclass
 class _Request:
-    """One admitted query: resolved source ids and the caller's future."""
+    """One admitted query: resolved source ids and the caller's future.
+
+    ``run_key`` is the RNG stream key of variant queries, derived per
+    *request* (never from batch position) so micro-batch coalescing
+    cannot move a query onto a different stream.
+    """
 
     id_list: List[int]
     future: "asyncio.Future[IndexedRun]"
+    run_key: int = 0
 
 
 class _GraphEntry:
@@ -512,6 +519,7 @@ class FloodService:
         *,
         max_rounds: Optional[int] = None,
         backend: Optional[str] = None,
+        variant: Optional[VariantSpec] = None,
         timeout: Any = _UNSET,
         on_full: Optional[str] = None,
         collect_senders: bool = False,
@@ -523,19 +531,33 @@ class FloodService:
         immediately; admission applies backpressure per ``on_full``;
         the result is bit-identical to a serial
         ``sweep(graph, [sources], ...)`` run of the same request.
+
+        A ``variant`` spec (:mod:`repro.fastpath.variants`) runs the
+        stochastic/memory stepper instead of the deterministic
+        process.  The query's randomness is owned entirely by
+        ``variant.seed`` (it runs as position 0 of that stream) --
+        identical requests return identical results no matter how they
+        were coalesced; Monte-Carlo callers vary the seed per trial or
+        use :meth:`query_batch`.  Stochastic requests never route to
+        the oracle.
         """
         entry, id_lists, budget, chosen = await self._prepare(
-            graph, [sources], max_rounds, backend
+            graph, [sources], max_rounds, backend, variant
         )
         try:
             await self._admit(1, on_full)
         except BaseException:
             entry.untrack(1)
             raise
-        request = _Request(id_lists[0], self._require_loop().create_future())
+        request = _Request(
+            id_lists[0],
+            self._require_loop().create_future(),
+            variant.run_key(0) if variant is not None else 0,
+        )
         try:
             self._batcher.add(
-                (entry, budget, chosen, collect_senders, collect_receives),
+                (entry, budget, chosen, collect_senders, collect_receives,
+                 variant),
                 request,
             )
         except BaseException:
@@ -552,6 +574,7 @@ class FloodService:
         *,
         max_rounds: Optional[int] = None,
         backend: Optional[str] = None,
+        variant: Optional[VariantSpec] = None,
         timeout: Any = _UNSET,
         on_full: Optional[str] = None,
         collect_senders: bool = False,
@@ -562,10 +585,12 @@ class FloodService:
         The batch admits atomically (all ``n`` slots or backpressure),
         goes straight to the pool as one sharded sweep, and returns
         runs in input order -- bit-identical to the serial sweep of the
-        same source sets.
+        same source sets.  With a ``variant``, position ``i`` of the
+        batch runs on the stream ``derive_key(variant.seed, i)`` --
+        exactly ``sweep(graph, source_sets, variant=variant)``.
         """
         entry, id_lists, budget, chosen = await self._prepare(
-            graph, source_sets, max_rounds, backend
+            graph, source_sets, max_rounds, backend, variant
         )
         if not id_lists:
             return []
@@ -575,10 +600,17 @@ class FloodService:
             entry.untrack(len(id_lists))
             raise
         loop = self._require_loop()
-        requests = [_Request(ids, loop.create_future()) for ids in id_lists]
+        requests = [
+            _Request(
+                ids,
+                loop.create_future(),
+                variant.run_key(position) if variant is not None else 0,
+            )
+            for position, ids in enumerate(id_lists)
+        ]
         self.stats.queries += len(requests)
         self._dispatch(
-            (entry, budget, chosen, collect_senders, collect_receives),
+            (entry, budget, chosen, collect_senders, collect_receives, variant),
             requests,
         )
         # return_exceptions so every future is retrieved even when one
@@ -600,6 +632,7 @@ class FloodService:
         source_sets: Iterable[Iterable[Node]],
         max_rounds: Optional[int],
         backend: Optional[str],
+        variant: Optional[VariantSpec] = None,
     ) -> Tuple[_GraphEntry, List[List[int]], int, str]:
         """Shared front half: validate, route, acquire a tracked entry.
 
@@ -617,7 +650,12 @@ class FloodService:
             index.resolve_sources(sources) for sources in source_sets
         ]
         budget = _resolve_budget(graph, max_rounds)
-        if backend is not None:
+        if variant is not None:
+            # Variant backend rules are probe-free and cheap: validate
+            # them (including oracle/numpy rejection) before any
+            # tracking or warm-up state changes.
+            variant_backend(index, backend, variant)
+        elif backend is not None:
             # Explicit backends validate here (cheap) -- before any
             # tracking or warm-up state changes.
             select_backend(index, backend)
@@ -626,7 +664,7 @@ class FloodService:
             # Routing runs after entry acquisition so a cold graph's
             # probe is the one _warm_pool precomputed off-loop; for a
             # warm topology this is a cache hit.
-            chosen = self._router.resolve(entry.index, backend, budget)
+            chosen = self._router.resolve(entry.index, backend, budget, variant)
         except BaseException:
             entry.untrack(len(id_lists))
             raise
@@ -665,8 +703,13 @@ class FloodService:
         ``query_batch`` directly; never raises into the batcher --
         failures resolve the request futures exceptionally instead.
         """
-        entry, budget, backend, collect_senders, collect_receives = key
+        entry, budget, backend, collect_senders, collect_receives, variant = key
         id_lists = [request.id_list for request in requests]
+        run_keys = (
+            [request.run_key for request in requests]
+            if variant is not None
+            else None
+        )
         self.stats.batches += 1
         self.stats.batched_requests += len(requests)
         self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
@@ -682,6 +725,7 @@ class FloodService:
                 pool_future = entry.pool.submit_ids(
                     id_lists, budget, backend, None,
                     collect_senders, collect_receives,
+                    variant, run_keys,
                 )
                 awaitable: "asyncio.Future[List[IndexedRun]]" = (
                     asyncio.wrap_future(pool_future, loop=loop)
@@ -697,6 +741,8 @@ class FloodService:
                         backend,
                         collect_senders,
                         collect_receives,
+                        variant,
+                        run_keys,
                     ),
                 )
         except BaseException as exc:

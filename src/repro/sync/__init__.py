@@ -9,6 +9,7 @@ flooding, the baselines, the variants) runs on this one engine.
 from repro.sync.engine import SynchronousEngine, default_round_budget, run_algorithm
 from repro.sync.faults import (
     BernoulliLoss,
+    CounterBernoulliLoss,
     FaultModel,
     FirstRoundsLoss,
     NoFaults,
@@ -38,6 +39,7 @@ __all__ = [
     "default_round_budget",
     "run_algorithm",
     "BernoulliLoss",
+    "CounterBernoulliLoss",
     "FaultModel",
     "FirstRoundsLoss",
     "NoFaults",

@@ -13,9 +13,10 @@ crashed node neither sends nor receives from its crash round onwards
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Optional, Protocol, Set
+from typing import Callable, Dict, Iterable, Optional, Protocol, Set
 
 from repro.graphs.graph import Node
+from repro.rng import round_key, slot_draw, survival_threshold
 from repro.sync.message import Message
 
 
@@ -56,6 +57,47 @@ class BernoulliLoss:
 
     def delivered(self, message: Message, round_number: int) -> bool:
         return self._rng.random() >= self.loss_rate
+
+    def alive(self, node: Node, round_number: int) -> bool:
+        return True
+
+
+class CounterBernoulliLoss:
+    """Bernoulli loss with counter-based (order-independent) randomness.
+
+    Each message's fate is a pure hash of ``(key, round, arc)`` via
+    :mod:`repro.rng` -- no sequential stream, so the outcome does not
+    depend on the engine's iteration order, and the arc-mask fast path
+    (:mod:`repro.fastpath.variants`) reproduces the same run
+    bit-for-bit from the same key.  ``arc_slot`` maps a labelled
+    ``(sender, receiver)`` pair to its canonical arc number -- pass
+    :meth:`repro.fastpath.IndexedGraph.arc_slot`.
+
+    :class:`BernoulliLoss` (sequential ``random.Random``) remains for
+    workloads that do not need cross-implementation agreement.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        key: int,
+        arc_slot: Callable[[Node, Node], int],
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        self.loss_rate = loss_rate
+        self._threshold = survival_threshold(1.0 - loss_rate)
+        self._key = key
+        self._arc_slot = arc_slot
+        self._round: Optional[int] = None
+        self._rkey = 0
+
+    def delivered(self, message: Message, round_number: int) -> bool:
+        if round_number != self._round:
+            self._round = round_number
+            self._rkey = round_key(self._key, round_number)
+        slot = self._arc_slot(message.sender, message.receiver)
+        return slot_draw(self._rkey, slot) < self._threshold
 
     def alive(self, node: Node, round_number: int) -> bool:
         return True

@@ -11,6 +11,16 @@ Each variant probes one assumption of the model:
   their independence invariant.
 * :mod:`~repro.variants.random_delay` -- oblivious (non-adversarial)
   asynchrony, the empirical complement of Section 4.
+
+The hot variants (probabilistic thinning, Bernoulli loss, k-memory)
+also run on the arc-mask fast path -- see
+:mod:`repro.fastpath.variants` (``sweep(..., variant=thinning(q,
+seed))`` etc.).  The implementations here are the independent
+*references* the fast path is held bit-identical to: both sides draw
+their randomness from the counter-based streams of :mod:`repro.rng`
+(trial ``i`` of seed ``s`` owns ``derive_key(s, i)``), so seeded
+outcomes agree across implementations, worker counts and batch
+reshardings.
 """
 
 from repro.variants.dynamic import (

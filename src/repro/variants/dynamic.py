@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError, NodeNotFoundError
 from repro.graphs.graph import Graph, Node
+from repro.sync.engine import default_round_budget
 
 
 class GraphSchedule(Protocol):
@@ -126,7 +127,7 @@ class DynamicRun:
 def simulate_dynamic(
     schedule: GraphSchedule,
     sources: Sequence[Node],
-    max_rounds: int = 200,
+    max_rounds: Optional[int] = None,
 ) -> DynamicRun:
     """Run the amnesiac rule over a graph schedule.
 
@@ -137,10 +138,18 @@ def simulate_dynamic(
     send happened; sends towards departed neighbours simply cannot be
     expressed, matching a node that only knows its current neighbour
     list.
+
+    Budget semantics are the core rule: ``max_rounds=None`` selects
+    :func:`repro.sync.engine.default_round_budget` of the round-1
+    topology (schedules share one node set, so the ``4n + 8`` bound is
+    schedule-wide), and the run is cut off -- ``terminated=False`` --
+    only when round ``budget + 1`` actually carries messages.
     """
+    first = schedule.graph_at(1)
+    if max_rounds is None:
+        max_rounds = default_round_budget(first)
     if max_rounds < 1:
         raise ConfigurationError("max_rounds must be >= 1")
-    first = schedule.graph_at(1)
     for source in sources:
         if not first.has_node(source):
             raise NodeNotFoundError(source)

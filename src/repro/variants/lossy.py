@@ -31,8 +31,10 @@ from typing import List, Optional
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node
 from repro.core.amnesiac import AmnesiacFlooding
+from repro.fastpath.indexed import IndexedGraph
+from repro.rng import derive_key
 from repro.sync.engine import run_algorithm
-from repro.sync.faults import BernoulliLoss
+from repro.sync.faults import CounterBernoulliLoss
 from repro.sync.trace import ExecutionTrace
 
 
@@ -42,14 +44,31 @@ def lossy_flood(
     loss_rate: float,
     seed: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    trial_index: int = 0,
 ) -> ExecutionTrace:
-    """One amnesiac flood where each message is lost with ``loss_rate``."""
+    """One amnesiac flood where each message is lost with ``loss_rate``.
+
+    Randomness is counter-based (:mod:`repro.rng`): the run draws from
+    the stream ``derive_key(seed, trial_index)`` and every message's
+    fate is a pure hash of its round and arc, so the outcome is stable
+    under any execution order and bit-identical to the arc-mask fast
+    path (``fastpath.sweep(..., variant=bernoulli_loss(loss_rate,
+    seed))``, where ``trial_index`` is the batch position).  ``seed
+    None`` draws a fresh random seed.
+    """
+    if seed is None:
+        seed = random.randrange(2**63)
+    faults = CounterBernoulliLoss(
+        loss_rate,
+        derive_key(seed, trial_index),
+        IndexedGraph.of(graph).arc_slot,
+    )
     return run_algorithm(
         graph,
         AmnesiacFlooding(),
         initiators=[source],
         max_rounds=max_rounds,
-        faults=BernoulliLoss(loss_rate, seed=seed),
+        faults=faults,
     )
 
 
@@ -79,25 +98,35 @@ def lossy_survey(
     seed: Optional[int] = None,
     max_rounds: Optional[int] = None,
 ) -> LossySummary:
-    """Monte-Carlo summary of amnesiac flooding at one loss rate."""
+    """Monte-Carlo summary of amnesiac flooding at one loss rate.
+
+    Trial ``i`` draws from the counter-derived stream ``(seed, i)``, so
+    adding trials or resharding the batch never perturbs earlier
+    trials, and the fast-path survey
+    (:func:`repro.fastpath.variant_survey` with
+    ``bernoulli_loss(loss_rate, seed)``) reproduces this summary
+    trial for trial.
+    """
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
     from repro.graphs.traversal import bfs_distances
 
     component = set(bfs_distances(graph, source))
-    rng = random.Random(seed)
+    if seed is None:
+        seed = random.randrange(2**63)
 
     terminated = 0
     rounds_total = 0
     messages_total = 0
     coverage_total = 0.0
-    for _ in range(trials):
+    for trial_index in range(trials):
         trace = lossy_flood(
             graph,
             source,
             loss_rate,
-            seed=rng.randrange(2**31),
+            seed=seed,
             max_rounds=max_rounds,
+            trial_index=trial_index,
         )
         if trace.terminated:
             terminated += 1
@@ -122,11 +151,16 @@ def loss_sweep(
     trials: int,
     seed: Optional[int] = None,
 ) -> List[LossySummary]:
-    """Survey a list of loss rates with a shared seed stream."""
-    rng = random.Random(seed)
+    """Survey a list of loss rates with counter-derived per-rate streams.
+
+    Rate ``i`` owns the sub-seed ``derive_key(seed, i)``: reordering,
+    inserting or removing rates never changes another rate's trials.
+    """
+    if seed is None:
+        seed = random.randrange(2**63)
     return [
         lossy_survey(
-            graph, source, rate, trials, seed=rng.randrange(2**31)
+            graph, source, rate, trials, seed=derive_key(seed, rate_index)
         )
-        for rate in loss_rates
+        for rate_index, rate in enumerate(loss_rates)
     ]

@@ -13,16 +13,29 @@ independently with probability ``q``:
 * coverage (fraction of nodes ever reached) degrades smoothly with
   ``q``, mapping the reliability/overhead trade-off of gossip-style
   protocols.
+
+Randomness is counter-based (:mod:`repro.rng`): each candidate
+forward's fate is a pure hash of ``(stream key, round, arc)``, never a
+sequential draw, so seeded outcomes are independent of iteration order
+and bit-identical to the arc-mask fast path
+(:mod:`repro.fastpath.variants` with ``thinning(q, seed)``).  Budget
+semantics follow the core rule: the default budget is
+:func:`repro.sync.engine.default_round_budget`, ``max_rounds >= 1`` is
+validated with :class:`~repro.errors.ConfigurationError`, and a run is
+cut off only when round ``budget + 1`` actually carries messages.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.fastpath.indexed import IndexedGraph
 from repro.graphs.graph import Graph, Node
+from repro.rng import derive_key, round_key, slot_draw, survival_threshold
+from repro.sync.engine import default_round_budget
 
 
 @dataclass
@@ -50,57 +63,76 @@ def probabilistic_flood(
     source: Node,
     forward_probability: float,
     seed: Optional[int] = None,
-    max_rounds: int = 400,
+    max_rounds: Optional[int] = None,
+    trial_index: int = 0,
 ) -> ProbabilisticRun:
     """One probabilistic amnesiac flood from ``source``.
 
     Round 1 sends to every neighbour with probability ``q`` each; later
     rounds apply the complement rule and then thin the forwards by
-    ``q``.  Deterministic per seed.
+    ``q``.  The run draws from the counter stream
+    ``derive_key(seed, trial_index)`` -- deterministic per ``(seed,
+    trial_index)``, order-independent, and equal to run ``trial_index``
+    of a seeded fast-path sweep with ``thinning(q, seed)``.  ``seed
+    None`` draws a fresh random seed; ``max_rounds None`` selects the
+    core default budget.
     """
     if not 0.0 <= forward_probability <= 1.0:
         raise ConfigurationError("forward_probability must be within [0, 1]")
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
-    if max_rounds < 1:
+    budget = default_round_budget(graph) if max_rounds is None else max_rounds
+    if budget < 1:
         raise ConfigurationError("max_rounds must be >= 1")
-    rng = random.Random(seed)
+    if seed is None:
+        seed = random.randrange(2**63)
+    key = derive_key(seed, trial_index)
+    threshold = survival_threshold(forward_probability)
+    arc_slot = IndexedGraph.of(graph).arc_slot
 
-    def thin(candidates: List[Tuple[Node, Node]]) -> Set[Tuple[Node, Node]]:
+    def thin(
+        candidates: Iterable[Tuple[Node, Node]], round_number: int
+    ) -> Set[Tuple[Node, Node]]:
+        rkey = round_key(key, round_number)
         return {
-            pair for pair in candidates if rng.random() < forward_probability
+            pair
+            for pair in candidates
+            if slot_draw(rkey, arc_slot(*pair)) < threshold
         }
 
-    frontier = thin([(source, n) for n in sorted(graph.neighbors(source), key=repr)])
+    frontier = thin(((source, n) for n in graph.neighbors(source)), 1)
     reached: Set[Node] = {source}
     total_messages = 0
-    round_number = 0
+    rounds_executed = 0
+    round_number = 1
     terminated = True
 
     while frontier:
-        round_number += 1
-        if round_number > max_rounds:
+        # The core cut-off rule: rounds 1..budget execute; the run is
+        # declared cut off only when round budget + 1 actually carries
+        # (surviving) messages.
+        if round_number > budget:
             terminated = False
-            round_number -= 1
             break
+        rounds_executed += 1
         total_messages += len(frontier)
         heard_from: Dict[Node, Set[Node]] = {}
         for sender, receiver in frontier:
             heard_from.setdefault(receiver, set()).add(sender)
             reached.add(receiver)
         candidates: List[Tuple[Node, Node]] = []
-        for receiver in sorted(heard_from, key=repr):
-            senders = heard_from[receiver]
-            for neighbour in sorted(graph.neighbors(receiver), key=repr):
+        for receiver, senders in heard_from.items():
+            for neighbour in graph.neighbors(receiver):
                 if neighbour not in senders:
                     candidates.append((receiver, neighbour))
-        frontier = thin(candidates)
+        round_number += 1
+        frontier = thin(candidates, round_number)
 
     return ProbabilisticRun(
         source=source,
         forward_probability=forward_probability,
         terminated=terminated,
-        termination_round=round_number,
+        termination_round=rounds_executed,
         total_messages=total_messages,
         nodes_reached=reached,
     )
@@ -123,23 +155,36 @@ def coverage_curve(
     probabilities: List[float],
     trials: int,
     seed: Optional[int] = None,
-    max_rounds: int = 400,
+    max_rounds: Optional[int] = None,
 ) -> List[CoveragePoint]:
-    """Coverage/termination statistics across forwarding probabilities."""
+    """Coverage/termination statistics across forwarding probabilities.
+
+    Probability ``i`` owns the counter-derived sub-seed
+    ``derive_key(seed, i)`` and trial ``t`` within it the stream
+    ``(sub_seed, t)`` -- adding probabilities or trials never disturbs
+    the outcomes already measured.
+    """
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
     from repro.graphs.traversal import bfs_distances
 
     component = len(bfs_distances(graph, source))
-    rng = random.Random(seed)
+    if seed is None:
+        seed = random.randrange(2**63)
     points: List[CoveragePoint] = []
-    for q in probabilities:
+    for q_index, q in enumerate(probabilities):
+        sub_seed = derive_key(seed, q_index)
         terminated = 0
         coverage_total = 0.0
         message_total = 0.0
-        for _ in range(trials):
+        for trial in range(trials):
             run = probabilistic_flood(
-                graph, source, q, seed=rng.randrange(2**31), max_rounds=max_rounds
+                graph,
+                source,
+                q,
+                seed=sub_seed,
+                max_rounds=max_rounds,
+                trial_index=trial,
             )
             if run.terminated:
                 terminated += 1

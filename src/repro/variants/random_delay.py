@@ -35,6 +35,7 @@ from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node
 from repro.asynchrony.adversary import RandomDelayAdversary
 from repro.asynchrony.engine import AsyncOutcome, run_async
+from repro.rng import derive_key
 
 
 @dataclass(frozen=True)
@@ -69,12 +70,19 @@ def random_delay_survey(
     """
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
-    rng = random.Random(seed)
+    if max_steps < 1:
+        raise ConfigurationError("max_steps must be >= 1")
+    if seed is None:
+        seed = random.randrange(2**63)
     terminated_steps: List[int] = []
     worst = 0
-    for _ in range(trials):
+    for trial_index in range(trials):
+        # Counter-derived per-trial seed: trial i's adversary stream is
+        # a pure function of (seed, i), so adding trials never reorders
+        # the earlier ones (the adversary itself still draws
+        # sequentially inside its own trial).
         adversary = RandomDelayAdversary(
-            delay_probability, seed=rng.randrange(2**31)
+            delay_probability, seed=derive_key(seed, trial_index)
         )
         run = run_async(
             graph,
@@ -107,16 +115,17 @@ def delay_sweep(
     seed: Optional[int] = None,
     max_steps: int = 5_000,
 ) -> List[DelaySummary]:
-    """Survey several delay probabilities with a shared seed stream."""
-    rng = random.Random(seed)
+    """Survey several delay probabilities, one counter-derived stream each."""
+    if seed is None:
+        seed = random.randrange(2**63)
     return [
         random_delay_survey(
             graph,
             source,
             probability,
             trials,
-            seed=rng.randrange(2**31),
+            seed=derive_key(seed, probability_index),
             max_steps=max_steps,
         )
-        for probability in probabilities
+        for probability_index, probability in enumerate(probabilities)
     ]
