@@ -4,16 +4,18 @@
 #   make lint   - ruff over the whole tree (config in pyproject.toml)
 #   make smoke  - CI smoke lane: scaled-down benchmark run (assertions
 #                 included, trajectory file untouched, summary written
-#                 to $(SMOKE_SUMMARY) for the CI artifact) + the tier-1
-#                 suite
+#                 to $(SMOKE_SUMMARY) for the CI artifact) + the
+#                 examples suite (the facade-based examples run whole
+#                 per PR) + the tier-1 suite
 #   make bench  - full benchmark run; rewrites BENCH_fastpath.json
+#   make examples - the examples suite (quick examples run end-to-end)
 #   make example- the quickstart example, as a living doc check
 
 PYTHON ?= python
 SMOKE_SUMMARY ?= smoke-summary.json
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench example
+.PHONY: test lint smoke bench example examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,10 +30,14 @@ lint:
 
 smoke:
 	$(PYTHON) benchmarks/run_bench.py --quick --summary $(SMOKE_SUMMARY)
+	$(PYTHON) -m pytest -x -q tests/integration/test_examples.py
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) benchmarks/run_bench.py
+
+examples:
+	$(PYTHON) -m pytest -x -q tests/integration/test_examples.py
 
 example:
 	$(PYTHON) examples/quickstart.py

@@ -50,14 +50,21 @@ BENCH_FILES = (
     "bench_parallel.py",
     "bench_service.py",
     "bench_variants.py",
+    "bench_api.py",
 )
-QUICK_BENCH_FILES = ("bench_parallel.py", "bench_service.py", "bench_variants.py")
+QUICK_BENCH_FILES = (
+    "bench_parallel.py",
+    "bench_service.py",
+    "bench_variants.py",
+    "bench_api.py",
+)
 FASTPATH_PREFIXES = (
     "test_ext_scale_fastpath_backends",
     "test_ext_scale_fastpath_speedup_10k",
     "test_ext_par_",
     "test_ext_svc_",
     "test_ext_var_",
+    "test_ext_api_",
 )
 EXTRA_ROW_KEYS = (
     "workers",
@@ -70,6 +77,7 @@ EXTRA_ROW_KEYS = (
     "mean_batch",
     "variant",
     "loss_rate",
+    "facade_overhead",
 )
 
 
@@ -131,7 +139,7 @@ def trim(raw: dict) -> list:
             # auto-selected engine for the oracle rows), and the service
             # rows against the sequential simulate()-per-request server
             # -- name them apart in the trajectory.
-            if name.startswith("test_ext_par_"):
+            if name.startswith(("test_ext_par_", "test_ext_api_")):
                 row["speedup_vs_serial"] = info["speedup"]
             elif name.startswith("test_ext_svc_"):
                 row["speedup_vs_sequential"] = info["speedup"]

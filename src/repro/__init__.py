@@ -17,6 +17,7 @@ Quickstart
 
 Package map
 -----------
+``repro.api``         FloodSpec / FloodResult / FloodSession facade over all tiers
 ``repro.graphs``      topology substrate (generators, properties, double cover)
 ``repro.sync``        synchronous message-passing engine
 ``repro.core``        amnesiac flooding + termination analysis (the paper)
@@ -46,9 +47,11 @@ from repro import analysis
 from repro import viz
 from repro import apps
 from repro import experiments
+from repro import api
 
 __all__ = [
     "__version__",
+    "api",
     "graphs",
     "sync",
     "core",

@@ -1,0 +1,70 @@
+"""``repro.api``: one declarative request object across every tier.
+
+The facade over the four execution tiers that grew up around the
+reproduction -- serial engine, batch sweep, sharded pool, async
+service:
+
+* :class:`~repro.api.spec.FloodSpec` -- a frozen, hashable, picklable
+  request (graph + sources + budget + backend + probe policy + variant
+  + RNG stream + collection flags), validated once at construction;
+* :class:`~repro.api.spec.BatchKey` -- the execution projection of a
+  spec; the pool's task payload and the service's micro-batch key;
+* :class:`~repro.api.result.FloodResult` -- the unified answer shape
+  (fast-path runs and set-based scenario records alike);
+* :class:`~repro.api.session.FloodSession` -- ``run(spec)`` /
+  ``sweep(specs)`` / ``await aquery(spec)``, planning serial, pooled or
+  service execution from the spec alone;
+* the scenario registry (:mod:`repro.api.scenarios`,
+  :meth:`FloodSpec.from_scenario`) -- ``"lossy:0.1"``, ``"kmemory:2"``,
+  ``"periodic:3,4"`` ... as nameable workloads.
+
+The legacy entry points (``core.simulate``, ``fastpath.sweep``,
+``parallel_sweep``, ``FloodService.query``) remain supported shims:
+each constructs a spec and rides the same pipeline, so the two styles
+can never drift apart.
+
+This ``__init__`` keeps its imports light on purpose: ``spec`` and
+``result`` load eagerly (the engine shims need them), while the
+session and scenario modules -- which pull in the pool, the service
+and the reference variants -- resolve lazily through PEP 562 so
+importing :mod:`repro.fastpath` stays cycle-free.
+"""
+
+from repro.api.result import FloodResult
+from repro.api.spec import BACKEND_NAMES, BatchKey, FloodSpec
+
+_LAZY = {
+    "FloodSession": ("repro.api.session", "FloodSession"),
+    "ExecutionPlan": ("repro.api.session", "ExecutionPlan"),
+    "register_scenario": ("repro.api.scenarios", "register_scenario"),
+    "scenario_names": ("repro.api.scenarios", "scenario_names"),
+    "run_scenario": ("repro.api.scenarios", "run_scenario"),
+}
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BatchKey",
+    "ExecutionPlan",
+    "FloodResult",
+    "FloodSession",
+    "FloodSpec",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(__all__)

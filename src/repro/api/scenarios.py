@@ -1,0 +1,407 @@
+"""The string scenario registry behind ``FloodSpec.from_scenario``.
+
+A *scenario* names one variant of the flooding process as a string --
+``"flood"``, ``"lossy:0.1"``, ``"kmemory:2"``, ``"periodic:3,4"`` --
+so callers (config files, service clients, sweep scripts) can request
+any studied workload through the same declarative API without
+importing variant constructors.
+
+Two families of scenarios exist, reflecting where they execute:
+
+* **variant-backed** scenarios (``flood``, ``thinning``, ``lossy``,
+  ``kmemory``) bind to a
+  :class:`~repro.fastpath.variants.VariantSpec` (or to the plain
+  deterministic process) and run on the arc-mask fast path -- they
+  batch, shard and serve exactly like hand-built specs, because after
+  canonicalisation they *are* hand-built specs;
+* **set-based** scenarios (``periodic``, ``multi_message``,
+  ``random_delay``) have no arc-mask stepper yet; they canonicalise to
+  a normalised scenario string carried on the spec, and
+  :func:`run_scenario` executes them on their reference engines.  This
+  makes the remaining set-based variants nameable through the same API
+  today, and leaves one obvious seam to port each onto the fast path
+  later (swap the binder to emit a ``VariantSpec``; callers never
+  change).
+
+Built-in scenario grammar (``name`` or ``name:arg[,arg|key=value...]``)::
+
+    flood                      the deterministic process (Definition 1.1)
+    thinning:Q[,seed=S]        forward each copy with probability Q
+    lossy:RATE[,seed=S]        lose each message with probability RATE
+    kmemory:K                  K-round memory windows (K=1 is amnesiac)
+    periodic:PERIOD[,INJ]      source re-injects every PERIOD rounds,
+                               INJ times (default 3); exactly one source
+    multi_message              every source floods its own distinct payload
+    random_delay:P[,seed=S]    oblivious per-message delay probability P
+
+:func:`register_scenario` adds new names (downstream scenario families
+-- round-delayed amnesiac flooding, terminating-case variants --
+plug in here without touching any tier).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fastpath.variants import (
+    VariantSpec,
+    bernoulli_loss,
+    k_memory,
+    thinning,
+)
+
+# A binder parses one scenario's arguments against the (mid-construction)
+# spec and returns ``(variant, canonical_string)``: exactly one of the
+# two is non-None (variant-backed vs set-based).  A runner executes a
+# set-based scenario's spec and returns a FloodResult; variant-backed
+# scenarios have no runner (the fast path runs them).
+Binder = Callable[[List[str], Dict[str, str], object],
+                  Tuple[Optional[VariantSpec], Optional[str]]]
+Runner = Callable[[object], object]
+
+_BINDERS: Dict[str, Binder] = {}
+_RUNNERS: Dict[str, Runner] = {}
+_BUDGETS: Dict[str, Callable[[object], int]] = {}
+_SEEDED = {"thinning", "lossy", "random_delay"}
+"""Scenario names whose dynamics consume a seed."""
+
+
+def register_scenario(
+    name: str,
+    binder: Binder,
+    runner: Optional[Runner] = None,
+    default_budget: Optional[Callable[[object], int]] = None,
+) -> None:
+    """Register (or replace) a scenario name.
+
+    ``binder`` parses arguments into a variant or a canonical string;
+    ``runner`` is required for set-based scenarios (those whose binder
+    returns a canonical string) and must accept a
+    :class:`~repro.api.spec.FloodSpec` and return a
+    :class:`~repro.api.result.FloodResult`.  ``default_budget`` maps a
+    graph to the budget an unset ``max_rounds`` resolves to, for
+    scenarios whose natural budget unit is not synchronous rounds
+    (``random_delay`` counts sub-round async steps); scenarios without
+    one get :func:`~repro.sync.engine.default_round_budget`.
+    """
+    _BINDERS[name] = binder
+    if runner is not None:
+        _RUNNERS[name] = runner
+    if default_budget is not None:
+        _BUDGETS[name] = default_budget
+
+
+def scenario_default_budget(canonical: str, graph) -> int:
+    """The budget an unset ``max_rounds`` resolves to for a scenario."""
+    name, _, _ = _split(canonical)
+    budget = _BUDGETS.get(name)
+    if budget is not None:
+        return budget(graph)
+    from repro.sync.engine import default_round_budget
+
+    return default_round_budget(graph)
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """The registered scenario names, sorted."""
+    return tuple(sorted(_BINDERS))
+
+
+def _split(text: str) -> Tuple[str, List[str], Dict[str, str]]:
+    """Parse ``name[:arg,arg,key=value,...]`` into its pieces."""
+    if not isinstance(text, str) or not text:
+        raise ConfigurationError("scenario must be a non-empty string")
+    name, _, arg_text = text.partition(":")
+    name = name.strip()
+    args: List[str] = []
+    kwargs: Dict[str, str] = {}
+    if arg_text:
+        for token in arg_text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                key, _, value = token.partition("=")
+                kwargs[key.strip()] = value.strip()
+            else:
+                args.append(token)
+    return name, args, kwargs
+
+
+def _scalar(token: str, kind: type, scenario: str, what: str):
+    try:
+        return kind(token)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"scenario {scenario!r}: {what} must be {kind.__name__}-valued, "
+            f"got {token!r}"
+        ) from None
+
+
+def _seed_of(kwargs: Dict[str, str], scenario: str) -> int:
+    return _scalar(kwargs.pop("seed", "0"), int, scenario, "seed")
+
+
+def _reject_extras(
+    args: List[str], kwargs: Dict[str, str], scenario: str
+) -> None:
+    if args or kwargs:
+        raise ConfigurationError(
+            f"scenario {scenario!r}: unexpected arguments "
+            f"{args + sorted(kwargs)!r}"
+        )
+
+
+def seeded_scenario(text: str, seed: int) -> str:
+    """Fold an explicit seed into a scenario string (``from_scenario``).
+
+    Seed-consuming scenarios get ``seed=N`` appended unless the string
+    already pins one; deterministic scenarios ignore the seed.
+    """
+    name, _, kwargs = _split(text)
+    if name not in _BINDERS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(scenario_names())}"
+        )
+    if seed and name in _SEEDED and "seed" not in kwargs:
+        separator = "," if ":" in text else ":"
+        return f"{text}{separator}seed={seed}"
+    return text
+
+
+def bind_scenario(
+    text: str, spec: object
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
+    """Resolve a scenario string against a spec under construction.
+
+    Called from ``FloodSpec.__post_init__``: ``spec`` has canonical
+    sources and a resolved budget by this point.  Returns ``(variant,
+    canonical)`` -- exactly one non-None, unless the scenario is the
+    plain deterministic flood (both None).
+    """
+    name, args, kwargs = _split(text)
+    binder = _BINDERS.get(name)
+    if binder is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(scenario_names())}"
+        )
+    return binder(args, kwargs, spec)
+
+
+def run_scenario(spec: object) -> object:
+    """Execute a set-based scenario spec on its reference engine."""
+    name, _, _ = _split(spec.scenario)
+    runner = _RUNNERS.get(name)
+    if runner is None:
+        raise ConfigurationError(
+            f"scenario {name!r} has no set-based runner; it executes on "
+            f"the fast path"
+        )
+    return runner(spec)
+
+
+# ----------------------------------------------------------------------
+# Built-in binders
+# ----------------------------------------------------------------------
+
+
+def _bind_flood(args, kwargs, spec):
+    _reject_extras(args, kwargs, "flood")
+    return None, None
+
+
+def _bind_thinning(args, kwargs, spec):
+    if len(args) != 1:
+        raise ConfigurationError(
+            "scenario 'thinning' takes exactly one argument: the forward "
+            "probability (e.g. 'thinning:0.9')"
+        )
+    probability = _scalar(args[0], float, "thinning", "forward probability")
+    seed = _seed_of(kwargs, "thinning")
+    _reject_extras([], kwargs, "thinning")
+    return thinning(probability, seed=seed), None
+
+
+def _bind_lossy(args, kwargs, spec):
+    if len(args) != 1:
+        raise ConfigurationError(
+            "scenario 'lossy' takes exactly one argument: the loss rate "
+            "(e.g. 'lossy:0.1')"
+        )
+    rate = _scalar(args[0], float, "lossy", "loss rate")
+    seed = _seed_of(kwargs, "lossy")
+    _reject_extras([], kwargs, "lossy")
+    return bernoulli_loss(rate, seed=seed), None
+
+
+def _bind_kmemory(args, kwargs, spec):
+    if len(args) != 1:
+        raise ConfigurationError(
+            "scenario 'kmemory' takes exactly one argument: the memory "
+            "window k (e.g. 'kmemory:2')"
+        )
+    k = _scalar(args[0], int, "kmemory", "memory window k")
+    _reject_extras([], kwargs, "kmemory")
+    return k_memory(k), None
+
+
+def _bind_periodic(args, kwargs, spec):
+    if not 1 <= len(args) <= 2:
+        raise ConfigurationError(
+            "scenario 'periodic' takes a period and an optional injection "
+            "count (e.g. 'periodic:3,4')"
+        )
+    period = _scalar(args[0], int, "periodic", "period")
+    injections = (
+        _scalar(args[1], int, "periodic", "injections") if len(args) > 1 else 3
+    )
+    _reject_extras([], kwargs, "periodic")
+    if period < 1:
+        raise ConfigurationError("scenario 'periodic': period must be >= 1")
+    if injections < 1:
+        raise ConfigurationError(
+            "scenario 'periodic': injections must be >= 1"
+        )
+    if len(spec.sources) != 1:
+        raise ConfigurationError(
+            f"scenario 'periodic' re-injects from a single source; "
+            f"got {len(spec.sources)} sources"
+        )
+    return None, f"periodic:{period},{injections}"
+
+
+def _bind_multi_message(args, kwargs, spec):
+    _reject_extras(args, kwargs, "multi_message")
+    return None, "multi_message"
+
+
+def _bind_random_delay(args, kwargs, spec):
+    if len(args) != 1:
+        raise ConfigurationError(
+            "scenario 'random_delay' takes exactly one argument: the delay "
+            "probability (e.g. 'random_delay:0.5')"
+        )
+    probability = _scalar(args[0], float, "random_delay", "delay probability")
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(
+            "scenario 'random_delay': delay probability must be in [0, 1]"
+        )
+    seed = _seed_of(kwargs, "random_delay")
+    _reject_extras([], kwargs, "random_delay")
+    return None, f"random_delay:{probability!r},seed={seed}"
+
+
+# ----------------------------------------------------------------------
+# Built-in set-based runners
+# ----------------------------------------------------------------------
+#
+# Each runner maps its reference record into a FloodResult, keeping the
+# native record in ``raw``.  Imports are local: the variant reference
+# modules pull in the sync/asynchrony engines, which this module must
+# not load just to *parse* a scenario string.
+
+
+def _run_periodic(spec):
+    from repro.api.result import FloodResult
+    from repro.variants.periodic import periodic_injection_flood
+
+    _, args, _ = _split(spec.scenario)
+    period, injections = int(args[0]), int(args[1])
+    run = periodic_injection_flood(
+        spec.graph,
+        spec.sources[0],
+        period,
+        injections,
+        max_rounds=spec.max_rounds,
+    )
+    return FloodResult(
+        spec=spec,
+        backend="scenario:periodic",
+        terminated=run.terminates,
+        termination_round=run.total_rounds,
+        total_messages=run.total_messages,
+        round_edge_counts=[],
+        reached_count=None,
+        raw=run,
+    )
+
+
+def _run_multi_message(spec):
+    from repro.api.result import FloodResult
+    from repro.variants.multi_message import concurrent_floods
+
+    origins = {
+        position: [source] for position, source in enumerate(spec.sources)
+    }
+    trace = concurrent_floods(spec.graph, origins, max_rounds=spec.max_rounds)
+    counts = [
+        len(trace.sent_in_round(round_number))
+        for round_number in range(1, trace.rounds_executed + 1)
+    ]
+    return FloodResult(
+        spec=spec,
+        backend="scenario:multi_message",
+        terminated=trace.terminated,
+        termination_round=trace.rounds_executed,
+        total_messages=trace.total_messages(),
+        round_edge_counts=counts,
+        reached_count=None,
+        raw=trace,
+    )
+
+
+def _run_random_delay(spec):
+    from repro.api.result import FloodResult
+    from repro.asynchrony.adversary import RandomDelayAdversary
+    from repro.asynchrony.engine import AsyncOutcome, run_async
+    from repro.rng import derive_key
+
+    _, args, kwargs = _split(spec.scenario)
+    probability = float(args[0])
+    seed = int(kwargs.get("seed", "0"))
+    # The spec's stream folds into the trial key exactly like a variant
+    # run's batch position, so sweeps over streams are reshard-stable.
+    adversary = RandomDelayAdversary(
+        probability, seed=derive_key(seed, spec.stream)
+    )
+    run = run_async(
+        spec.graph,
+        spec.sources,
+        adversary,
+        max_steps=spec.max_rounds,
+        detect_cycles=False,
+    )
+    counts = [len(batch) for batch in run.deliveries]
+    return FloodResult(
+        spec=spec,
+        backend="scenario:random_delay",
+        terminated=run.outcome is AsyncOutcome.TERMINATED,
+        termination_round=run.steps,
+        total_messages=sum(counts),
+        round_edge_counts=counts,
+        reached_count=None,
+        raw=run,
+    )
+
+
+register_scenario("flood", _bind_flood)
+register_scenario("thinning", _bind_thinning)
+register_scenario("lossy", _bind_lossy)
+register_scenario("kmemory", _bind_kmemory)
+def _random_delay_default_budget(graph) -> int:
+    from repro.variants.random_delay import default_step_budget
+
+    return default_step_budget(graph)
+
+
+register_scenario("periodic", _bind_periodic, _run_periodic)
+register_scenario("multi_message", _bind_multi_message, _run_multi_message)
+register_scenario(
+    "random_delay",
+    _bind_random_delay,
+    _run_random_delay,
+    default_budget=_random_delay_default_budget,
+)

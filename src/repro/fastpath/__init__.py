@@ -56,13 +56,17 @@ from repro.fastpath.engine import (
     IndexedRun,
     arc_mask_of,
     available_backends,
+    batch_key_of,
     configuration_of_mask,
+    ensure_homogeneous_specs,
     evolve_arc_mask,
     routed_sweep_backend,
+    run_spec,
     select_backend,
     simulate_indexed,
     step_arc_mask,
     sweep,
+    sweep_specs,
 )
 from repro.fastpath.indexed import IndexedGraph
 from repro.fastpath.probe import (
@@ -91,18 +95,22 @@ __all__ = [
     "VariantSummary",
     "arc_mask_of",
     "available_backends",
+    "batch_key_of",
     "bernoulli_loss",
     "configuration_of_mask",
+    "ensure_homogeneous_specs",
     "evolve_arc_mask",
     "expected_rounds",
     "k_memory",
     "probe_termination_rounds",
     "routed_backend",
     "routed_sweep_backend",
+    "run_spec",
     "select_backend",
     "simulate_indexed",
     "step_arc_mask",
     "sweep",
+    "sweep_specs",
     "thinning",
     "variant_backend",
     "variant_survey",

@@ -42,6 +42,7 @@ from typing import (
     Tuple,
 )
 
+from repro.api.spec import BatchKey, FloodSpec
 from repro.errors import ConfigurationError, NonTerminationError
 from repro.fastpath import numpy_backend, oracle_backend, pure_backend
 from repro.fastpath.indexed import IndexedGraph
@@ -75,30 +76,40 @@ def available_backends() -> Tuple[str, ...]:
     return (PURE, ORACLE)
 
 
+def validate_backend_name(backend: Optional[str]) -> None:
+    """Name-level backend validation, no index required.
+
+    The part of :func:`select_backend` that depends only on the name
+    and the process (numpy importability), split out so request
+    validation (:class:`~repro.api.spec.FloodSpec`) can run it without
+    touching -- or building -- the graph's CSR index.
+    """
+    if backend in (None, PURE, ORACLE):
+        return
+    if backend == NUMPY:
+        if not numpy_backend.HAS_NUMPY:
+            raise ConfigurationError(
+                "numpy backend requested but numpy is not importable"
+            )
+        return
+    raise ConfigurationError(
+        f"unknown fastpath backend {backend!r}; expected one of "
+        f"{(PURE, NUMPY, ORACLE)}"
+    )
+
+
 def select_backend(index: IndexedGraph, backend: Optional[str] = None) -> str:
     """Resolve a backend name, auto-selecting when ``backend`` is None.
 
     Auto-selection only ever picks a frontier engine (pure or numpy);
     the oracle must be requested by name.
     """
+    validate_backend_name(backend)
     if backend is None:
         if numpy_backend.HAS_NUMPY and index.num_arcs >= NUMPY_ARC_THRESHOLD:
             return NUMPY
         return PURE
-    if backend == PURE:
-        return PURE
-    if backend == ORACLE:
-        return ORACLE
-    if backend == NUMPY:
-        if not numpy_backend.HAS_NUMPY:
-            raise ConfigurationError(
-                "numpy backend requested but numpy is not importable"
-            )
-        return NUMPY
-    raise ConfigurationError(
-        f"unknown fastpath backend {backend!r}; expected one of "
-        f"{(PURE, NUMPY, ORACLE)}"
-    )
+    return backend
 
 
 def _resolve_budget(graph: Graph, max_rounds: Optional[int]) -> int:
@@ -198,35 +209,39 @@ class IndexedRun:
 def _dispatch(
     index: IndexedGraph,
     source_ids: Sequence[int],
-    budget: int,
-    backend: str,
-    collect_senders: bool,
-    collect_receives: bool,
-    variant: Optional[VariantSpec] = None,
+    key: BatchKey,
     run_key: int = 0,
 ) -> pure_backend.RawRun:
-    if variant is not None:
+    """Run one flood described by a resolved :class:`BatchKey`.
+
+    The single execution funnel: the serial entry points, the worker
+    pool's chunk bodies and the service's serial executor all reach the
+    backends through this function, with the same key object they
+    batched on -- so "batchable together" and "runs identically" are
+    one definition.
+    """
+    if key.variant is not None:
         return run_variant(
             index,
             source_ids,
-            budget,
-            variant,
+            key.budget,
+            key.variant,
             run_key,
-            collect_senders=collect_senders,
-            collect_receives=collect_receives,
+            collect_senders=key.collect_senders,
+            collect_receives=key.collect_receives,
         )
-    if backend == NUMPY:
+    if key.backend == NUMPY:
         runner = numpy_backend.run
-    elif backend == ORACLE:
+    elif key.backend == ORACLE:
         runner = oracle_backend.run
     else:
         runner = pure_backend.run
     return runner(
         index,
         source_ids,
-        budget,
-        collect_senders=collect_senders,
-        collect_receives=collect_receives,
+        key.budget,
+        collect_senders=key.collect_senders,
+        collect_receives=key.collect_receives,
     )
 
 
@@ -263,6 +278,37 @@ def wrap_raw_run(
     )
 
 
+def _require_fastpath_spec(spec: FloodSpec) -> None:
+    if spec.scenario is not None:
+        raise ConfigurationError(
+            f"scenario {spec.scenario!r} runs on the reference engines; "
+            f"use FloodSession.run (the fast path has no stepper for it)"
+        )
+
+
+def run_spec(spec: FloodSpec, index: Optional[IndexedGraph] = None) -> IndexedRun:
+    """One flood from a validated :class:`FloodSpec`, serially.
+
+    The spec-native core behind :func:`simulate_indexed` (which is now
+    a shim constructing a spec) and ``FloodSession.run``.  Backend
+    resolution for a single run never consults the rounds probe --
+    probing costs cover-BFS passes that only amortise across a batch --
+    so ``backend=None`` auto-selects a frontier engine exactly like the
+    legacy single-run path.  Pass ``index`` to reuse a prebuilt
+    :class:`IndexedGraph`.
+    """
+    _require_fastpath_spec(spec)
+    if index is None:
+        index = spec.index()
+    source_ids = index.resolve_sources(spec.sources)
+    if spec.variant is not None:
+        chosen = variant_backend(index, spec.backend, spec.variant)
+    else:
+        chosen = select_backend(index, spec.backend)
+    raw = _dispatch(index, source_ids, spec.batch_key(chosen), spec.run_key())
+    return wrap_raw_run(index, source_ids, chosen, raw, spec.variant)
+
+
 def simulate_indexed(
     graph: Graph,
     sources: Iterable[Node],
@@ -282,28 +328,25 @@ def simulate_indexed(
     A ``variant`` spec runs the stochastic/memory stepper instead of
     the deterministic process (as run 0 of its seed stream -- sweeps
     give later positions to later runs).
+
+    This is a shim over the declarative request path: it constructs a
+    :class:`~repro.api.spec.FloodSpec` and delegates to
+    :func:`run_spec`, so the kwargs and the spec pipelines cannot
+    drift.
     """
-    if index is None:
-        index = IndexedGraph.of(graph)
-    source_ids = index.resolve_sources(sources)
-    budget = _resolve_budget(graph, max_rounds)
-    if variant is not None:
-        chosen = variant_backend(index, backend, variant)
-    else:
-        chosen = select_backend(index, backend)
-    raw = _dispatch(
-        index,
-        source_ids,
-        budget,
-        chosen,
-        collect_senders,
-        collect_receives,
-        variant,
-        variant.run_key(0) if variant is not None else 0,
+    spec = FloodSpec(
+        graph=graph,
+        sources=tuple(sources),
+        max_rounds=max_rounds,
+        backend=backend,
+        variant=variant,
+        collect_senders=collect_senders,
+        collect_receives=collect_receives,
     )
-    if not raw[0] and raise_on_budget:
-        raise NonTerminationError(budget)
-    return wrap_raw_run(index, source_ids, chosen, raw, variant)
+    run = run_spec(spec, index=index)
+    if not run.terminated and raise_on_budget:
+        raise NonTerminationError(spec.max_rounds)
+    return run
 
 
 def routed_sweep_backend(
@@ -379,27 +422,112 @@ def sweep(
     >>> fast = sweep(cycle_graph(9), [[0], [3], [0, 4]], backend="oracle")
     >>> [run.termination_round for run in fast]
     [9, 9, 7]
+
+    This is a shim over the declarative request path: every source set
+    becomes a :class:`~repro.api.spec.FloodSpec` (position ``i`` at
+    stream ``i`` for variant work) and the batch runs through
+    :func:`sweep_specs`.
     """
-    index = IndexedGraph.of(graph)
-    budget = _resolve_budget(graph, max_rounds)
-    if variant is not None:
-        chosen = variant_backend(index, backend, variant)
-    else:
-        chosen = routed_sweep_backend(index, backend, budget, probe)
-    runs: List[IndexedRun] = []
-    for position, sources in enumerate(source_sets):
-        source_ids = index.resolve_sources(sources)
-        raw = _dispatch(
-            index,
-            source_ids,
-            budget,
-            chosen,
-            collect_senders,
-            collect_receives,
-            variant,
-            variant.run_key(position) if variant is not None else 0,
+    specs = [
+        FloodSpec(
+            graph=graph,
+            sources=tuple(sources),
+            max_rounds=max_rounds,
+            backend=backend,
+            probe=probe,
+            variant=variant,
+            stream=position if variant is not None else 0,
+            collect_senders=collect_senders,
+            collect_receives=collect_receives,
         )
-        runs.append(wrap_raw_run(index, source_ids, chosen, raw, variant))
+        for position, sources in enumerate(source_sets)
+    ]
+    if not specs:
+        # Preserve the legacy contract that an empty batch still
+        # validates its budget and backend before returning nothing.
+        index = IndexedGraph.of(graph)
+        _resolve_budget(graph, max_rounds)
+        if variant is not None:
+            variant_backend(index, backend, variant)
+        else:
+            select_backend(index, backend)
+        return []
+    return sweep_specs(specs)
+
+
+def ensure_homogeneous_specs(specs: Sequence[FloodSpec]) -> FloodSpec:
+    """Check a spec batch agrees on everything execution-relevant.
+
+    Specs of one batch may differ only in sources and RNG ``stream``;
+    anything that changes how the backend must run them (graph, budget,
+    backend request, probe policy, variant, collection flags) must
+    match, because the whole batch resolves to a single
+    :class:`BatchKey`.  Returns the lead spec.
+    """
+    head = specs[0]
+    _require_fastpath_spec(head)
+    for spec in specs[1:]:
+        _require_fastpath_spec(spec)
+        if (
+            spec.graph != head.graph
+            or spec.max_rounds != head.max_rounds
+            or spec.backend != head.backend
+            or spec.probe != head.probe
+            or spec.variant != head.variant
+            or spec.collect_senders != head.collect_senders
+            or spec.collect_receives != head.collect_receives
+        ):
+            raise ConfigurationError(
+                "sweep_specs requires a homogeneous batch (same graph, "
+                "max_rounds, backend, probe, variant and collection "
+                "flags); FloodSession.sweep groups heterogeneous specs"
+            )
+    return head
+
+
+def batch_key_of(specs: Sequence[FloodSpec], index: IndexedGraph) -> BatchKey:
+    """Resolve one homogeneous spec batch to its executable BatchKey.
+
+    The shared front half of every batch tier (serial
+    :func:`sweep_specs`, the worker pool, the service's batch path):
+    checks the specs agree on everything execution-relevant
+    (:func:`ensure_homogeneous_specs`), then runs backend resolution
+    once -- variant rules, or the probe-aware routing when the lead
+    spec says ``backend=None, probe=True``.
+    """
+    head = ensure_homogeneous_specs(specs)
+    if head.variant is not None:
+        chosen = variant_backend(index, head.backend, head.variant)
+    else:
+        chosen = routed_sweep_backend(
+            index, head.backend, head.max_rounds, head.probe
+        )
+    return head.batch_key(chosen)
+
+
+def sweep_specs(
+    specs: Sequence[FloodSpec], index: Optional[IndexedGraph] = None
+) -> List[IndexedRun]:
+    """Run a homogeneous batch of specs serially, indexing once.
+
+    The spec-native core behind :func:`sweep`: all specs must share
+    their graph and execution-relevant fields (they may differ in
+    sources and RNG ``stream``), the CSR freeze and backend routing are
+    hoisted out of the loop, and each run draws from its *own* spec's
+    stream key -- so a batch built by the :func:`sweep` shim reproduces
+    the legacy position-keyed randomness exactly.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if index is None:
+        index = specs[0].index()
+    key = batch_key_of(specs, index)
+    runs: List[IndexedRun] = []
+    for spec in specs:
+        source_ids = index.resolve_sources(spec.sources)
+        raw = _dispatch(index, source_ids, key, spec.run_key())
+        runs.append(wrap_raw_run(index, source_ids, key.backend, raw, key.variant))
     return runs
 
 

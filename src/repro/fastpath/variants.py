@@ -163,12 +163,24 @@ def variant_backend(
     deterministic process and therefore can never stand in for a
     stochastic (or non-amnesiac) execution.
     """
+    return resolve_variant_backend(backend, spec)
+
+
+def resolve_variant_backend(backend: Optional[str], spec: VariantSpec) -> str:
+    """The index-free core of :func:`variant_backend`.
+
+    Variant routing depends only on the names (the stepper is always
+    the pure arc-mask loop), so request validation
+    (:class:`~repro.api.spec.FloodSpec`) runs this without touching the
+    CSR index.
+    """
     if backend is None or backend == "pure":
         return "pure"
     if backend == "oracle":
         raise ConfigurationError(
             f"the double-cover oracle predicts the deterministic process; "
-            f"{spec.kind!r} variant runs never route to it"
+            f"{spec.kind!r} variant runs never route to it "
+            f"(backend must be 'pure' or None)"
         )
     if backend == "numpy":
         raise ConfigurationError(

@@ -281,6 +281,19 @@ class Graph:
             self._hash = hash(frozenset((n, nbrs) for n, nbrs in self._adj.items()))
         return self._hash
 
+    # Pickling: drop the memoised hash.  Python salts string hashing
+    # per process, so a cached hash computed here is wrong in a worker
+    # that unpickles the graph (and carrying it would also make the
+    # pickled payload depend on whether the graph was ever used as a
+    # dict key).  The slot rebuilds lazily on first hash.
+
+    def __getstate__(self) -> Tuple[Dict[Node, FrozenSet[Node]], Tuple[Node, ...], int]:
+        return (self._adj, self._nodes, self._num_edges)
+
+    def __setstate__(self, state) -> None:
+        self._adj, self._nodes, self._num_edges = state
+        self._hash = None
+
     def __repr__(self) -> str:
         return f"Graph(n={self.num_nodes}, m={self.num_edges})"
 

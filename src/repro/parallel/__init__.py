@@ -40,6 +40,7 @@ from repro.parallel.pool import (
     SweepPool,
     default_chunksize,
     parallel_sweep,
+    serial_batch_ids,
     serial_sweep_ids,
     worker_count,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "classify_masks",
     "default_chunksize",
     "parallel_sweep",
+    "serial_batch_ids",
     "serial_sweep_ids",
     "worker_count",
 ]

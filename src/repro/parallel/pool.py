@@ -9,8 +9,11 @@ writes an independent result.  This module shards a batch across
   **once** into a bytes payload (the index's pickle support drops its
   process-local memo caches), and every worker unpickles it **once** in
   its pool initializer -- never per run, never per chunk;
-* tasks are ``(position, [source-id lists])`` chunks -- a few dozen
-  bytes each -- and results stream back as raw statistic tuples
+* tasks are ``(position, [source-id lists], BatchKey, [stream keys])``
+  chunks -- a few dozen bytes each, carrying the *same*
+  :class:`~repro.api.spec.BatchKey` the batch was resolved to (the
+  execution projection of the requests' :class:`~repro.api.spec.FloodSpec`)
+  -- and results stream back as raw statistic tuples
   (:data:`~repro.fastpath.pure_backend.RawRun`), which the parent wraps
   into :class:`~repro.fastpath.engine.IndexedRun` against its own copy
   of the index;
@@ -33,6 +36,8 @@ Entry points
     The reusable form for serving workloads: keep one pool of warm
     workers per graph and push many batches through it, paying worker
     start-up and index transfer once per pool instead of once per call.
+    :meth:`SweepPool.sweep_specs` is the spec-native batch form the
+    :class:`~repro.api.session.FloodSession` facade drives.
 
 Usage::
 
@@ -59,11 +64,13 @@ import sys
 from concurrent.futures import Future
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.api.spec import BatchKey, FloodSpec
 from repro.errors import ConfigurationError
 from repro.fastpath.engine import (
     IndexedRun,
     _dispatch,
     _resolve_budget,
+    ensure_homogeneous_specs,
     routed_sweep_backend,
     select_backend,
     wrap_raw_run,
@@ -85,16 +92,7 @@ they get one).
 MAX_CHUNK = 64
 """Upper bound on the chunk heuristic, to keep results streaming."""
 
-_Task = Tuple[
-    int,
-    List[List[int]],
-    int,
-    str,
-    bool,
-    bool,
-    Optional[VariantSpec],
-    Optional[List[int]],
-]
+_Task = Tuple[int, List[List[int]], BatchKey, Optional[List[int]]]
 _TaskResult = Tuple[int, List[RawRun]]
 
 # Per-worker state, populated exactly once by _init_worker.  Plain
@@ -142,27 +140,20 @@ def _init_worker(payload: bytes) -> None:
 
 
 def _run_chunk(task: _Task) -> _TaskResult:
-    """Worker body: run one chunk of source-id lists on the local index."""
-    (
-        position,
-        id_lists,
-        budget,
-        backend,
-        collect_senders,
-        collect_receives,
-        variant,
-        run_keys,
-    ) = task
+    """Worker body: run one chunk of source-id lists on the local index.
+
+    The chunk carries the batch's :class:`BatchKey` verbatim -- the
+    worker executes exactly the object the parent batched on, through
+    the same :func:`~repro.fastpath.engine._dispatch` funnel the serial
+    path uses.
+    """
+    position, id_lists, key, run_keys = task
     index = _WORKER_INDEX
     results = [
         _dispatch(
             index,
             ids,
-            budget,
-            backend,
-            collect_senders,
-            collect_receives,
-            variant,
+            key,
             run_keys[offset] if run_keys is not None else 0,
         )
         for offset, ids in enumerate(id_lists)
@@ -174,8 +165,7 @@ def _wrap_runs(
     index: IndexedGraph,
     id_lists: Sequence[List[int]],
     raw_runs: Iterable[RawRun],
-    backend: str,
-    variant: Optional[VariantSpec] = None,
+    key: BatchKey,
 ) -> List[IndexedRun]:
     """Rehydrate raw statistic tuples into IndexedRuns on the parent index.
 
@@ -183,7 +173,7 @@ def _wrap_runs(
     constructed by exactly the same code as serial ones.
     """
     return [
-        wrap_raw_run(index, ids, backend, raw, variant)
+        wrap_raw_run(index, ids, key.backend, raw, key.variant)
         for ids, raw in zip(id_lists, raw_runs)
     ]
 
@@ -260,23 +250,60 @@ class SweepPool:
         in the parent, so errors surface before any work is
         dispatched), including the probe-aware ``backend=None`` routing
         and the ``variant`` stepper lane with its per-position seed
-        streams.
+        streams.  A legacy shim over the spec pipeline: the kwargs
+        resolve to one :class:`BatchKey` exactly like a
+        :meth:`sweep_specs` batch.
         """
         id_lists = [
             self.index.resolve_sources(sources) for sources in source_sets
         ]
         budget = _resolve_budget(self.graph, max_rounds)
         chosen = self._resolve_backend(backend, budget, variant, probe)
+        key = BatchKey(budget, chosen, collect_senders, collect_receives, variant)
         return self._sweep_ids(
-            id_lists,
-            budget,
-            chosen,
-            chunksize,
-            collect_senders,
-            collect_receives,
-            variant,
-            _variant_run_keys(variant, len(id_lists)),
+            id_lists, key, chunksize, _variant_run_keys(variant, len(id_lists))
         )
+
+    def sweep_specs(
+        self,
+        specs: Sequence[FloodSpec],
+        chunksize: Optional[int] = None,
+    ) -> List[IndexedRun]:
+        """Run one homogeneous spec batch across the pool, in input order.
+
+        The pool twin of :func:`repro.fastpath.engine.sweep_specs`: the
+        specs must agree on graph, budget, backend, probe, variant and
+        collection flags (they may differ in sources and RNG
+        ``stream``), resolve to one :class:`BatchKey`, and every run
+        carries its own spec's stream key into whatever chunk it lands
+        on -- bit-identical to the serial spec sweep for every worker
+        count and chunk size.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if specs[0].graph != self.graph:
+            raise ConfigurationError(
+                "sweep_specs: the specs' graph is not this pool's graph"
+            )
+        key = self._spec_batch_key(specs)
+        id_lists = [
+            self.index.resolve_sources(spec.sources) for spec in specs
+        ]
+        run_keys = (
+            [spec.run_key() for spec in specs]
+            if key.variant is not None
+            else None
+        )
+        return self._sweep_ids(id_lists, key, chunksize, run_keys)
+
+    def _spec_batch_key(self, specs: Sequence[FloodSpec]) -> BatchKey:
+        """Batch-resolve specs through the pool's cached probe."""
+        head = ensure_homogeneous_specs(specs)
+        chosen = self._resolve_backend(
+            head.backend, head.max_rounds, head.variant, head.probe
+        )
+        return head.batch_key(chosen)
 
     def sweep_async(
         self,
@@ -306,15 +333,9 @@ class SweepPool:
         ]
         budget = _resolve_budget(self.graph, max_rounds)
         chosen = self._resolve_backend(backend, budget, variant, probe)
-        return self.submit_ids(
-            id_lists,
-            budget,
-            chosen,
-            chunksize,
-            collect_senders,
-            collect_receives,
-            variant,
-            _variant_run_keys(variant, len(id_lists)),
+        key = BatchKey(budget, chosen, collect_senders, collect_receives, variant)
+        return self.submit_batch(
+            id_lists, key, chunksize, _variant_run_keys(variant, len(id_lists))
         )
 
     def _resolve_backend(
@@ -341,6 +362,49 @@ class SweepPool:
             self._probe_rounds = probe_termination_rounds(self.index)
         return routed_backend(self.index, self._probe_rounds, budget)
 
+    def submit_batch(
+        self,
+        id_lists: Sequence[List[int]],
+        key: BatchKey,
+        chunksize: Optional[int] = None,
+        run_keys: Optional[Sequence[int]] = None,
+    ) -> "Future[List[IndexedRun]]":
+        """Submit already-resolved id lists under one :class:`BatchKey`.
+
+        The async post-validation core, used by the service layer: it
+        resolves and validates sources itself so it can batch requests
+        in id space, and its micro-batch buckets are keyed by exactly
+        the ``key`` object submitted here.  For variant work the caller
+        supplies one RNG stream key per id list (the service derives
+        them per *request*, so coalescing cannot move a query onto a
+        different stream).  The returned future resolves to the same
+        (ordered, parent-index-wrapped) runs the blocking path
+        produces; a worker failure resolves it exceptionally instead.
+        """
+        future: "Future[List[IndexedRun]]" = Future()
+        future.set_running_or_notify_cancel()
+        if not id_lists:
+            future.set_result([])
+            return future
+        tasks = self._make_tasks(id_lists, key, chunksize, run_keys)
+
+        def on_done(ordered: List[_TaskResult]) -> None:
+            # map_async delivers every chunk in task order, so flatten
+            # and rehydrate exactly like the blocking path.
+            try:
+                raw_runs = [raw for _, chunk in ordered for raw in chunk]
+                future.set_result(
+                    _wrap_runs(self.index, id_lists, raw_runs, key)
+                )
+            except BaseException as exc:  # pragma: no cover - defensive
+                future.set_exception(exc)
+
+        self._pool.map_async(
+            _run_chunk, tasks, chunksize=1,
+            callback=on_done, error_callback=future.set_exception,
+        )
+        return future
+
     def submit_ids(
         self,
         id_lists: Sequence[List[int]],
@@ -352,58 +416,19 @@ class SweepPool:
         variant: Optional[VariantSpec] = None,
         run_keys: Optional[Sequence[int]] = None,
     ) -> "Future[List[IndexedRun]]":
-        """Submit already-resolved id lists; the async post-validation core.
-
-        Used by the service layer, which resolves and validates sources
-        itself so it can batch requests in id space.  For variant work
-        the caller supplies one RNG stream key per id list (the service
-        derives them per *request*, so coalescing cannot move a query
-        onto a different stream).  The returned future resolves to the
-        same (ordered, parent-index-wrapped) runs the blocking path
-        produces; a worker failure resolves it exceptionally instead.
-        """
-        future: "Future[List[IndexedRun]]" = Future()
-        future.set_running_or_notify_cancel()
-        if not id_lists:
-            future.set_result([])
-            return future
-        tasks = self._make_tasks(
+        """Legacy-signature shim over :meth:`submit_batch`."""
+        return self.submit_batch(
             id_lists,
-            budget,
-            backend,
+            BatchKey(budget, backend, collect_senders, collect_receives, variant),
             chunksize,
-            collect_senders,
-            collect_receives,
-            variant,
             run_keys,
         )
-
-        def on_done(ordered: List[_TaskResult]) -> None:
-            # map_async delivers every chunk in task order, so flatten
-            # and rehydrate exactly like the blocking path.
-            try:
-                raw_runs = [raw for _, chunk in ordered for raw in chunk]
-                future.set_result(
-                    _wrap_runs(self.index, id_lists, raw_runs, backend, variant)
-                )
-            except BaseException as exc:  # pragma: no cover - defensive
-                future.set_exception(exc)
-
-        self._pool.map_async(
-            _run_chunk, tasks, chunksize=1,
-            callback=on_done, error_callback=future.set_exception,
-        )
-        return future
 
     def _make_tasks(
         self,
         id_lists: Sequence[List[int]],
-        budget: int,
-        backend: str,
+        key: BatchKey,
         chunksize: Optional[int],
-        collect_senders: bool,
-        collect_receives: bool,
-        variant: Optional[VariantSpec] = None,
         run_keys: Optional[Sequence[int]] = None,
     ) -> List[_Task]:
         """Shard id lists into positioned chunk tasks (shared by both paths).
@@ -420,7 +445,7 @@ class SweepPool:
         elif chunksize < 1:
             raise ConfigurationError("chunksize must be >= 1")
         if run_keys is None:
-            run_keys = _variant_run_keys(variant, len(id_lists))
+            run_keys = _variant_run_keys(key.variant, len(id_lists))
         if run_keys is not None and len(run_keys) != len(id_lists):
             raise ConfigurationError(
                 "run_keys must align one-to-one with id_lists"
@@ -429,11 +454,7 @@ class SweepPool:
             (
                 start,
                 list(id_lists[start : start + chunksize]),
-                budget,
-                backend,
-                collect_senders,
-                collect_receives,
-                variant,
+                key,
                 (
                     list(run_keys[start : start + chunksize])
                     if run_keys is not None
@@ -446,27 +467,14 @@ class SweepPool:
     def _sweep_ids(
         self,
         id_lists: Sequence[List[int]],
-        budget: int,
-        backend: str,
+        key: BatchKey,
         chunksize: Optional[int],
-        collect_senders: bool,
-        collect_receives: bool,
-        variant: Optional[VariantSpec] = None,
         run_keys: Optional[Sequence[int]] = None,
     ) -> List[IndexedRun]:
         """Dispatch already-resolved id lists (the post-validation core)."""
         if not id_lists:
             return []
-        tasks = self._make_tasks(
-            id_lists,
-            budget,
-            backend,
-            chunksize,
-            collect_senders,
-            collect_receives,
-            variant,
-            run_keys,
-        )
+        tasks = self._make_tasks(id_lists, key, chunksize, run_keys)
         raw_runs: List[RawRun] = []
         # Ordered imap: chunks stream back in submission order even
         # when a later chunk finishes first, so concatenation recovers
@@ -474,7 +482,7 @@ class SweepPool:
         for position, chunk_results in self._pool.imap(_run_chunk, tasks):
             assert position == len(raw_runs), "chunk streamed out of order"
             raw_runs.extend(chunk_results)
-        return _wrap_runs(self.index, id_lists, raw_runs, backend, variant)
+        return _wrap_runs(self.index, id_lists, raw_runs, key)
 
     # ------------------------------------------------------------------
 
@@ -501,6 +509,36 @@ class SweepPool:
         return f"SweepPool(workers={self.workers}, index={self.index!r})"
 
 
+def serial_batch_ids(
+    index: IndexedGraph,
+    id_lists: Sequence[List[int]],
+    key: BatchKey,
+    run_keys: Optional[Sequence[int]] = None,
+) -> List[IndexedRun]:
+    """The in-process fallback: same loop the pool runs, no processes.
+
+    Public because the service layer's serial mode (``workers=0`` on a
+    single-core box) executes batches through exactly this function --
+    one code path, one determinism contract, pool or no pool, and one
+    :class:`BatchKey` object from admission to execution.  Variant work
+    with ``run_keys=None`` defaults to the position-keyed derivation
+    (run ``i`` on stream ``derive_key(variant.seed, i)``), matching
+    :func:`repro.fastpath.sweep`.
+    """
+    if run_keys is None:
+        run_keys = _variant_run_keys(key.variant, len(id_lists))
+    raw_runs = [
+        _dispatch(
+            index,
+            ids,
+            key,
+            run_keys[position] if run_keys is not None else 0,
+        )
+        for position, ids in enumerate(id_lists)
+    ]
+    return _wrap_runs(index, id_lists, raw_runs, key)
+
+
 def serial_sweep_ids(
     index: IndexedGraph,
     id_lists: Sequence[List[int]],
@@ -511,31 +549,13 @@ def serial_sweep_ids(
     variant: Optional[VariantSpec] = None,
     run_keys: Optional[Sequence[int]] = None,
 ) -> List[IndexedRun]:
-    """The in-process fallback: same loop the pool runs, no processes.
-
-    Public because the service layer's serial mode (``workers=0`` on a
-    single-core box) executes batches through exactly this function --
-    one code path, one determinism contract, pool or no pool.  Variant
-    work with ``run_keys=None`` defaults to the position-keyed
-    derivation (run ``i`` on stream ``derive_key(variant.seed, i)``),
-    matching :func:`repro.fastpath.sweep`.
-    """
-    if run_keys is None:
-        run_keys = _variant_run_keys(variant, len(id_lists))
-    raw_runs = [
-        _dispatch(
-            index,
-            ids,
-            budget,
-            backend,
-            collect_senders,
-            collect_receives,
-            variant,
-            run_keys[position] if run_keys is not None else 0,
-        )
-        for position, ids in enumerate(id_lists)
-    ]
-    return _wrap_runs(index, id_lists, raw_runs, backend, variant)
+    """Legacy-signature shim over :func:`serial_batch_ids`."""
+    return serial_batch_ids(
+        index,
+        id_lists,
+        BatchKey(budget, backend, collect_senders, collect_receives, variant),
+        run_keys,
+    )
 
 
 def parallel_sweep(
@@ -586,30 +606,13 @@ def parallel_sweep(
         chosen = routed_sweep_backend(index, backend, budget, probe)
     if chunksize is not None and chunksize < 1:
         raise ConfigurationError("chunksize must be >= 1")
+    key = BatchKey(budget, chosen, collect_senders, collect_receives, variant)
     run_keys = _variant_run_keys(variant, len(id_lists))
     resolved_workers = worker_count(workers)
     serial = workers is None and (
         resolved_workers <= 1 or len(id_lists) < MIN_PARALLEL_BATCH
     )
     if serial:
-        return serial_sweep_ids(
-            index,
-            id_lists,
-            budget,
-            chosen,
-            collect_senders,
-            collect_receives,
-            variant,
-            run_keys,
-        )
+        return serial_batch_ids(index, id_lists, key, run_keys)
     with SweepPool(graph, workers=resolved_workers) as pool:
-        return pool._sweep_ids(
-            id_lists,
-            budget,
-            chosen,
-            chunksize,
-            collect_senders,
-            collect_receives,
-            variant,
-            run_keys,
-        )
+        return pool._sweep_ids(id_lists, key, chunksize, run_keys)

@@ -3,9 +3,10 @@
 The sweep pool is a batch engine -- its unit of dispatch is a chunk of
 source-id lists -- while service callers arrive one ``await query()``
 at a time.  The :class:`MicroBatcher` bridges the two shapes: requests
-that share a batch key (same graph, budget, backend and collection
-flags -- anything that changes how the pool must run them) accumulate
-in a bucket, and the bucket flushes as one batch when either
+that share a batch key -- for the flood service, the graph entry plus
+the request spec's :class:`~repro.api.spec.BatchKey`, i.e. everything
+that changes how the pool must run them -- accumulate in a bucket, and
+the bucket flushes as one batch when either
 
 * the **batching window** elapses (``window`` seconds after the first
   request opened the bucket; ``window=0`` flushes on the next event-loop

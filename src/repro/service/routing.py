@@ -90,6 +90,7 @@ class Router:
         backend: Optional[str],
         budget: int,
         variant: Optional[VariantSpec] = None,
+        probe: bool = True,
     ) -> str:
         """Apply the routing rules; returns a concrete backend name.
 
@@ -98,12 +99,20 @@ class Router:
         oracle predicts, so no expected-rounds estimate may ever route
         one there -- they resolve to the pure arc-mask stepper (and an
         explicit oracle/numpy request is a configuration error).
+        ``probe=False`` (a :class:`~repro.api.spec.FloodSpec` opt-out)
+        restores the plain frontier auto-selection for ``backend=None``.
         """
         if variant is not None:
             return variant_backend(index, backend, variant)
-        if backend is not None:
+        if backend is not None or not probe:
             return select_backend(index, backend)
         return routed_backend(index, self.probe(index), budget)
+
+    def resolve_spec(self, index: IndexedGraph, spec) -> str:
+        """Routing from a :class:`~repro.api.spec.FloodSpec` alone."""
+        return self.resolve(
+            index, spec.backend, spec.max_rounds, spec.variant, spec.probe
+        )
 
     def forget(self, index: IndexedGraph) -> None:
         """Drop the cached probe for an evicted topology."""

@@ -9,16 +9,24 @@ and timeouts, per-topology caching and rounds-aware backend routing.
 
 Dataflow (one request's life)::
 
-    caller ──await query()──► validate + resolve ids     (errors raise here)
+    caller ──await query()──► FloodSpec built + validated (errors raise here)
                               route backend (probe cache)
                               admit: bounded pending gate ── full? ──► QueueFull
                                                                   or await slot
-                              micro-batcher bucket (graph, budget,
-                              backend, flags)  ── window/size ──► flush
-                              SweepPool.submit_ids  ──chunks──► warm workers
+                              micro-batcher bucket keyed by the spec's
+                              BatchKey (+ graph entry) ── window/size ──► flush
+                              SweepPool.submit_batch ──chunks──► warm workers
                               (or the serial executor when workers=0)
     caller ◄──IndexedRun────  distribute batch results to request futures,
                               release admission slots
+
+Requests are :class:`~repro.api.spec.FloodSpec` values end-to-end:
+``query``/``query_batch`` are kwargs shims that construct specs and
+delegate to :meth:`FloodService.query_spec` /
+:meth:`FloodService.query_batch_specs`, and the micro-batch buckets are
+keyed by ``(graph entry, spec.batch_key(backend))`` -- the same frozen
+:class:`~repro.api.spec.BatchKey` object the pool ships in its task
+tuples, replacing the ad-hoc key tuples each layer used to maintain.
 
 Determinism contract: the result a caller gets for ``(graph, sources,
 max_rounds, backend)`` is **bit-identical** to
@@ -43,16 +51,18 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
 
+from repro.api.spec import BatchKey, FloodSpec
 from repro.errors import ConfigurationError
-from repro.fastpath.engine import IndexedRun, _resolve_budget, select_backend
+from repro.fastpath.engine import IndexedRun
 from repro.fastpath.indexed import IndexedGraph
-from repro.fastpath.variants import VariantSpec, variant_backend
+from repro.fastpath.variants import VariantSpec
 from repro.graphs.graph import Graph, Node
-from repro.parallel.pool import SweepPool, serial_sweep_ids, worker_count
+from repro.parallel.pool import SweepPool, serial_batch_ids, worker_count
 from repro.service.batcher import MicroBatcher
 from repro.service.errors import QueryTimeout, QueueFull, ServiceClosed, ServiceError
 from repro.service.routing import Router
@@ -540,26 +550,53 @@ class FloodService:
         were coalesced; Monte-Carlo callers vary the seed per trial or
         use :meth:`query_batch`.  Stochastic requests never route to
         the oracle.
+
+        A legacy shim: the kwargs become a
+        :class:`~repro.api.spec.FloodSpec` (validated at construction)
+        and the call delegates to :meth:`query_spec`.
         """
-        entry, id_lists, budget, chosen = await self._prepare(
-            graph, [sources], max_rounds, backend, variant
+        spec = FloodSpec(
+            graph=graph,
+            sources=tuple(sources),
+            max_rounds=max_rounds,
+            backend=backend,
+            variant=variant,
+            collect_senders=collect_senders,
+            collect_receives=collect_receives,
         )
+        return await self.query_spec(spec, timeout=timeout, on_full=on_full)
+
+    async def query_spec(
+        self,
+        spec: FloodSpec,
+        *,
+        timeout: Any = _UNSET,
+        on_full: Optional[str] = None,
+    ) -> IndexedRun:
+        """One flood query from a validated :class:`FloodSpec`.
+
+        The spec-native core of :meth:`query`: the spec was validated
+        at construction, so the service only routes it, admits it, and
+        buckets it under ``(graph entry, spec.batch_key(backend))`` --
+        equal specs (and kwarg queries that canonicalise to them)
+        coalesce into the same pool batch.  The request runs on the RNG
+        stream ``derive_key(variant.seed, spec.stream)``, derived here
+        per *request* so coalescing can never move a query between
+        streams.
+        """
+        entry, chosen = await self._prepare_spec(spec, slots=1)
         try:
             await self._admit(1, on_full)
         except BaseException:
             entry.untrack(1)
             raise
         request = _Request(
-            id_lists[0],
+            entry.index.resolve_sources(spec.sources),
             self._require_loop().create_future(),
-            variant.run_key(0) if variant is not None else 0,
+            spec.run_key(),
         )
         try:
-            self._batcher.add(
-                (entry, budget, chosen, collect_senders, collect_receives,
-                 variant),
-                request,
-            )
+            self._batcher.add((entry, spec.batch_key(chosen)), request)
         except BaseException:
             self._gate.release(1)
             entry.untrack(1)
@@ -588,31 +625,63 @@ class FloodService:
         same source sets.  With a ``variant``, position ``i`` of the
         batch runs on the stream ``derive_key(variant.seed, i)`` --
         exactly ``sweep(graph, source_sets, variant=variant)``.
+
+        A legacy shim over :meth:`query_batch_specs`: source set ``i``
+        becomes a spec at stream ``i``.
         """
-        entry, id_lists, budget, chosen = await self._prepare(
-            graph, source_sets, max_rounds, backend, variant
+        specs = [
+            FloodSpec(
+                graph=graph,
+                sources=tuple(sources),
+                max_rounds=max_rounds,
+                backend=backend,
+                variant=variant,
+                stream=position if variant is not None else 0,
+                collect_senders=collect_senders,
+                collect_receives=collect_receives,
+            )
+            for position, sources in enumerate(source_sets)
+        ]
+        return await self.query_batch_specs(
+            specs, timeout=timeout, on_full=on_full
         )
-        if not id_lists:
+
+    async def query_batch_specs(
+        self,
+        specs: Sequence[FloodSpec],
+        *,
+        timeout: Any = _UNSET,
+        on_full: Optional[str] = None,
+    ) -> List[IndexedRun]:
+        """A caller-shaped homogeneous spec batch, dispatched whole.
+
+        The specs must agree on graph and execution-relevant fields
+        (:func:`~repro.fastpath.engine.ensure_homogeneous_specs`); each
+        runs on its own spec's RNG stream.  Results come back in input
+        order, bit-identical to ``sweep_specs`` of the same batch.
+        """
+        if not specs:
             return []
+        from repro.fastpath.engine import ensure_homogeneous_specs
+
+        head = ensure_homogeneous_specs(list(specs))
+        entry, chosen = await self._prepare_spec(head, slots=len(specs))
         try:
-            await self._admit(len(id_lists), on_full)
+            await self._admit(len(specs), on_full)
         except BaseException:
-            entry.untrack(len(id_lists))
+            entry.untrack(len(specs))
             raise
         loop = self._require_loop()
         requests = [
             _Request(
-                ids,
+                entry.index.resolve_sources(spec.sources),
                 loop.create_future(),
-                variant.run_key(position) if variant is not None else 0,
+                spec.run_key(),
             )
-            for position, ids in enumerate(id_lists)
+            for spec in specs
         ]
         self.stats.queries += len(requests)
-        self._dispatch(
-            (entry, budget, chosen, collect_senders, collect_receives, variant),
-            requests,
-        )
+        self._dispatch((entry, head.batch_key(chosen)), requests)
         # return_exceptions so every future is retrieved even when one
         # fails (all requests of a batch share any failure anyway).
         gathered = asyncio.gather(
@@ -626,49 +695,43 @@ class FloodService:
 
     # -- internals -----------------------------------------------------
 
-    async def _prepare(
-        self,
-        graph: Graph,
-        source_sets: Iterable[Iterable[Node]],
-        max_rounds: Optional[int],
-        backend: Optional[str],
-        variant: Optional[VariantSpec] = None,
-    ) -> Tuple[_GraphEntry, List[List[int]], int, str]:
-        """Shared front half: validate, route, acquire a tracked entry.
+    async def _prepare_spec(
+        self, spec: FloodSpec, slots: int
+    ) -> Tuple[_GraphEntry, str]:
+        """Shared front half: route a validated spec, acquire a tracked entry.
 
-        Validation runs first (against the LRU-cached index, so no
-        double indexing) and raises before any state changes; the
-        returned entry then carries ``len(id_lists)`` tracked slots --
-        the caller owns matching ``untrack`` calls on its failure
-        paths, and ``_resolve`` performs it on the success path.
+        The spec carries its validation from construction time, so the
+        only checks left are service-level (open, fast-path-runnable)
+        -- they raise before any state changes.  The returned entry
+        carries ``slots`` tracked slots: the caller owns matching
+        ``untrack`` calls on its failure paths, and ``_resolve``
+        performs it on the success path.
         """
         if self._closed:
             raise ServiceClosed()
         self._require_loop()
-        index = IndexedGraph.of(graph)
-        id_lists = [
-            index.resolve_sources(sources) for sources in source_sets
-        ]
-        budget = _resolve_budget(graph, max_rounds)
-        if variant is not None:
-            # Variant backend rules are probe-free and cheap: validate
-            # them (including oracle/numpy rejection) before any
-            # tracking or warm-up state changes.
-            variant_backend(index, backend, variant)
-        elif backend is not None:
-            # Explicit backends validate here (cheap) -- before any
-            # tracking or warm-up state changes.
-            select_backend(index, backend)
-        entry = await self._entry_async(graph, len(id_lists))
+        if spec.scenario is not None:
+            raise ConfigurationError(
+                f"scenario {spec.scenario!r} runs on the reference engines; "
+                f"use FloodSession.run/aquery (the service serves the fast "
+                f"path)"
+            )
+        entry = await self._entry_async(spec.graph, slots)
         try:
             # Routing runs after entry acquisition so a cold graph's
             # probe is the one _warm_pool precomputed off-loop; for a
             # warm topology this is a cache hit.
-            chosen = self._router.resolve(entry.index, backend, budget, variant)
+            chosen = self._router.resolve(
+                entry.index,
+                spec.backend,
+                spec.max_rounds,
+                spec.variant,
+                probe=spec.probe,
+            )
         except BaseException:
-            entry.untrack(len(id_lists))
+            entry.untrack(slots)
             raise
-        return entry, id_lists, budget, chosen
+        return entry, chosen
 
     async def _admit(self, slots: int, on_full: Optional[str]) -> None:
         if self._closed:
@@ -696,18 +759,23 @@ class FloodService:
             self._gate.release(slots)
             raise ServiceClosed()
 
-    def _dispatch(self, key: Tuple, requests: List[_Request]) -> None:
+    def _dispatch(
+        self, key: Tuple[_GraphEntry, BatchKey], requests: List[_Request]
+    ) -> None:
         """Flush one batch to the execution backend (pool or serial).
 
         Called by the micro-batcher (event-loop callback) and by
-        ``query_batch`` directly; never raises into the batcher --
+        ``query_batch_specs`` directly; never raises into the batcher --
         failures resolve the request futures exceptionally instead.
+        ``key`` is the micro-batch key itself: the graph entry plus the
+        requests' shared :class:`~repro.api.spec.BatchKey`, which rides
+        into the pool (or the serial executor) unchanged.
         """
-        entry, budget, backend, collect_senders, collect_receives, variant = key
+        entry, batch = key
         id_lists = [request.id_list for request in requests]
         run_keys = (
             [request.run_key for request in requests]
-            if variant is not None
+            if batch.variant is not None
             else None
         )
         self.stats.batches += 1
@@ -715,17 +783,15 @@ class FloodService:
         self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
         if len(requests) > 1:
             self.stats.coalesced_batches += 1
-        self.stats.backends[backend] = (
-            self.stats.backends.get(backend, 0) + len(requests)
+        self.stats.backends[batch.backend] = (
+            self.stats.backends.get(batch.backend, 0) + len(requests)
         )
         loop = self._loop
         assert loop is not None, "dispatch before loop binding"
         try:
             if entry.pool is not None:
-                pool_future = entry.pool.submit_ids(
-                    id_lists, budget, backend, None,
-                    collect_senders, collect_receives,
-                    variant, run_keys,
+                pool_future = entry.pool.submit_batch(
+                    id_lists, batch, None, run_keys
                 )
                 awaitable: "asyncio.Future[List[IndexedRun]]" = (
                     asyncio.wrap_future(pool_future, loop=loop)
@@ -734,14 +800,10 @@ class FloodService:
                 awaitable = loop.run_in_executor(
                     self._serial(),
                     partial(
-                        serial_sweep_ids,
+                        serial_batch_ids,
                         entry.index,
                         id_lists,
-                        budget,
-                        backend,
-                        collect_senders,
-                        collect_receives,
-                        variant,
+                        batch,
                         run_keys,
                     ),
                 )

@@ -57,6 +57,7 @@ from repro.variants.probabilistic import (
 )
 from repro.variants.random_delay import (
     DelaySummary,
+    default_step_budget,
     delay_sweep,
     random_delay_survey,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "coverage_curve",
     "probabilistic_flood",
     "DelaySummary",
+    "default_step_budget",
     "delay_sweep",
     "random_delay_survey",
 ]

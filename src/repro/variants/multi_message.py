@@ -69,7 +69,14 @@ def concurrent_floods(
     origins: Mapping[Hashable, Sequence[Node]],
     max_rounds: Optional[int] = None,
 ) -> ExecutionTrace:
-    """Run all floods in ``origins`` concurrently on one engine."""
+    """Run all floods in ``origins`` concurrently on one engine.
+
+    ``max_rounds`` follows the core budget rule: ``None`` resolves to
+    :func:`~repro.sync.engine.default_round_budget` (via the engine),
+    explicit budgets must be ``>= 1``.
+    """
+    if max_rounds is not None and max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
     algorithm = MultiMessageFlooding(origins)
     initiators: List[Node] = []
     for nodes in origins.values():
@@ -117,6 +124,8 @@ def independence_holds(
     The restriction of the concurrent run to each payload must equal
     the standalone run of that payload's flood.
     """
+    if max_rounds is not None and max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
     combined = concurrent_floods(graph, origins, max_rounds=max_rounds)
     for payload, nodes in origins.items():
         standalone = concurrent_floods(

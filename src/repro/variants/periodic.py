@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.errors import ConfigurationError, NodeNotFoundError
 from repro.graphs.graph import Graph, Node
 from repro.core.amnesiac import step_frontier
+from repro.sync.engine import default_round_budget
 
 DirectedEdge = Tuple[Node, Node]
 
@@ -42,6 +43,11 @@ class PeriodicRun:
     configuration memoisation (deterministic dynamics, finite space);
     ``rounds_after_last_injection`` is the settle time (or the step at
     which the orbit provably cycles, for non-terminating runs).
+    ``cut_off`` marks a run whose settle phase exhausted its round
+    budget before either verdict -- ``terminates`` is then ``False``
+    with no cycle certificate (on every graph measured the orbit
+    resolves well inside the default budget; the budget exists so the
+    uniform ``max_rounds`` rule holds on this variant too).
     """
 
     source: Node
@@ -52,6 +58,7 @@ class PeriodicRun:
     rounds_after_last_injection: int
     total_messages: int
     limit_cycle_length: Optional[int]
+    cut_off: bool = False
 
 
 def periodic_injection_flood(
@@ -59,6 +66,7 @@ def periodic_injection_flood(
     source: Node,
     period: int,
     injections: int,
+    max_rounds: Optional[int] = None,
 ) -> PeriodicRun:
     """Flood with the source re-sending every ``period`` rounds.
 
@@ -66,6 +74,12 @@ def periodic_injection_flood(
     out-edges are unioned into the current frontier.  After the last
     injection the run is evolved to an exact verdict (empty
     configuration, or a repeated one).
+
+    ``max_rounds`` bounds the post-injection settle phase, following
+    the core budget rule: ``None`` resolves to
+    :func:`~repro.sync.engine.default_round_budget`, explicit budgets
+    must be ``>= 1``, and the run is cut off (``cut_off=True``) only
+    when round ``max_rounds + 1`` of the settle phase would still send.
     """
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
@@ -73,6 +87,12 @@ def periodic_injection_flood(
         raise ConfigurationError("period must be >= 1")
     if injections < 1:
         raise ConfigurationError("injections must be >= 1")
+    if max_rounds is None:
+        budget = default_round_budget(graph)
+    elif max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
+    else:
+        budget = max_rounds
 
     source_edges: Set[DirectedEdge] = {
         (source, neighbour) for neighbour in graph.neighbors(source)
@@ -92,12 +112,19 @@ def periodic_injection_flood(
         total_messages += len(frontier)
         frontier = step_frontier(graph, frontier)
 
-    # After the final injection: exact decision by memoisation.
+    # After the final injection: exact decision by memoisation, under
+    # the settle budget (cut off only when round budget + 1 would still
+    # send -- the core rule).
     seen: Dict[FrozenSet[DirectedEdge], int] = {frozenset(frontier): 0}
     settle = 0
     cycle_length: Optional[int] = None
     terminates = True
+    cut_off = False
     while frontier:
+        if settle + 1 > budget:
+            terminates = False
+            cut_off = True
+            break
         total_messages += len(frontier)
         frontier = step_frontier(graph, frontier)
         settle += 1
@@ -117,6 +144,7 @@ def periodic_injection_flood(
         rounds_after_last_injection=settle,
         total_messages=total_messages,
         limit_cycle_length=cycle_length,
+        cut_off=cut_off,
     )
 
 
@@ -125,11 +153,12 @@ def injection_phase_diagram(
     source: Node,
     periods: List[int],
     injections: int = 3,
+    max_rounds: Optional[int] = None,
 ) -> Dict[int, bool]:
     """Termination verdict per injection period (the phase diagram)."""
     return {
         period: periodic_injection_flood(
-            graph, source, period, injections
+            graph, source, period, injections, max_rounds=max_rounds
         ).terminates
         for period in periods
     }

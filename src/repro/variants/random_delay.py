@@ -36,6 +36,28 @@ from repro.graphs.graph import Graph, Node
 from repro.asynchrony.adversary import RandomDelayAdversary
 from repro.asynchrony.engine import AsyncOutcome, run_async
 from repro.rng import derive_key
+from repro.sync.engine import default_round_budget
+
+MIN_STEP_BUDGET = 5_000
+"""Floor of the default step budget.
+
+Asynchronous steps are sub-round (one delivery batch each), and the
+module's headline finding is that dense graphs are *metastable* --
+floods outliving thousands of steps.  A bare ``default_round_budget``
+would cut those trials off before the signal appears, so the default
+budget is the graph-derived round budget with this floor under it.
+"""
+
+
+def default_step_budget(graph: Graph) -> int:
+    """The default ``max_steps`` of the delay surveys.
+
+    The asynchronous normalisation of the core budget rule:
+    graph-derived via :func:`~repro.sync.engine.default_round_budget`,
+    never below :data:`MIN_STEP_BUDGET` (the survey's established
+    metastability horizon).
+    """
+    return max(MIN_STEP_BUDGET, default_round_budget(graph))
 
 
 @dataclass(frozen=True)
@@ -60,17 +82,21 @@ def random_delay_survey(
     delay_probability: float,
     trials: int,
     seed: Optional[int] = None,
-    max_steps: int = 5_000,
+    max_steps: Optional[int] = None,
 ) -> DelaySummary:
     """Monte-Carlo termination survey under oblivious random delays.
 
     Cycle detection is disabled: with a randomized adversary a repeated
     configuration certifies nothing (the next coin flips may differ),
-    so only an empty configuration ends a trial early.
+    so only an empty configuration ends a trial early.  ``max_steps``
+    follows the uniform budget rule: ``None`` resolves to
+    :func:`default_step_budget`, explicit budgets must be ``>= 1``.
     """
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
-    if max_steps < 1:
+    if max_steps is None:
+        max_steps = default_step_budget(graph)
+    elif max_steps < 1:
         raise ConfigurationError("max_steps must be >= 1")
     if seed is None:
         seed = random.randrange(2**63)
@@ -113,11 +139,19 @@ def delay_sweep(
     probabilities: List[float],
     trials: int,
     seed: Optional[int] = None,
-    max_steps: int = 5_000,
+    max_steps: Optional[int] = None,
 ) -> List[DelaySummary]:
-    """Survey several delay probabilities, one counter-derived stream each."""
+    """Survey several delay probabilities, one counter-derived stream each.
+
+    ``max_steps`` follows the uniform budget rule (``None`` resolves to
+    :func:`default_step_budget`; explicit budgets must be ``>= 1``).
+    """
     if seed is None:
         seed = random.randrange(2**63)
+    if max_steps is None:
+        max_steps = default_step_budget(graph)
+    elif max_steps < 1:
+        raise ConfigurationError("max_steps must be >= 1")
     return [
         random_delay_survey(
             graph,

@@ -1,0 +1,195 @@
+"""The string scenario registry: parsing, canonicalisation, execution.
+
+Variant-backed scenario strings must canonicalise into the same specs
+hand-built variants produce (so they batch together), and the
+set-based scenarios must reproduce their reference entry points
+exactly -- same records, same statistics, same budget rule.
+"""
+
+import pytest
+
+from repro.api import FloodSpec, scenario_names
+from repro.api.scenarios import register_scenario, run_scenario
+from repro.errors import ConfigurationError
+from repro.fastpath import bernoulli_loss, k_memory, thinning
+from repro.graphs import cycle_graph, paper_triangle
+from repro.rng import derive_key
+from repro.variants import (
+    concurrent_floods,
+    periodic_injection_flood,
+    random_delay_survey,
+)
+
+GRAPH = cycle_graph(9)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(scenario_names()) >= {
+            "flood",
+            "thinning",
+            "lossy",
+            "kmemory",
+            "periodic",
+            "multi_message",
+            "random_delay",
+        }
+
+    def test_custom_scenario_registers_and_runs(self):
+        def binder(args, kwargs, spec):
+            return None, "always_done"
+
+        def runner(spec):
+            from repro.api.result import FloodResult
+
+            return FloodResult(
+                spec=spec,
+                backend="scenario:always_done",
+                terminated=True,
+                termination_round=0,
+                total_messages=0,
+                round_edge_counts=[],
+            )
+
+        register_scenario("always_done", binder, runner)
+        try:
+            spec = FloodSpec.from_scenario("always_done", GRAPH, [0])
+            assert run_scenario(spec).terminated
+        finally:
+            from repro.api import scenarios
+
+            scenarios._BINDERS.pop("always_done", None)
+            scenarios._RUNNERS.pop("always_done", None)
+
+
+class TestVariantBackedScenarios:
+    def test_lossy_canonicalises_to_variant(self):
+        by_string = FloodSpec.from_scenario("lossy:0.1", GRAPH, [0], seed=7)
+        by_hand = FloodSpec(
+            graph=GRAPH, sources=(0,), variant=bernoulli_loss(0.1, seed=7)
+        )
+        assert by_string == by_hand
+        assert by_string.scenario is None
+
+    def test_thinning_and_kmemory(self):
+        assert FloodSpec.from_scenario(
+            "thinning:0.9", GRAPH, [0], seed=3
+        ).variant == thinning(0.9, seed=3)
+        assert FloodSpec.from_scenario(
+            "kmemory:2", GRAPH, [0]
+        ).variant == k_memory(2)
+
+    def test_flood_is_the_plain_process(self):
+        assert FloodSpec.from_scenario("flood", GRAPH, [0]) == FloodSpec(
+            graph=GRAPH, sources=(0,)
+        )
+
+    def test_float_spelling_is_canonical(self):
+        assert FloodSpec.from_scenario(
+            "lossy:0.10", GRAPH, [0]
+        ) == FloodSpec.from_scenario("lossy:0.1", GRAPH, [0])
+
+    def test_inline_seed_equals_kwarg_seed(self):
+        assert FloodSpec.from_scenario(
+            "lossy:0.1,seed=7", GRAPH, [0]
+        ) == FloodSpec.from_scenario("lossy:0.1", GRAPH, [0], seed=7)
+
+
+class TestSetBasedScenarios:
+    def test_periodic_matches_reference(self):
+        spec = FloodSpec.from_scenario("periodic:3,4", GRAPH, [0])
+        result = run_scenario(spec)
+        reference = periodic_injection_flood(
+            GRAPH, 0, 3, 4, max_rounds=spec.max_rounds
+        )
+        assert result.raw == reference
+        assert result.terminated == reference.terminates
+        assert result.termination_round == reference.total_rounds
+        assert result.total_messages == reference.total_messages
+        assert result.backend == "scenario:periodic"
+
+    def test_periodic_default_injections(self):
+        spec = FloodSpec.from_scenario("periodic:2", GRAPH, [0])
+        assert spec.scenario == "periodic:2,3"
+
+    def test_multi_message_matches_reference(self):
+        spec = FloodSpec.from_scenario("multi_message", GRAPH, [0, 4])
+        result = run_scenario(spec)
+        trace = concurrent_floods(
+            GRAPH, {0: [0], 1: [4]}, max_rounds=spec.max_rounds
+        )
+        assert result.termination_round == trace.rounds_executed
+        assert result.total_messages == trace.total_messages()
+        assert result.terminated == trace.terminated
+
+    def test_random_delay_matches_reference_stream(self):
+        """Stream 0 of the scenario is trial 0 of the reference survey."""
+        triangle = paper_triangle()
+        spec = FloodSpec.from_scenario(
+            "random_delay:0.3", triangle, ["b"], seed=2, max_rounds=5_000
+        )
+        result = run_scenario(spec)
+        survey = random_delay_survey(
+            triangle, "b", 0.3, trials=1, seed=2, max_steps=5_000
+        )
+        assert result.terminated == (survey.termination_rate == 1.0)
+        if result.terminated:
+            assert result.termination_round == survey.mean_steps
+
+    def test_random_delay_default_budget_is_the_step_budget(self):
+        """Unset max_rounds resolves to the ASYNC step budget, not the
+        round budget: async steps are sub-round, and the bare 4n+8
+        would cut metastable floods off before the signal appears."""
+        from repro.variants.random_delay import default_step_budget
+
+        graph = cycle_graph(20)
+        spec = FloodSpec.from_scenario("random_delay:0.85", graph, [0])
+        assert spec.max_rounds == default_step_budget(graph)
+        # And under that budget this supercritical-delay trial actually
+        # terminates -- the round budget (88 steps) would cut it off.
+        result = run_scenario(spec)
+        assert result.terminated
+        assert result.termination_round > 88
+
+    def test_random_delay_streams_are_counter_derived(self):
+        spec0 = FloodSpec.from_scenario(
+            "random_delay:0.5", GRAPH, [0], seed=9, max_rounds=400
+        )
+        spec1 = spec0.replace(stream=1)
+        run0 = run_scenario(spec0)
+        run1 = run_scenario(spec1)
+        rerun0 = run_scenario(spec0)
+        assert run0.round_edge_counts == rerun0.round_edge_counts
+        assert derive_key(9, 0) != derive_key(9, 1)
+        assert (run0.termination_round, run0.round_edge_counts) != (
+            run1.termination_round,
+            run1.round_edge_counts,
+        )
+
+    def test_scenario_session_and_run_scenario_agree(self):
+        from repro.api import FloodSession
+
+        spec = FloodSpec.from_scenario("periodic:3,4", GRAPH, [0])
+        with FloodSession(workers=0) as session:
+            assert session.run(spec).raw == run_scenario(spec).raw
+
+    def test_fast_path_refuses_set_based_scenarios(self):
+        from repro.fastpath import run_spec
+
+        spec = FloodSpec.from_scenario("periodic:3", GRAPH, [0])
+        with pytest.raises(ConfigurationError, match="scenario"):
+            run_spec(spec)
+
+    def test_service_refuses_set_based_scenarios(self):
+        import asyncio
+
+        from repro.service import FloodService
+
+        spec = FloodSpec.from_scenario("multi_message", GRAPH, [0])
+
+        async def main():
+            async with FloodService(workers=0) as service:
+                with pytest.raises(ConfigurationError, match="scenario"):
+                    await service.query_spec(spec)
+
+        asyncio.run(main())

@@ -1,0 +1,281 @@
+"""The facade equivalence matrix: spec pipeline == legacy kwargs pipeline.
+
+The acceptance bar of the ``repro.api`` redesign: for every backend x
+variant x budget combination the repo's equivalence matrix already
+covers, ``FloodSession.run`` / ``sweep`` / ``aquery`` must return
+results **bit-identical** to the legacy entry points they subsume --
+``simulate_indexed`` (and ``core.simulate``), ``fastpath.sweep``,
+``parallel_sweep`` and ``FloodService.query``/``query_batch``.  The
+legacy entry points themselves are shims over the spec pipeline now,
+so these tests also pin that the shims reproduce the historical
+behaviour (position-keyed variant streams included).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import FloodSession, FloodSpec
+from repro.core import simulate
+from repro.fastpath import (
+    bernoulli_loss,
+    k_memory,
+    simulate_indexed,
+    sweep,
+    thinning,
+)
+from repro.fastpath.numpy_backend import HAS_NUMPY
+from repro.graphs import cycle_graph, erdos_renyi
+from repro.parallel import parallel_sweep
+from repro.service import FloodService
+
+GRAPHS = {
+    "er40": erdos_renyi(40, 0.12, seed=3, connected=True),
+    "c9": cycle_graph(9),
+}
+
+BACKENDS = [None, "pure", "oracle"] + (["numpy"] if HAS_NUMPY else [])
+VARIANTS = {
+    "det": None,
+    "thin": thinning(0.7, seed=11),
+    "loss": bernoulli_loss(0.35, seed=7),
+    "mem2": k_memory(2),
+    "mem0": k_memory(0),
+}
+BUDGETS = [None, 3, 500]
+
+
+def combos():
+    for graph_name in GRAPHS:
+        for backend in BACKENDS:
+            for variant_name, variant in VARIANTS.items():
+                if variant is not None and backend not in (None, "pure"):
+                    continue  # invalid by construction, covered elsewhere
+                for budget in BUDGETS:
+                    yield pytest.param(
+                        graph_name,
+                        backend,
+                        variant,
+                        budget,
+                        id=f"{graph_name}-{backend}-{variant_name}-{budget}",
+                    )
+
+
+MATRIX = list(combos())
+
+
+@pytest.mark.parametrize("graph_name,backend,variant,budget", MATRIX)
+class TestRunEquivalence:
+    def test_session_run_equals_simulate_indexed(
+        self, graph_name, backend, variant, budget
+    ):
+        graph = GRAPHS[graph_name]
+        source = graph.nodes()[0]
+        legacy = simulate_indexed(
+            graph,
+            [source],
+            max_rounds=budget,
+            backend=backend,
+            variant=variant,
+        )
+        spec = FloodSpec(
+            graph=graph,
+            sources=(source,),
+            max_rounds=budget,
+            backend=backend,
+            variant=variant,
+            collect_senders=True,
+            collect_receives=True,
+        )
+        with FloodSession(workers=0) as session:
+            result = session.run(spec)
+        assert result.raw == legacy
+        assert result.backend == legacy.backend
+        assert result.terminated == legacy.terminated
+        assert result.termination_round == legacy.termination_round
+        assert result.total_messages == legacy.total_messages
+        assert result.round_edge_counts == legacy.round_edge_counts
+
+
+@pytest.mark.parametrize("graph_name,backend,variant,budget", MATRIX)
+class TestSweepEquivalence:
+    def test_session_sweep_equals_legacy_sweep(
+        self, graph_name, backend, variant, budget
+    ):
+        graph = GRAPHS[graph_name]
+        sets = [[v] for v in graph.nodes()[:6]] + [list(graph.nodes()[:2])]
+        legacy = sweep(
+            graph, sets, max_rounds=budget, backend=backend, variant=variant
+        )
+        specs = [
+            FloodSpec(
+                graph=graph,
+                sources=tuple(sources),
+                max_rounds=budget,
+                backend=backend,
+                variant=variant,
+                stream=position if variant is not None else 0,
+            )
+            for position, sources in enumerate(sets)
+        ]
+        with FloodSession(workers=0) as session:
+            results = session.sweep(specs)
+        assert [r.raw for r in results] == legacy
+
+
+class TestSweepAcrossTiers:
+    """One denser slice: serial facade == pooled facade == parallel_sweep."""
+
+    @pytest.mark.parametrize(
+        "variant",
+        [None, thinning(0.6, seed=2), k_memory(2)],
+        ids=["det", "thin", "mem2"],
+    )
+    def test_pooled_session_matches_parallel_sweep(self, variant):
+        graph = GRAPHS["er40"]
+        sets = [[v] for v in graph.nodes()[:8]]
+        legacy = parallel_sweep(
+            graph, sets, max_rounds=60, variant=variant, workers=2
+        )
+        specs = [
+            FloodSpec(
+                graph=graph,
+                sources=tuple(sources),
+                max_rounds=60,
+                variant=variant,
+                stream=position if variant is not None else 0,
+            )
+            for position, sources in enumerate(sets)
+        ]
+        with FloodSession(workers=2) as pooled:
+            pooled_results = pooled.sweep(specs)
+        with FloodSession(workers=0) as serial:
+            serial_results = serial.sweep(specs)
+        assert [r.raw for r in pooled_results] == legacy
+        assert [r.raw for r in serial_results] == legacy
+
+    def test_heterogeneous_specs_keep_input_order(self):
+        graph = GRAPHS["er40"]
+        cycle = GRAPHS["c9"]
+        specs = [
+            FloodSpec(graph=graph, sources=(graph.nodes()[0],)),
+            FloodSpec(graph=cycle, sources=(0,), backend="oracle"),
+            FloodSpec(graph=graph, sources=(graph.nodes()[1],)),
+            FloodSpec(
+                graph=cycle, sources=(3,), variant=thinning(0.8, seed=1)
+            ),
+            FloodSpec(graph=cycle, sources=(0,), scenario="periodic:3,4"),
+        ]
+        with FloodSession(workers=0) as session:
+            results = session.sweep(specs)
+        assert [r.spec for r in results] == specs
+        with FloodSession(workers=0) as session:
+            singles = [session.run(spec) for spec in specs]
+        for grouped, single in zip(results, singles):
+            if grouped.spec.scenario == "periodic:3,4":
+                assert grouped.raw == single.raw
+            elif grouped.spec.variant is None and grouped.spec.backend is None:
+                # Batch routing may legitimately pick a different engine
+                # than the single-run path; statistics stay identical.
+                assert grouped.termination_round == single.termination_round
+                assert grouped.total_messages == single.total_messages
+            else:
+                assert grouped.raw == single.raw
+
+
+class TestServiceEquivalence:
+    @pytest.mark.parametrize("graph_name,backend,variant,budget", MATRIX)
+    def test_aquery_equals_legacy_service_query(
+        self, graph_name, backend, variant, budget
+    ):
+        graph = GRAPHS[graph_name]
+        source = graph.nodes()[0]
+
+        async def main():
+            async with FloodService(workers=0) as service:
+                legacy = await service.query(
+                    graph,
+                    [source],
+                    max_rounds=budget,
+                    backend=backend,
+                    variant=variant,
+                )
+            async with FloodSession(workers=0) as session:
+                result = await session.aquery(
+                    FloodSpec(
+                        graph=graph,
+                        sources=(source,),
+                        max_rounds=budget,
+                        backend=backend,
+                        variant=variant,
+                    )
+                )
+            return legacy, result
+
+        legacy, result = asyncio.run(main())
+        assert result.raw == legacy
+
+    def test_query_batch_specs_equals_query_batch(self):
+        graph = GRAPHS["er40"]
+        sets = [[v] for v in graph.nodes()[:5]]
+        variant = bernoulli_loss(0.2, seed=4)
+
+        async def main():
+            async with FloodService(workers=0) as service:
+                legacy = await service.query_batch(
+                    graph, sets, max_rounds=80, variant=variant
+                )
+                specs = [
+                    FloodSpec(
+                        graph=graph,
+                        sources=tuple(sources),
+                        max_rounds=80,
+                        variant=variant,
+                        stream=position,
+                    )
+                    for position, sources in enumerate(sets)
+                ]
+                fresh = await service.query_batch_specs(specs)
+            return legacy, fresh
+
+        legacy, fresh = asyncio.run(main())
+        assert fresh == legacy
+
+    def test_equal_specs_coalesce_into_one_batch(self):
+        """The spec IS the micro-batch key: identical concurrent
+        requests must share a pool batch."""
+        graph = GRAPHS["c9"]
+
+        async def main():
+            async with FloodService(workers=0, batch_window=0.05) as service:
+                service.register(graph)
+                spec = FloodSpec(graph=graph, sources=(0,), max_rounds=50)
+                runs = await asyncio.gather(
+                    *(service.query_spec(spec) for _ in range(6))
+                )
+                return service.stats, runs
+
+        stats, runs = asyncio.run(main())
+        assert stats.queries == 6
+        assert stats.coalesced_batches >= 1
+        assert stats.largest_batch == 6
+        assert all(run == runs[0] for run in runs)
+
+
+class TestCoreSimulateShim:
+    def test_core_simulate_matches_session_run(self):
+        graph = GRAPHS["er40"]
+        source = graph.nodes()[0]
+        legacy = simulate(graph, [source])
+        spec = FloodSpec(
+            graph=graph,
+            sources=(source,),
+            collect_senders=True,
+            collect_receives=True,
+        )
+        with FloodSession(workers=0) as session:
+            result = session.run(spec)
+        assert result.termination_round == legacy.termination_round
+        assert result.total_messages == legacy.total_messages
+        assert result.raw.sender_sets() == legacy.sender_sets
+        assert result.raw.receive_rounds() == legacy.receive_rounds

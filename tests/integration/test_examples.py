@@ -17,6 +17,7 @@ QUICK_EXAMPLES = [
     "bipartiteness_probe.py",
     "adversarial_asynchrony.py",
     "flood_server.py",
+    "flood_api.py",
 ]
 
 ALL_EXAMPLES = QUICK_EXAMPLES + [

@@ -5,19 +5,30 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.graphs import complete_graph, cycle_graph, paper_triangle, path_graph
 from repro.core import flood_trace
+from repro.sync.engine import default_round_budget
 from repro.variants import (
     concurrent_floods,
+    default_step_budget,
     delay_sweep,
     independence_holds,
     random_delay_survey,
     restrict_to_payload,
 )
+from repro.variants.random_delay import MIN_STEP_BUDGET
 
 
 class TestConcurrentFloods:
     def test_requires_origins(self):
         with pytest.raises(ConfigurationError):
             concurrent_floods(path_graph(3), {})
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_bad_budget_uniform_rule(self, bad):
+        """The PR 4 core rule, normalised onto this variant too."""
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            concurrent_floods(path_graph(3), {"M": [0]}, max_rounds=bad)
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            independence_holds(path_graph(3), {"M": [0]}, max_rounds=bad)
 
     def test_two_messages_travel_independently(self):
         graph = cycle_graph(8)
@@ -88,3 +99,22 @@ class TestRandomDelaySurvey:
     def test_trials_validated(self):
         with pytest.raises(ConfigurationError):
             random_delay_survey(path_graph(3), 0, 0.1, trials=0)
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_bad_step_budget_uniform_rule(self, bad):
+        with pytest.raises(ConfigurationError, match="max_steps"):
+            random_delay_survey(path_graph(3), 0, 0.1, trials=1, max_steps=bad)
+        with pytest.raises(ConfigurationError, match="max_steps"):
+            delay_sweep(path_graph(3), 0, [0.1], trials=1, max_steps=bad)
+
+    def test_default_step_budget_is_graph_derived_with_floor(self):
+        small = cycle_graph(7)
+        assert default_step_budget(small) == MIN_STEP_BUDGET
+        big = path_graph(2_000)
+        assert default_step_budget(big) == default_round_budget(big)
+
+    def test_default_budget_used_when_unset(self):
+        summary = random_delay_survey(cycle_graph(5), 0, 0.0, trials=2, seed=1)
+        # Zero delay degenerates to synchronous rounds: well within the
+        # default budget, so every trial terminates.
+        assert summary.termination_rate == 1.0

@@ -79,3 +79,43 @@ class TestValidation:
     def test_unknown_source(self):
         with pytest.raises(NodeNotFoundError):
             periodic_injection_flood(path_graph(3), 9, period=1, injections=1)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_budget_uniform_rule(self, bad):
+        """The PR 4 core rule, normalised onto this variant too."""
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            periodic_injection_flood(
+                path_graph(3), 0, period=1, injections=1, max_rounds=bad
+            )
+
+
+class TestSettleBudget:
+    def test_default_budget_does_not_change_verdicts(self):
+        """The default settle budget is generous enough that every
+        verdict in this suite is reached exactly, never cut off."""
+        graph = random_connected_graph(12, extra_edge_prob=0.3, seed=2)
+        run = periodic_injection_flood(graph, graph.nodes()[0], 3, 3)
+        assert not run.cut_off
+        assert run.limit_cycle_length == 4
+
+    def test_tight_budget_cuts_off_without_cycle_certificate(self):
+        graph = cycle_graph(7)
+        run = periodic_injection_flood(
+            graph, 0, period=5, injections=1, max_rounds=2
+        )
+        assert run.cut_off
+        assert not run.terminates
+        assert run.limit_cycle_length is None
+        assert run.rounds_after_last_injection == 2
+
+    def test_exact_budget_boundary_is_not_cut_off(self):
+        """Cut off only when round budget + 1 would still send."""
+        graph = cycle_graph(7)
+        exact = periodic_injection_flood(graph, 0, period=5, injections=1)
+        settle = exact.rounds_after_last_injection
+        at_boundary = periodic_injection_flood(
+            graph, 0, period=5, injections=1, max_rounds=settle
+        )
+        assert at_boundary.terminates
+        assert not at_boundary.cut_off
+        assert at_boundary == exact
