@@ -1,7 +1,10 @@
 # Developer/CI entry points for the flooding reproduction.
 #
 #   make test   - tier-1 verification (the gate every change keeps green)
-#   make lint   - ruff over the whole tree (config in pyproject.toml)
+#   make lint   - the one lint gate: repro.lint (stdlib-only, always
+#                 runs) + ruff + mypy (both skipped with a notice when
+#                 not installed; CI installs and enforces them)
+#   make typecheck - mypy over src/repro (config in pyproject.toml)
 #   make smoke  - CI smoke lane: scaled-down benchmark run (assertions
 #                 included, trajectory file untouched, summary written
 #                 to $(SMOKE_SUMMARY) for the CI artifact) + the
@@ -15,17 +18,27 @@ PYTHON ?= python
 SMOKE_SUMMARY ?= smoke-summary.json
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench example examples
+.PHONY: test lint typecheck smoke bench example examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
+	$(PYTHON) -m repro.lint src
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check .; \
 	else \
-		echo "ruff is not installed -- skipping lint (CI enforces it;"; \
+		echo "ruff is not installed -- skipping ruff (CI enforces it;"; \
 		echo "install with: pip install ruff)"; \
+	fi
+	@$(MAKE) --no-print-directory typecheck
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy is not installed -- skipping typecheck (CI enforces it;"; \
+		echo "install with: pip install mypy)"; \
 	fi
 
 smoke:

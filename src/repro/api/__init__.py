@@ -30,16 +30,23 @@ and the reference variants -- resolve lazily through PEP 562 so
 importing :mod:`repro.fastpath` stays cycle-free.
 """
 
+from types import MappingProxyType
+from typing import Any, List
+
 from repro.api.result import FloodResult
 from repro.api.spec import BACKEND_NAMES, BatchKey, FloodSpec
 
-_LAZY = {
-    "FloodSession": ("repro.api.session", "FloodSession"),
-    "ExecutionPlan": ("repro.api.session", "ExecutionPlan"),
-    "register_scenario": ("repro.api.scenarios", "register_scenario"),
-    "scenario_names": ("repro.api.scenarios", "scenario_names"),
-    "run_scenario": ("repro.api.scenarios", "run_scenario"),
-}
+# Immutable on purpose (REP007): this is a worker-imported module and
+# the lazy-resolution table is pure routing data, not process state.
+_LAZY = MappingProxyType(
+    {
+        "FloodSession": ("repro.api.session", "FloodSession"),
+        "ExecutionPlan": ("repro.api.session", "ExecutionPlan"),
+        "register_scenario": ("repro.api.scenarios", "register_scenario"),
+        "scenario_names": ("repro.api.scenarios", "scenario_names"),
+        "run_scenario": ("repro.api.scenarios", "run_scenario"),
+    }
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -54,7 +61,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     try:
         module_name, attr = _LAZY[name]
     except KeyError:
@@ -66,5 +73,5 @@ def __getattr__(name: str):
     return getattr(importlib.import_module(module_name), attr)
 
 
-def __dir__():
+def __dir__() -> List[str]:
     return sorted(__all__)

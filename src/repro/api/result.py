@@ -18,11 +18,14 @@ legacy entry points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.api.spec import FloodSpec
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Node
+
+if TYPE_CHECKING:
+    from repro.fastpath.engine import IndexedRun
 
 
 @dataclass
@@ -49,7 +52,7 @@ class FloodResult:
     raw: object = None
 
     @classmethod
-    def from_indexed(cls, spec: FloodSpec, run: object) -> "FloodResult":
+    def from_indexed(cls, spec: FloodSpec, run: Any) -> "FloodResult":
         """Wrap an :class:`~repro.fastpath.engine.IndexedRun`."""
         return cls(
             spec=spec,
@@ -62,7 +65,7 @@ class FloodResult:
             raw=run,
         )
 
-    def _indexed(self) -> object:
+    def _indexed(self) -> "IndexedRun":
         from repro.fastpath.engine import IndexedRun
 
         if not isinstance(self.raw, IndexedRun):

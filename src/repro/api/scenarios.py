@@ -41,7 +41,17 @@ plug in here without touching any tier).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 from repro.errors import ConfigurationError
 from repro.fastpath.variants import (
@@ -51,19 +61,35 @@ from repro.fastpath.variants import (
     thinning,
 )
 
+if TYPE_CHECKING:
+    from repro.api.result import FloodResult
+    from repro.api.spec import FloodSpec
+    from repro.graphs.graph import Graph
+
 # A binder parses one scenario's arguments against the (mid-construction)
 # spec and returns ``(variant, canonical_string)``: exactly one of the
 # two is non-None (variant-backed vs set-based).  A runner executes a
 # set-based scenario's spec and returns a FloodResult; variant-backed
 # scenarios have no runner (the fast path runs them).
-Binder = Callable[[List[str], Dict[str, str], object],
+Binder = Callable[[List[str], Dict[str, str], "FloodSpec"],
                   Tuple[Optional[VariantSpec], Optional[str]]]
-Runner = Callable[[object], object]
+Runner = Callable[["FloodSpec"], "FloodResult"]
 
+_Scalar = TypeVar("_Scalar", int, float)
+
+# The scenario registry: written by register_scenario() (the built-ins
+# below at import time, extensions explicitly at startup) and read-only
+# during execution, so every process that imports this module sees the
+# same table.  repro-lint REP007 flags module-level mutable state in
+# worker-imported modules; this is the sanctioned registry exception.
+# repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
 _BINDERS: Dict[str, Binder] = {}
+# repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
 _RUNNERS: Dict[str, Runner] = {}
-_BUDGETS: Dict[str, Callable[[object], int]] = {}
-_SEEDED = {"thinning", "lossy", "random_delay"}
+# repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
+_BUDGETS: Dict[str, Callable[["Graph"], int]] = {}
+# repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
+_SEEDED: Set[str] = {"thinning", "lossy", "random_delay"}
 """Scenario names whose dynamics consume a seed."""
 
 
@@ -71,7 +97,7 @@ def register_scenario(
     name: str,
     binder: Binder,
     runner: Optional[Runner] = None,
-    default_budget: Optional[Callable[[object], int]] = None,
+    default_budget: Optional[Callable[["Graph"], int]] = None,
 ) -> None:
     """Register (or replace) a scenario name.
 
@@ -92,7 +118,7 @@ def register_scenario(
         _BUDGETS[name] = default_budget
 
 
-def scenario_default_budget(canonical: str, graph) -> int:
+def scenario_default_budget(canonical: str, graph: "Graph") -> int:
     """The budget an unset ``max_rounds`` resolves to for a scenario."""
     name, _, _ = _split(canonical)
     budget = _BUDGETS.get(name)
@@ -129,7 +155,9 @@ def _split(text: str) -> Tuple[str, List[str], Dict[str, str]]:
     return name, args, kwargs
 
 
-def _scalar(token: str, kind: type, scenario: str, what: str):
+def _scalar(
+    token: str, kind: Type[_Scalar], scenario: str, what: str
+) -> _Scalar:
     try:
         return kind(token)
     except (TypeError, ValueError):
@@ -172,7 +200,7 @@ def seeded_scenario(text: str, seed: int) -> str:
 
 
 def bind_scenario(
-    text: str, spec: object
+    text: str, spec: "FloodSpec"
 ) -> Tuple[Optional[VariantSpec], Optional[str]]:
     """Resolve a scenario string against a spec under construction.
 
@@ -191,8 +219,12 @@ def bind_scenario(
     return binder(args, kwargs, spec)
 
 
-def run_scenario(spec: object) -> object:
+def run_scenario(spec: "FloodSpec") -> "FloodResult":
     """Execute a set-based scenario spec on its reference engine."""
+    if spec.scenario is None:
+        raise ConfigurationError(
+            "run_scenario takes a spec carrying a set-based scenario"
+        )
     name, _, _ = _split(spec.scenario)
     runner = _RUNNERS.get(name)
     if runner is None:
@@ -208,12 +240,16 @@ def run_scenario(spec: object) -> object:
 # ----------------------------------------------------------------------
 
 
-def _bind_flood(args, kwargs, spec):
+def _bind_flood(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     _reject_extras(args, kwargs, "flood")
     return None, None
 
 
-def _bind_thinning(args, kwargs, spec):
+def _bind_thinning(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     if len(args) != 1:
         raise ConfigurationError(
             "scenario 'thinning' takes exactly one argument: the forward "
@@ -225,7 +261,9 @@ def _bind_thinning(args, kwargs, spec):
     return thinning(probability, seed=seed), None
 
 
-def _bind_lossy(args, kwargs, spec):
+def _bind_lossy(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     if len(args) != 1:
         raise ConfigurationError(
             "scenario 'lossy' takes exactly one argument: the loss rate "
@@ -237,7 +275,9 @@ def _bind_lossy(args, kwargs, spec):
     return bernoulli_loss(rate, seed=seed), None
 
 
-def _bind_kmemory(args, kwargs, spec):
+def _bind_kmemory(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     if len(args) != 1:
         raise ConfigurationError(
             "scenario 'kmemory' takes exactly one argument: the memory "
@@ -248,7 +288,9 @@ def _bind_kmemory(args, kwargs, spec):
     return k_memory(k), None
 
 
-def _bind_periodic(args, kwargs, spec):
+def _bind_periodic(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     if not 1 <= len(args) <= 2:
         raise ConfigurationError(
             "scenario 'periodic' takes a period and an optional injection "
@@ -273,12 +315,16 @@ def _bind_periodic(args, kwargs, spec):
     return None, f"periodic:{period},{injections}"
 
 
-def _bind_multi_message(args, kwargs, spec):
+def _bind_multi_message(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     _reject_extras(args, kwargs, "multi_message")
     return None, "multi_message"
 
 
-def _bind_random_delay(args, kwargs, spec):
+def _bind_random_delay(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
     if len(args) != 1:
         raise ConfigurationError(
             "scenario 'random_delay' takes exactly one argument: the delay "
@@ -304,10 +350,11 @@ def _bind_random_delay(args, kwargs, spec):
 # not load just to *parse* a scenario string.
 
 
-def _run_periodic(spec):
+def _run_periodic(spec: "FloodSpec") -> "FloodResult":
     from repro.api.result import FloodResult
     from repro.variants.periodic import periodic_injection_flood
 
+    assert spec.scenario is not None  # guarded by run_scenario
     _, args, _ = _split(spec.scenario)
     period, injections = int(args[0]), int(args[1])
     run = periodic_injection_flood(
@@ -329,7 +376,7 @@ def _run_periodic(spec):
     )
 
 
-def _run_multi_message(spec):
+def _run_multi_message(spec: "FloodSpec") -> "FloodResult":
     from repro.api.result import FloodResult
     from repro.variants.multi_message import concurrent_floods
 
@@ -353,12 +400,13 @@ def _run_multi_message(spec):
     )
 
 
-def _run_random_delay(spec):
+def _run_random_delay(spec: "FloodSpec") -> "FloodResult":
     from repro.api.result import FloodResult
     from repro.asynchrony.adversary import RandomDelayAdversary
     from repro.asynchrony.engine import AsyncOutcome, run_async
     from repro.rng import derive_key
 
+    assert spec.scenario is not None  # guarded by run_scenario
     _, args, kwargs = _split(spec.scenario)
     probability = float(args[0])
     seed = int(kwargs.get("seed", "0"))
@@ -387,16 +435,16 @@ def _run_random_delay(spec):
     )
 
 
-register_scenario("flood", _bind_flood)
-register_scenario("thinning", _bind_thinning)
-register_scenario("lossy", _bind_lossy)
-register_scenario("kmemory", _bind_kmemory)
-def _random_delay_default_budget(graph) -> int:
+def _random_delay_default_budget(graph: "Graph") -> int:
     from repro.variants.random_delay import default_step_budget
 
     return default_step_budget(graph)
 
 
+register_scenario("flood", _bind_flood)
+register_scenario("thinning", _bind_thinning)
+register_scenario("lossy", _bind_lossy)
+register_scenario("kmemory", _bind_kmemory)
 register_scenario("periodic", _bind_periodic, _run_periodic)
 register_scenario("multi_message", _bind_multi_message, _run_multi_message)
 register_scenario(

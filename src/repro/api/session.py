@@ -240,7 +240,7 @@ class FloodSession:
             for spec, run in zip(group, runs)
         ]
 
-    def _pool_for(self, graph: Graph):
+    def _pool_for(self, graph: Graph) -> Any:
         from repro.parallel.pool import SweepPool
 
         pool = self._pools.get(graph)
@@ -283,7 +283,7 @@ class FloodSession:
         )
         return FloodResult.from_indexed(spec, run)
 
-    def _ensure_service(self):
+    def _ensure_service(self) -> Any:
         if self._service is None:
             from repro.service import FloodService
 
@@ -331,13 +331,13 @@ class FloodSession:
     def __enter__(self) -> "FloodSession":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
     async def __aenter__(self) -> "FloodSession":
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         await self.aclose()
 
     def __repr__(self) -> str:

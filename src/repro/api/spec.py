@@ -277,6 +277,7 @@ class FloodSpec:
 
     def batch_key(self, resolved_backend: str) -> BatchKey:
         """The :class:`BatchKey` of this spec under a resolved backend."""
+        assert self.max_rounds is not None  # resolved in __post_init__
         return BatchKey(
             budget=self.max_rounds,
             backend=resolved_backend,

@@ -23,7 +23,7 @@ scheduling adversary "can always ensure non-termination"; we implement:
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=REP003 -- adversary schedule streams: seeded per instance and sequential by design (the adversary owns one trial); cross-trial keys are counter-derived by callers
 from typing import FrozenSet, Optional, Protocol, Sequence, Set
 
 from repro.errors import ConfigurationError

@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node
+from repro.sync.engine import default_step_budget
 from repro.asynchrony.adversary import Adversary, SynchronousAdversary
 from repro.asynchrony.configurations import (
     Configuration,
@@ -92,16 +93,21 @@ def run_async(
     graph: Graph,
     sources: Iterable[Node],
     adversary: Adversary,
-    max_steps: int = 10_000,
+    max_steps: Optional[int] = None,
     detect_cycles: bool = True,
 ) -> AsyncRun:
     """Execute asynchronous amnesiac flooding under ``adversary``.
 
     ``detect_cycles`` enables configuration memoisation; disable it for
     randomized adversaries where a repeated configuration does not
-    certify anything (their next choice may differ).
+    certify anything (their next choice may differ).  ``max_steps``
+    follows the uniform budget rule: ``None`` resolves to the
+    graph-scaled :func:`~repro.sync.engine.default_step_budget`,
+    explicit budgets must be ``>= 1``.
     """
-    if max_steps < 1:
+    if max_steps is None:
+        max_steps = default_step_budget(graph)
+    elif max_steps < 1:
         raise ConfigurationError("max_steps must be >= 1")
     source_list = list(sources)
     configuration = initial_configuration(graph, source_list)
@@ -140,7 +146,7 @@ def run_async(
 
 
 def synchronous_async_equivalence(
-    graph: Graph, sources: Iterable[Node], max_steps: int = 10_000
+    graph: Graph, sources: Iterable[Node], max_steps: Optional[int] = None
 ) -> AsyncRun:
     """Run the async engine under the deliver-everything schedule.
 

@@ -133,7 +133,7 @@ def minimal_breaking_bound(
     source: Node,
     strategy_factory,
     max_bound: int = 5,
-    max_steps: int = 2_000,
+    max_steps: Optional[int] = None,
 ) -> Optional[int]:
     """Smallest delay bound at which the strategy still forces a loop.
 
@@ -141,6 +141,8 @@ def minimal_breaking_bound(
     first bound whose run certifies a configuration cycle, or ``None``
     when even ``max_bound`` fails.  Bound 0 is synchrony -- Theorem 3.1
     says it always terminates, so any return value is >= 1.
+    ``max_steps=None`` resolves to the graph-scaled
+    :func:`~repro.sync.engine.default_step_budget` inside the engine.
     """
     from repro.asynchrony.engine import AsyncOutcome, run_async
 

@@ -17,7 +17,7 @@ before ... in broadcasting".
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=REP003 -- non-flooding comparator baseline: seeded sequential stream, never feeds the equivalence matrix
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 

@@ -178,11 +178,13 @@ class FloodingRun:
 
 def initial_frontier(graph: Graph, sources: Sequence[Node]) -> Set[DirectedEdge]:
     """The directed edges carrying ``M`` in round 1: sources to all neighbours."""
-    frontier: Set[DirectedEdge] = set()
-    for source in sources:
-        for neighbour in graph.neighbors(source):
-            frontier.add((source, neighbour))
-    return frontier
+    # A set comprehension: its output is unordered, so walking the
+    # neighbour sets directly is order-free (REP002-clean by shape).
+    return {
+        (source, neighbour)
+        for source in sources
+        for neighbour in graph.neighbors(source)
+    }
 
 
 def step_frontier(graph: Graph, frontier: Set[DirectedEdge]) -> Set[DirectedEdge]:
@@ -196,12 +198,12 @@ def step_frontier(graph: Graph, frontier: Set[DirectedEdge]) -> Set[DirectedEdge
     heard_from: Dict[Node, Set[Node]] = defaultdict(set)
     for sender, receiver in frontier:
         heard_from[receiver].add(sender)
-    next_frontier: Set[DirectedEdge] = set()
-    for receiver, senders in heard_from.items():
-        for neighbour in graph.neighbors(receiver):
-            if neighbour not in senders:
-                next_frontier.add((receiver, neighbour))
-    return next_frontier
+    return {
+        (receiver, neighbour)
+        for receiver, senders in heard_from.items()
+        for neighbour in graph.neighbors(receiver)
+        if neighbour not in senders
+    }
 
 
 def simulate(

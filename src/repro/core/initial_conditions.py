@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.fastpath import (
@@ -38,6 +38,7 @@ from repro.fastpath import (
     step_arc_mask,
 )
 from repro.graphs.graph import Graph, Node
+from repro.sync.engine import default_round_budget
 
 DirectedEdge = Tuple[Node, Node]
 Configuration = FrozenSet[DirectedEdge]
@@ -46,7 +47,9 @@ Configuration = FrozenSet[DirectedEdge]
 def validate_configuration(graph: Graph, configuration: Iterable[DirectedEdge]) -> Configuration:
     """Freeze and validate a configuration against the topology."""
     config = frozenset(configuration)
-    for sender, receiver in config:
+    # Sorted walk so *which* bad message the error names is stable
+    # across hash seeds (repr-keyed: message endpoints may mix types).
+    for sender, receiver in sorted(config, key=repr):
         if not graph.has_edge(sender, receiver):
             raise SimulationError(
                 f"configuration contains non-edge message {sender!r}->{receiver!r}"
@@ -106,11 +109,11 @@ def configuration_terminates(graph: Graph, initial: Iterable[DirectedEdge]) -> b
 
 def source_configuration(graph: Graph, sources: Iterable[Node]) -> Configuration:
     """The paper's initial condition: all out-edges of the source set."""
-    config: Set[DirectedEdge] = set()
-    for source in sources:
-        for neighbour in graph.neighbors(source):
-            config.add((source, neighbour))
-    return frozenset(config)
+    return frozenset(
+        (source, neighbour)
+        for source in sources
+        for neighbour in graph.neighbors(source)
+    )
 
 
 @dataclass
@@ -189,13 +192,17 @@ def classify_all_configurations(
 
 
 def single_message_orbit(
-    graph: Graph, edge: DirectedEdge, max_steps: int = 200
+    graph: Graph, edge: DirectedEdge, max_steps: Optional[int] = None
 ) -> List[Configuration]:
     """The orbit of one lone in-transit message (for demos and tests).
 
-    On a cycle this walks forever (the result is truncated at
-    ``max_steps``); on a tree it slides to a leaf and vanishes.
+    On a cycle this walks forever (the result is truncated at the step
+    budget -- ``None`` resolves to the graph-scaled
+    :func:`~repro.sync.engine.default_round_budget`, the uniform budget
+    rule); on a tree it slides to a leaf and vanishes.
     """
+    if max_steps is None:
+        max_steps = default_round_budget(graph)
     config = validate_configuration(graph, [edge])
     index = IndexedGraph.of(graph)
     mask = arc_mask_of(index, config)

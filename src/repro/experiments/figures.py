@@ -171,6 +171,7 @@ def figure4(instance_count: int = 25) -> FigureReproduction:
     )
 
 
+# repro-lint: disable=REP006 -- pinned paper artefact: Figure 5's published trace uses a fixed 200-step budget, not the graph-derived default
 def figure5(max_steps: int = 200) -> FigureReproduction:
     """Figure 5: asynchronous AF on the triangle loops forever.
 

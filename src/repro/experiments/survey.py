@@ -9,7 +9,7 @@ a full systems paper would print.
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=REP003 -- topology sampling for the ensemble survey: seeded random.Random picks generator seeds, not execution draws
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 

@@ -40,6 +40,7 @@ from typing import Dict, Iterable, List, Tuple
 from repro.errors import ConfigurationError, NodeNotFoundError
 from repro.graphs.graph import Graph, Node
 
+# repro-lint: disable=REP007 -- pure memo LRU: an IndexedGraph is a pure function of its Graph key, so per-process warmth never changes results; stripped from pickles below
 _INDEX_CACHE: "OrderedDict[Graph, IndexedGraph]" = OrderedDict()
 _INDEX_CACHE_SIZE = 16
 

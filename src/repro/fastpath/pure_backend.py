@@ -34,9 +34,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fastpath.indexed import IndexedGraph
 
-_BYTE_BITS: List[Tuple[int, ...]] = [
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
     tuple(k for k in range(8) if byte >> k & 1) for byte in range(256)
-]
+)
 """For each byte value, the ascending positions of its set bits."""
 
 _SendList = Tuple[Tuple[int, int], ...]

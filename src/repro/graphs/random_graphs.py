@@ -9,7 +9,7 @@ because the paper's statements concern connected graphs.
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=REP003 -- topology generation, not execution: seeded random.Random per family builder, pinned by the generator tests
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError

@@ -1,0 +1,75 @@
+"""Baseline files: adopt-then-ratchet support.
+
+A baseline is a JSON list of known findings, keyed ``(path, line,
+rule)``.  ``--baseline FILE`` subtracts its entries from a run so a
+tree can adopt the analyzer before burning every finding down;
+``--write-baseline FILE`` snapshots the current findings.  This repo's
+policy (see docs/determinism.md) is a *permanently empty* baseline --
+the flag exists for downstream forks and for the round-trip tests --
+so the committed tree must lint clean with no baseline at all.
+
+The file format is sorted and newline-terminated, so regenerating a
+baseline on an unchanged tree is a byte-identical no-op.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, int, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.line, finding.rule)
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialise findings into baseline-file text (stable ordering)."""
+    entries = [
+        {"path": f.path, "line": f.line, "rule": f.rule, "message": f.message}
+        for f in sort_findings(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(findings))
+
+
+def load_baseline(path: str) -> Set[BaselineKey]:
+    """Load the set of baselined finding keys from ``path``.
+
+    Raises ``ValueError`` on malformed files (a corrupt baseline that
+    silently suppressed nothing -- or everything -- would be worse).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path!r}: expected a version-{BASELINE_VERSION} baseline file"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path!r}: 'findings' must be a list")
+    keys: Set[BaselineKey] = set()
+    for entry in entries:
+        try:
+            keys.add((entry["path"], int(entry["line"]), entry["rule"]))
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"baseline {path!r}: malformed entry {entry!r}") from exc
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baselined: Set[BaselineKey]
+) -> List[Finding]:
+    """Drop findings present in the baseline (REP000 hygiene included --
+    a baseline may adopt bad suppressions during a migration)."""
+    return [f for f in findings if baseline_key(f) not in baselined]

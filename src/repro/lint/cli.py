@@ -1,0 +1,125 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes follow the convention of the other gates in this repo:
+
+* ``0`` -- clean (no unsuppressed, unbaselined findings)
+* ``1`` -- findings reported
+* ``2`` -- usage or I/O error (bad rule id, unreadable baseline...)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.registry import known_rule_ids, rule_docs
+from repro.lint.report import render_json, render_text
+from repro.lint.walker import discover_files, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism and cross-process-safety analyzer for "
+            "the flooding reproduction (rules REP001-REP007; see "
+            "docs/determinism.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="REPxxx",
+        help="restrict to one rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract the findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the (post-suppression) findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for doc in rule_docs():
+        scope = f" [scope: {', '.join(doc.scope)}]" if doc.scope else ""
+        lines.append(f"{doc.rule_id}  {doc.name}: {doc.summary}{scope}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    rules: Optional[List[str]] = options.rules
+    if rules is not None:
+        known = known_rule_ids()
+        for rule_id in rules:
+            if rule_id not in known:
+                parser.error(
+                    f"unknown rule {rule_id!r}; known rules: {', '.join(known)}"
+                )
+    try:
+        files = discover_files(options.paths)
+        findings = lint_paths(options.paths, rules)
+    except (FileNotFoundError, OSError) as exc:
+        sys.stderr.write(f"repro.lint: {exc}\n")
+        return 2
+    if options.write_baseline:
+        write_baseline(options.write_baseline, findings)
+        sys.stderr.write(
+            f"repro.lint: wrote {len(findings)} findings to "
+            f"{options.write_baseline}\n"
+        )
+        return 0
+    if options.baseline:
+        try:
+            baselined = load_baseline(options.baseline)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write(f"repro.lint: {exc}\n")
+            return 2
+        findings = apply_baseline(findings, baselined)
+    rendered = (
+        render_json(findings, len(files))
+        if options.format == "json"
+        else render_text(findings, len(files))
+    )
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+    return 1 if findings else 0

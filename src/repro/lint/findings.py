@@ -1,0 +1,51 @@
+"""The finding value type shared by every layer of the analyzer.
+
+A :class:`Finding` is one diagnostic at one source location.  It is a
+frozen dataclass so rule visitors can emit them freely and the walker
+can dedupe/sort without copying.  The canonical ordering -- ``(path,
+line, col, rule)`` -- is *the* output order of the analyzer: the CLI,
+the JSON report and the baseline all sort by :func:`sort_findings`, so
+two runs over the same tree emit byte-identical reports regardless of
+``PYTHONHASHSEED``, directory walk order, or rule registration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule firing at a source location.
+
+    ``path`` is stored with POSIX separators relative to the lint
+    invocation root, so reports are stable across operating systems and
+    absolute-path prefixes.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` -- the clickable prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """The JSON-report projection (kept flat for easy diffing)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deduplicate and sort findings into the canonical report order."""
+    unique = set(findings)
+    return sorted(unique, key=lambda f: (f.path, f.line, f.col, f.rule, f.message))

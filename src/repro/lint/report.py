@@ -1,0 +1,52 @@
+"""Report rendering: ``text`` for humans, ``json`` for CI artifacts.
+
+Both formats consume findings already in canonical order and add
+nothing nondeterministic (no timestamps, no absolute paths, no
+environment echoes), so a report is a pure function of the tree --
+CI uploads the JSON artifact and diffs between runs are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+REPORT_VERSION = 1
+
+
+def counts_by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    lines: List[str] = [
+        f"{finding.location()}: {finding.rule} {finding.message}"
+        for finding in findings
+    ]
+    if findings:
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in counts_by_rule(findings).items()
+        )
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"in {files_checked} files ({summary})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} files")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "counts": counts_by_rule(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,190 @@
+"""Shared AST utilities for the rule visitors.
+
+Every rule needs the same three primitives: resolving a call's dotted
+name through the module's import aliases, recognising the expressions
+that produce sets, and walking class bodies with method context.  They
+live here so the per-rule modules stay single-purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class ImportMap:
+    """Module-level import aliasing, resolved once per file.
+
+    Maps local names to the dotted path they denote: ``import time as
+    t`` gives ``t -> time``; ``from time import perf_counter as pc``
+    gives ``pc -> time.perf_counter``.  Only top-level and
+    function-level imports are folded in -- enough for the stdlib
+    modules the rules care about.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading segment of ``dotted`` through the aliases."""
+        head, sep, rest = dotted.partition(".")
+        expanded = self.aliases.get(head, head)
+        return expanded + sep + rest if sep else expanded
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call, imports: Optional[ImportMap] = None) -> Optional[str]:
+    """The resolved dotted name of a call's callee, if it has one."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return imports.resolve(name) if imports is not None else name
+
+
+def is_builtin_call(node: ast.Call, builtin: str) -> bool:
+    """Whether ``node`` calls the bare name ``builtin`` (shadowing ignored)."""
+    return isinstance(node.func, ast.Name) and node.func.id == builtin
+
+
+def contains_call(node: ast.AST, builtin: str) -> Optional[ast.Call]:
+    """The first descendant call of bare ``builtin`` inside ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and is_builtin_call(child, builtin):
+            return child
+    return None
+
+
+SET_CONSTRUCTORS = ("set", "frozenset")
+
+# Methods that return a set when invoked on a set -- and, decisively for
+# this codebase, Graph.neighbors(), which returns a frozenset of nodes.
+SET_RETURNING_METHODS = (
+    "copy",
+    "difference",
+    "intersection",
+    "neighbors",
+    "symmetric_difference",
+    "union",
+)
+
+# Consumers for which iteration order cannot matter.
+ORDER_FREE_CALLS = frozenset(
+    {
+        "all",
+        "any",
+        "frozenset",
+        "len",
+        "max",
+        "min",
+        "set",
+        "sum",
+        "sorted",
+        "sort_nodes",
+    }
+)
+
+# Callees that impose a deterministic order on an unordered iterable.
+ORDERING_CALLS = ("sorted", "sort_nodes")
+
+
+def is_set_expression(node: ast.AST, set_names: Set[str]) -> bool:
+    """Whether ``node`` syntactically produces a ``set``/``frozenset``.
+
+    ``set_names`` holds local variable names known (by assignment
+    tracking) to hold sets.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in SET_CONSTRUCTORS:
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SET_RETURNING_METHODS
+        ):
+            # `.union()` etc. only count when the receiver is itself a
+            # known set, except `.neighbors(...)`, which is set-returning
+            # regardless of receiver (it is the Graph API).
+            if node.func.attr == "neighbors":
+                return True
+            return is_set_expression(node.func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra: either operand being a known set marks the result.
+        return is_set_expression(node.left, set_names) or is_set_expression(
+            node.right, set_names
+        )
+    return False
+
+
+def is_ordering_call(node: ast.AST) -> bool:
+    """Whether ``node`` is ``sorted(...)``/``sort_nodes(...)`` (any arity)."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ORDERING_CALLS
+    )
+
+
+def iter_class_methods(
+    cls: ast.ClassDef,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(name, node)`` for each method defined directly on ``cls``."""
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+def decorator_is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """Whether ``node`` carries ``@dataclass(frozen=True)`` (any alias)."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def self_attribute_target(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is an assignment target of form ``self.attr``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

@@ -1,0 +1,181 @@
+"""REP001: builtin ``hash()`` escaping the process.
+
+Python salts string (and bytes, and anything containing them) hashing
+per interpreter via ``PYTHONHASHSEED``, so the value of ``hash(x)`` is
+only meaningful *inside* the process that computed it.  This rule flags
+the three ways such a value can leak into cross-process state -- the
+exact shape of the PR 5 ``Graph._hash`` bug, where a memoised
+``hash(frozenset(...))`` rode a pickle into worker processes as a
+wrong-in-that-process cached value:
+
+* ``self.attr = ... hash(...) ...`` in a class that either defines no
+  ``__getstate__``/``__reduce__`` (default pickling ships every
+  attribute) or whose ``__getstate__`` mentions the attribute (it is
+  explicitly shipped).  A class whose ``__getstate__`` omits the
+  attribute strips it from pickles, which is the sanctioned memoisation
+  pattern -- that is why the fixed ``Graph`` does not fire.
+* ``hash(...)`` appearing anywhere inside a ``__getstate__`` /
+  ``__reduce__`` / ``__reduce_ex__`` body.
+* ``hash(...)`` flowing into digest or key-derivation construction:
+  an argument (at any depth) of a ``hashlib.*`` call or of a call whose
+  name mentions ``digest``.  Cross-process identities must be built
+  from process-stable bytes (see ``FloodSpec.digest()``), never from
+  the salted builtin hash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+from repro.lint.rules.common import (
+    ImportMap,
+    call_name,
+    contains_call,
+    iter_class_methods,
+    self_attribute_target,
+)
+
+RULE_ID = "REP001"
+
+_PICKLE_PROTOCOL_METHODS = ("__getstate__", "__reduce__", "__reduce_ex__")
+
+
+def _getstate_mentions(cls: ast.ClassDef, attr: str) -> bool:
+    """Whether any pickle-protocol method of ``cls`` references ``attr``."""
+    for name, method in iter_class_methods(cls):
+        if name not in _PICKLE_PROTOCOL_METHODS:
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) and node.attr == attr:
+                return True
+            if isinstance(node, ast.Constant) and node.value == attr:
+                return True
+    return False
+
+
+def _class_defines_pickle_protocol(cls: ast.ClassDef) -> bool:
+    return any(name in _PICKLE_PROTOCOL_METHODS for name, _ in iter_class_methods(cls))
+
+
+def _digest_sink_findings(
+    tree: ast.Module, ctx: FileContext, imports: ImportMap
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node, imports)
+        if name is None:
+            continue
+        is_sink = name.startswith("hashlib.") or "digest" in name.split(".")[-1].lower()
+        if not is_sink:
+            continue
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            hash_call = contains_call(arg, "hash")
+            if hash_call is not None:
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=hash_call.lineno,
+                        col=hash_call.col_offset + 1,
+                        rule=RULE_ID,
+                        message=(
+                            f"builtin hash() feeds the digest/key construction "
+                            f"{name}(); hash() is salted per process "
+                            f"(PYTHONHASHSEED) -- build identities from "
+                            f"process-stable bytes instead"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _stored_attribute_findings(cls: ast.ClassDef, ctx: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    has_pickle_protocol = _class_defines_pickle_protocol(cls)
+    flagged_attrs: Set[str] = set()
+    for method_name, method in iter_class_methods(cls):
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if node.value is None:
+                    continue
+                targets, value = [node.target], node.value
+            else:
+                continue
+            hash_call = contains_call(value, "hash")
+            if hash_call is None:
+                continue
+            for target in targets:
+                attr = self_attribute_target(target)
+                if attr is None or attr in flagged_attrs:
+                    continue
+                shipped = (not has_pickle_protocol) or _getstate_mentions(cls, attr)
+                if not shipped:
+                    continue
+                flagged_attrs.add(attr)
+                how = (
+                    f"__getstate__ ships it"
+                    if has_pickle_protocol
+                    else "default pickling ships every attribute"
+                )
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=hash_call.lineno,
+                        col=hash_call.col_offset + 1,
+                        rule=RULE_ID,
+                        message=(
+                            f"builtin hash() stored in self.{attr} of class "
+                            f"{cls.name} would ride pickles into other "
+                            f"processes ({how}); hash() is salted per process "
+                            f"(PYTHONHASHSEED) -- strip the attribute in "
+                            f"__getstate__ (the Graph._hash fix) or derive a "
+                            f"process-stable value"
+                        ),
+                    )
+                )
+    for method_name, method in iter_class_methods(cls):
+        if method_name not in _PICKLE_PROTOCOL_METHODS:
+            continue
+        hash_call = contains_call(method, "hash")
+        if hash_call is not None:
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=hash_call.lineno,
+                    col=hash_call.col_offset + 1,
+                    rule=RULE_ID,
+                    message=(
+                        f"builtin hash() inside {cls.name}.{method_name} puts a "
+                        f"per-process salted value into pickled state"
+                    ),
+                )
+            )
+    return findings
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    imports = ImportMap(tree)
+    findings = _digest_sink_findings(tree, ctx, imports)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_stored_attribute_findings(node, ctx))
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="hash-persistence",
+        summary=(
+            "builtin hash() flowing into pickled attributes or digest "
+            "construction (salted per process by PYTHONHASHSEED)"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,201 @@
+"""REP002: iterating sets in result-producing code.
+
+CPython iterates a ``set``/``frozenset`` in hash order, which for str
+(or str-containing) elements changes with ``PYTHONHASHSEED`` -- so any
+result built by walking a set can differ between the service process
+and its workers.  This was the PR 1 class of bug: the engines now route
+every node walk through ``sort_nodes()``.  The rule binds only to the
+result-producing packages (fastpath, core, api, parallel, analysis,
+variants); viz/apps/experiments output is allowed to be cosmetic.
+
+Flagged: ``for x in S``, comprehension iteration over ``S``, and
+``list(S)``/``tuple(S)``/``enumerate(S)`` where ``S`` is syntactically
+a set -- a set literal/comprehension, a ``set()``/``frozenset()`` call,
+``graph.neighbors(...)`` (the package's frozenset API), set algebra on
+a known set, or a local variable assigned from one of those.
+
+Not flagged: iteration wrapped in ``sorted()``/``sort_nodes()``, set
+comprehensions (their output is itself unordered, so generator order
+is unobservable), comprehensions feeding an order-free call
+(``sorted``/``set``/``min``...), and order-free consumption
+(``len``/``min``/``max``/``sum``/``any``/``all``/membership --
+these are never iteration sites).  Dict iteration is *not*
+flagged: CPython dicts iterate in insertion order, so a dict built
+deterministically iterates deterministically -- the package's
+sorted-adjacency maps rely on exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+from repro.lint.rules.common import (
+    ORDER_FREE_CALLS,
+    is_ordering_call,
+    is_set_expression,
+)
+
+RULE_ID = "REP002"
+
+_ORDER_SENSITIVE_CONSTRUCTORS = ("list", "tuple", "enumerate")
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Per-function (or module top-level) set tracking and iteration checks.
+
+    Nested function/class definitions open fresh scopes: their locals
+    are tracked independently, and outer tracked names are *not*
+    visible inside them (a closure rebinding would defeat the simple
+    name tracking; missing a closure case costs a false negative, never
+    a false positive).
+    """
+
+    def __init__(self, ctx: FileContext, findings: List[Finding]) -> None:
+        self.ctx = ctx
+        self.findings = findings
+        self.set_names: Set[str] = set()
+        # Comprehensions whose entire output feeds an order-free
+        # consumer (sorted()/set()/min()...): their generators may walk
+        # sets freely.  Keyed by id() -- populated by visit_Call before
+        # generic_visit descends into the argument.
+        self.order_free_comprehensions: Set[int] = set()
+
+    # -- scope boundaries ------------------------------------------------
+
+    def _visit_new_scope(self, node: ast.AST) -> None:
+        nested = _ScopeVisitor(self.ctx, self.findings)
+        for child in ast.iter_child_nodes(node):
+            nested.visit(child)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_new_scope(node)
+
+    # -- assignment tracking ---------------------------------------------
+
+    def _track_assignment(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if is_set_expression(value, self.set_names):
+                self.set_names.add(target.id)
+            else:
+                self.set_names.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            self._track_assignment(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._track_assignment(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # `s |= other` keeps a tracked set tracked; anything else on a
+        # tracked name is still the same object, so leave tracking alone.
+        self.generic_visit(node)
+
+    # -- iteration sites -------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if is_ordering_call(iter_node):
+            return
+        if is_set_expression(iter_node, self.set_names):
+            described = (
+                f"set {iter_node.id!r}"
+                if isinstance(iter_node, ast.Name)
+                else "a set expression"
+            )
+            self.findings.append(
+                Finding(
+                    path=self.ctx.path,
+                    line=iter_node.lineno,
+                    col=iter_node.col_offset + 1,
+                    rule=RULE_ID,
+                    message=(
+                        f"iteration over {described} is hash-ordered and "
+                        f"varies with PYTHONHASHSEED; wrap in sorted()/"
+                        f"sort_nodes() or restructure onto an ordered "
+                        f"container"
+                    ),
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        # A set comprehension's output is itself unordered, so the
+        # order its generators walk in cannot be observed; likewise any
+        # comprehension whose whole result feeds an order-free call.
+        # Dict/list comprehensions keep insertion order, so walking a
+        # set inside one *does* leak hash order downstream.
+        exempt = isinstance(node, ast.SetComp) or (
+            id(node) in self.order_free_comprehensions
+        )
+        if not exempt:
+            for comp in node.generators:  # type: ignore[attr-defined]
+                self._check_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name):
+            if node.func.id in _ORDER_SENSITIVE_CONSTRUCTORS and node.args:
+                self._check_iter(node.args[0])
+            if node.func.id in ORDER_FREE_CALLS:
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+                    ):
+                        self.order_free_comprehensions.add(id(arg))
+        self.generic_visit(node)
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    visitor = _ScopeVisitor(ctx, findings)
+    for child in ast.iter_child_nodes(tree):
+        visitor.visit(child)
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="unordered-iteration",
+        summary=(
+            "hash-ordered set iteration in result-producing code; order "
+            "varies with PYTHONHASHSEED"
+        ),
+        check=check,
+        scope=(
+            "repro/analysis",
+            "repro/api",
+            "repro/core",
+            "repro/fastpath",
+            "repro/parallel",
+            "repro/variants",
+        ),
+    )
+)

@@ -1,0 +1,88 @@
+"""REP003: all randomness flows through ``repro.rng``.
+
+The PR 4 determinism model: every stochastic draw is a *pure hash of
+its coordinates* (seed, trial, round, arc slot) via the counter-based
+generator in :mod:`repro.rng` -- never a sequential stream.  Sequential
+streams (``random.Random``, ``numpy.random``) make outcomes depend on
+iteration order, sharding, and batching; ``secrets`` is nondeterministic
+by design.  This rule flags any import or attribute use of ``random``,
+``numpy.random``, or ``secrets`` outside ``repro/rng.py``.
+
+Legitimate exceptions exist -- a seeded ``random.Random(seed)`` used
+only at *topology generation* time (never at execution time) is
+deterministic and pinned by tests -- and each carries an inline
+suppression explaining exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+from repro.lint.rules.common import ImportMap, dotted_name
+
+RULE_ID = "REP003"
+
+_BANNED_MODULES = ("random", "secrets", "numpy.random")
+
+
+def _banned(module: str) -> bool:
+    return any(
+        module == banned or module.startswith(banned + ".")
+        for banned in _BANNED_MODULES
+    )
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    imports = ImportMap(tree)
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(
+            Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=RULE_ID,
+                message=(
+                    f"{what} bypasses the counter-based RNG; every stochastic "
+                    f"draw must be a pure hash of its coordinates via "
+                    f"repro.rng (derive_key/round_key/slot_draw)"
+                ),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _banned(alias.name):
+                    flag(node, f"import of {alias.name!r}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0 and _banned(node.module):
+                flag(node, f"import from {node.module!r}")
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name is None:
+                continue
+            resolved = imports.resolve(name)
+            # `np.random.default_rng(...)`: flag the `.random` access
+            # itself (the innermost attribute), once per use site.
+            if resolved == "numpy.random":
+                flag(node, f"use of {resolved!r}")
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="rng-discipline",
+        summary=(
+            "random/numpy.random/secrets used outside repro/rng.py "
+            "(sequential streams break coordinate-pure determinism)"
+        ),
+        check=check,
+        excludes=("repro/rng.py",),
+    )
+)

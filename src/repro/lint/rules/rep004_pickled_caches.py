@@ -1,0 +1,106 @@
+"""REP004: memo caches riding worker pickles.
+
+A class that memoises into instance attributes (``self._send_cache``,
+``self._numpy_arrays``, ``self._hash``) pickles those attributes by
+default -- so a warm object ships its process-local cache into every
+worker, bloating payloads and, for anything hash-derived, shipping
+*wrong* values (the PR 2 ``IndexedGraph`` issue).  Any class that both
+defines cache-named attributes and can be pickled must strip them in
+``__getstate__``/``__reduce__``.
+
+Flagged: a class that assigns ``self.<name>`` (or lists ``<name>`` in
+``__slots__``) where ``<name>`` looks like a cache (``_*cache*``,
+``_*memo*``, or exactly ``_hash``) and defines none of the pickle
+protocol methods.  Classes that are never pickled (service internals,
+live visualisations) suppress with a justification saying so.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+from repro.lint.rules.common import iter_class_methods, self_attribute_target
+
+RULE_ID = "REP004"
+
+_CACHE_NAME_RE = re.compile(r"^_.*(cache|memo)", re.IGNORECASE)
+
+_PICKLE_PROTOCOL_METHODS = ("__getstate__", "__reduce__", "__reduce_ex__")
+
+
+def _is_cache_name(name: str) -> bool:
+    return name == "_hash" or bool(_CACHE_NAME_RE.match(name))
+
+
+def _slots_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for node in cls.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "__slots__"):
+            continue
+        for element in ast.walk(node.value):
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.add(element.value)
+    return names
+
+
+def _check_class(cls: ast.ClassDef, ctx: FileContext, findings: List[Finding]) -> None:
+    if any(
+        name in _PICKLE_PROTOCOL_METHODS for name, _ in iter_class_methods(cls)
+    ):
+        return
+    cache_attrs: Set[str] = {name for name in _slots_names(cls) if _is_cache_name(name)}
+    for _, method in iter_class_methods(cls):
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = self_attribute_target(target)
+                    if attr is not None and _is_cache_name(attr):
+                        cache_attrs.add(attr)
+    if cache_attrs:
+        listed = ", ".join(sorted(cache_attrs))
+        findings.append(
+            Finding(
+                path=ctx.path,
+                line=cls.lineno,
+                col=cls.col_offset + 1,
+                rule=RULE_ID,
+                message=(
+                    f"class {cls.name} memoises into {listed} but defines no "
+                    f"__getstate__/__reduce__; default pickling ships the "
+                    f"process-local cache into workers -- strip it (see "
+                    f"IndexedGraph.__getstate__) or justify that instances "
+                    f"are never pickled"
+                ),
+            )
+        )
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _check_class(node, ctx, findings)
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="pickled-caches",
+        summary=(
+            "cache/memo attributes with no __getstate__/__reduce__ to strip "
+            "them from worker pickles"
+        ),
+        check=check,
+    )
+)

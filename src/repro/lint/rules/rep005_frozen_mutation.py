@@ -1,0 +1,84 @@
+"""REP005: mutating frozen dataclasses after construction.
+
+``FloodSpec`` (and ``VariantSpec``, ``BatchKey``...) are frozen
+dataclasses precisely so a validated request can be hashed, cached by
+digest, and shipped between processes without anyone changing it in
+flight.  ``object.__setattr__`` pierces that guarantee.  The only
+sanctioned use is canonicalisation *during construction* -- inside
+``__init__``/``__post_init__``/``__new__`` of the frozen class itself,
+which is how ``FloodSpec.__post_init__`` resolves budgets and
+canonicalises sources.
+
+Flagged: every ``object.__setattr__(...)`` call that is not lexically
+inside a constructor method of a ``@dataclass(frozen=True)`` class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+from repro.lint.rules.common import (
+    decorator_is_frozen_dataclass,
+    dotted_name,
+    iter_class_methods,
+)
+
+RULE_ID = "REP005"
+
+_CONSTRUCTOR_METHODS = ("__init__", "__post_init__", "__new__")
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    return name in ("object.__setattr__", "super.__setattr__")
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    allowed_spans: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and decorator_is_frozen_dataclass(node):
+            for method_name, method in iter_class_methods(node):
+                if method_name in _CONSTRUCTOR_METHODS:
+                    allowed_spans.append(method)
+    allowed_calls = set()
+    for span in allowed_spans:
+        for node in ast.walk(span):
+            if isinstance(node, ast.Call) and _is_object_setattr(node):
+                allowed_calls.add(id(node))
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and _is_object_setattr(node)
+            and id(node) not in allowed_calls
+        ):
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule=RULE_ID,
+                    message=(
+                        "object.__setattr__ outside __init__/__post_init__ "
+                        "of a frozen dataclass defeats request immutability "
+                        "(FloodSpec identity/digest contracts); construct a "
+                        "new instance instead"
+                    ),
+                )
+            )
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="frozen-mutation",
+        summary=(
+            "object.__setattr__ on frozen dataclasses outside construction"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,88 @@
+"""REP006: hard-coded round/step budget defaults.
+
+PR 1 and PR 4 both shipped fixes for the same drift: one entry point
+defaulting ``max_rounds=400`` while another used the graph-scaled
+``default_round_budget``, so "the same" flood terminated on one path
+and was cut off on the other.  The contract since PR 4/5: a budget
+parameter defaults to ``None`` and resolves through
+``repro.sync.engine.default_round_budget`` (rounds) or
+``repro.variants.random_delay.default_step_budget`` (async steps), in
+exactly one place per entry point.
+
+Flagged: a function parameter named like a budget (``max_rounds``,
+``max_steps``, ``*_round_budget``, ``*_step_budget``) whose default is
+an integer literal.  ``None`` defaults (resolve-later) and required
+parameters are clean.  A pinned literal that is genuinely part of a
+reproduced artefact (a paper figure's published budget) suppresses
+with a justification saying which artefact pins it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+
+RULE_ID = "REP006"
+
+_BUDGET_PARAM_RE = re.compile(r"^(max_rounds|max_steps|(\w+_)?(round|step)_budget)$")
+
+
+def _check_function(
+    func: ast.AST, ctx: FileContext, findings: List[Finding]
+) -> None:
+    arguments = func.args  # type: ignore[attr-defined]
+    positional = [*arguments.posonlyargs, *arguments.args]
+    pos_defaults = arguments.defaults
+    # Defaults align right: the last len(defaults) positional args have them.
+    defaulted = positional[len(positional) - len(pos_defaults):]
+    pairs = list(zip(defaulted, pos_defaults))
+    pairs.extend(
+        (arg, default)
+        for arg, default in zip(arguments.kwonlyargs, arguments.kw_defaults)
+        if default is not None
+    )
+    for arg, default in pairs:
+        if not _BUDGET_PARAM_RE.match(arg.arg):
+            continue
+        if isinstance(default, ast.Constant) and isinstance(default.value, int):
+            if isinstance(default.value, bool):
+                continue
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=default.lineno,
+                    col=default.col_offset + 1,
+                    rule=RULE_ID,
+                    message=(
+                        f"integer-literal default {arg.arg}={default.value} "
+                        f"drifts from the graph-scaled budget rule; default "
+                        f"to None and resolve via default_round_budget/"
+                        f"default_step_budget"
+                    ),
+                )
+            )
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            _check_function(node, ctx, findings)
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="literal-budgets",
+        summary=(
+            "integer-literal round/step budget defaults instead of the "
+            "graph-scaled default_round_budget/default_step_budget"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,136 @@
+"""REP007: process-dependent state in worker-imported modules.
+
+The execution substrate (engines, steppers, the pool, the spec layer,
+the RNG) is imported by every worker process, and its results must be
+a pure function of the request.  Two things silently break that:
+
+* **Wall-clock reads** (``time.time``/``perf_counter``/``monotonic``,
+  ``datetime.now``...): any value derived from one differs per process
+  and per run.  Timing belongs in the benchmark harness, outside the
+  substrate.
+* **Module-level mutable globals** (dicts/lists/sets at top level):
+  each process gets its own copy, warmed differently, so anything
+  result-affecting that reads one is process-dependent -- and even
+  innocent caches bloat or skew if they leak into pickles.  Registries
+  populated once at import time and pure memo caches are the sanctioned
+  exceptions; each carries a suppression saying which it is.
+
+Scope: ``repro/fastpath``, ``repro/core``, ``repro/parallel``,
+``repro/api``, ``repro/sync``, ``repro/variants``, ``repro/rng.py``.
+``__all__`` and annotation-only declarations are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register_rule
+from repro.lint.rules.common import ImportMap, call_name
+
+RULE_ID = "REP007"
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "collections.defaultdict",
+     "collections.OrderedDict", "collections.Counter", "collections.deque"}
+)
+
+_EXEMPT_GLOBAL_NAMES = frozenset({"__all__"})
+
+
+def _is_mutable_initialiser(value: ast.AST, imports: ImportMap) -> bool:
+    if isinstance(
+        value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        name = call_name(value, imports)
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    imports = ImportMap(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = call_name(node, imports)
+            if name in _WALL_CLOCK_CALLS:
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule=RULE_ID,
+                        message=(
+                            f"wall-clock read {name}() in a worker-imported "
+                            f"module; results must be a pure function of the "
+                            f"request -- move timing to the bench harness"
+                        ),
+                    )
+                )
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not _is_mutable_initialiser(value, imports):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id not in _EXEMPT_GLOBAL_NAMES:
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule=RULE_ID,
+                        message=(
+                            f"module-level mutable global {target.id!r} in a "
+                            f"worker-imported module is per-process state; "
+                            f"make it immutable (tuple/MappingProxyType) or "
+                            f"justify it as an import-time registry or pure "
+                            f"memo cache"
+                        ),
+                    )
+                )
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="process-state",
+        summary=(
+            "wall-clock reads or module-level mutable globals in "
+            "worker-imported modules (engines, steppers, pool, spec, RNG)"
+        ),
+        check=check,
+        scope=(
+            "repro/api",
+            "repro/core",
+            "repro/fastpath",
+            "repro/parallel",
+            "repro/rng.py",
+            "repro/sync",
+            "repro/variants",
+        ),
+    )
+)

@@ -1,0 +1,168 @@
+"""Per-line suppressions with required justifications.
+
+The one sanctioned escape hatch::
+
+    seen = set()  # repro-lint: disable=REP002 -- membership only; never iterated
+
+    # repro-lint: disable=REP002 -- membership only; never iterated
+    seen = set()
+
+A trailing suppression silences the named rule(s) on its own line; a
+*standalone* suppression comment (nothing but whitespace before it)
+silences them on the next line, which keeps real justifications from
+forcing 150-column lines.  Either way it covers one line and nothing
+else.  The ``-- justification`` clause is *mandatory*: a disable
+comment without one does not suppress anything and instead raises a
+``REP000`` suppression-hygiene finding, so the tree can never
+accumulate unexplained exemptions.  Unknown rule ids in a disable list
+are also REP000 findings (they are typos, and a typo that silently
+suppresses nothing is worse than an error).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import SUPPRESSION_RULE_ID, known_rule_ids
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed disable comment: the rules it silences and why."""
+
+    line: int
+    rules: FrozenSet[str]
+    justification: str
+
+
+def _comment_tokens(source_lines: Sequence[str]) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line, col0, text)`` for each comment token.
+
+    Tokenising (rather than regexing raw lines) keeps the directive out
+    of string literals -- a docstring *describing* the suppression
+    syntax is not a suppression.  The file already parsed as AST, so
+    tokenisation cannot fail on syntax; stray tokenizer errors (odd
+    trailing indentation) abort the scan at that point rather than
+    guessing.
+    """
+    reader = io.StringIO("\n".join(source_lines) + "\n").readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except tokenize.TokenError:
+        return
+
+
+def parse_suppressions(
+    source_lines: Sequence[str], path: str
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Scan ``source_lines`` for disable comments.
+
+    Returns ``(suppressions_by_line, hygiene_findings)``.  Lines are
+    1-based to match AST line numbers.  Malformed suppressions (missing
+    justification, unknown rule id) contribute hygiene findings and do
+    not suppress.
+    """
+    known = set(known_rule_ids())
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    for lineno, col0, text in _comment_tokens(source_lines):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        col = col0 + match.start() + 1
+        rule_ids = [part.strip() for part in match.group("rules").split(",")]
+        rule_ids = [part for part in rule_ids if part]
+        why = (match.group("why") or "").strip()
+        bad = False
+        for rule_id in rule_ids:
+            if not _RULE_ID_RE.match(rule_id) or rule_id not in known:
+                problems.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=col,
+                        rule=SUPPRESSION_RULE_ID,
+                        message=(
+                            f"suppression names unknown rule {rule_id!r}; "
+                            f"known rules: {', '.join(sorted(known))}"
+                        ),
+                    )
+                )
+                bad = True
+        if rule_ids and SUPPRESSION_RULE_ID in rule_ids:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule=SUPPRESSION_RULE_ID,
+                    message="REP000 (suppression hygiene) cannot itself be suppressed",
+                )
+            )
+            bad = True
+        if not why:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule=SUPPRESSION_RULE_ID,
+                    message=(
+                        "suppression is missing its justification; write "
+                        "`# repro-lint: disable=REPxxx -- <why this is safe>`"
+                    ),
+                )
+            )
+            bad = True
+        if not rule_ids:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule=SUPPRESSION_RULE_ID,
+                    message="suppression names no rules; write `disable=REPxxx`",
+                )
+            )
+            bad = True
+        if not bad:
+            # Standalone comment -> guards the next line; trailing
+            # comment -> guards its own line.
+            source = source_lines[lineno - 1] if lineno <= len(source_lines) else ""
+            standalone = source[: col0].strip() == ""
+            target = lineno + 1 if standalone else lineno
+            by_line[target] = Suppression(
+                line=target, rules=frozenset(rule_ids), justification=why
+            )
+    return by_line, problems
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], suppressions: Dict[int, Suppression]
+) -> List[Finding]:
+    """Drop findings whose line carries a valid suppression for their rule.
+
+    REP000 findings are never dropped (hygiene problems must surface).
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        if finding.rule != SUPPRESSION_RULE_ID:
+            suppression = suppressions.get(finding.line)
+            if suppression is not None and finding.rule in suppression.rules:
+                continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,118 @@
+"""File discovery and the analysis pipeline.
+
+One file's analysis is: parse -> run every in-scope rule -> collect
+suppressions -> drop suppressed findings -> add suppression-hygiene
+findings.  The walker is deliberately deterministic end to end: files
+are discovered in sorted order, rules run in id order, and the merged
+findings are sorted by ``(path, line, col, rule)`` -- so the analyzer's
+own output is stable under ``PYTHONHASHSEED``, which the test suite
+asserts by running the CLI twice under different seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.registry import FileContext, all_rules
+from repro.lint.suppress import apply_suppressions, parse_suppressions
+
+
+def module_path_of(path: str) -> str:
+    """The scope-normalised module path of a file.
+
+    Rule scopes are written against the package tree (``repro/fastpath``
+    ...), so strip everything up to and including the last path segment
+    *before* the final ``repro`` directory: ``src/repro/core/x.py`` and
+    ``/abs/src/repro/core/x.py`` both normalise to ``repro/core/x.py``.
+    Files outside a ``repro`` tree keep their given (POSIX) path, which
+    scoped rules simply will not match -- fixture tests pass virtual
+    ``repro/...`` paths to opt in.
+    """
+    posix = path.replace(os.sep, "/")
+    parts = posix.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return posix.lstrip("./")
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Missing paths raise ``FileNotFoundError`` (a typo that silently
+    lints nothing must not exit 0).  ``__pycache__`` is skipped.
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path.replace(os.sep, "/"))
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        full = os.path.join(dirpath, filename)
+                        found.append(full.replace(os.sep, "/"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return sorted(set(found))
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rule_ids: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyse one file's text.
+
+    ``path`` doubles as the report path and (normalised) the scope key;
+    fixture tests pass virtual paths like ``repro/fastpath/x.py`` to
+    place a snippet inside a scoped package.  ``rule_ids`` restricts to
+    a subset of rules (the CLI's ``--rule``); suppression hygiene
+    always runs.
+    """
+    wanted = set(rule_ids) if rule_ids is not None else None
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        lineno = exc.lineno or 1
+        return [
+            Finding(
+                path=path,
+                line=lineno,
+                col=(exc.offset or 0) + 1,
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    source_lines = tuple(source.splitlines())
+    ctx = FileContext(
+        path=path, module_path=module_path_of(path), source_lines=source_lines
+    )
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if wanted is not None and rule.rule_id not in wanted:
+            continue
+        if not rule.applies_to(ctx.module_path):
+            continue
+        findings.extend(rule.check(tree, ctx))
+    suppressions, hygiene = parse_suppressions(source_lines, path)
+    findings = apply_suppressions(findings, suppressions)
+    findings.extend(hygiene)
+    return sort_findings(findings)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyse every ``.py`` file under ``paths`` (sorted, deduplicated)."""
+    findings: List[Finding] = []
+    for filename in discover_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, filename, rule_ids))
+    return sort_findings(findings)

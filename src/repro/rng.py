@@ -39,6 +39,8 @@ Layout of a draw's coordinates:
 
 from __future__ import annotations
 
+import os
+
 MASK64 = (1 << 64) - 1
 """All arithmetic is modulo 2**64 (the SplitMix64 word size)."""
 
@@ -60,6 +62,19 @@ def mix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
     return value ^ (value >> 31)
+
+
+def fresh_seed() -> int:
+    """One OS-entropy draw: the seed of an explicitly unseeded run.
+
+    This is the package's *only* sanctioned entropy source.  Callers
+    with ``seed=None`` draw exactly once, record the value in their
+    result, and derive every subsequent decision from it through
+    :func:`derive_key` -- so even "random" runs are replayable from
+    their recorded seed.  63 bits keeps the value a non-negative
+    Python/numpy int64.
+    """
+    return int.from_bytes(os.urandom(8), "big") >> 1
 
 
 def derive_key(seed: int, *indices: int) -> int:

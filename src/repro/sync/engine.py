@@ -41,6 +41,32 @@ def default_round_budget(graph: Graph) -> int:
     return 4 * graph.num_nodes + 8
 
 
+MIN_STEP_BUDGET = 5_000
+"""Floor of the default asynchronous step budget.
+
+Asynchronous steps are sub-round (one delivery batch each), and the
+random-delay surveys' headline finding is that dense graphs are
+*metastable* -- floods outliving thousands of steps.  A bare
+:func:`default_round_budget` would cut those trials off before the
+signal appears, so the step-granular default keeps this floor under
+the graph-derived round budget.
+"""
+
+
+def default_step_budget(graph: Graph) -> int:
+    """The default ``max_steps`` of the step-granular (async) engines.
+
+    The asynchronous normalisation of the core budget rule:
+    graph-derived via :func:`default_round_budget`, never below
+    :data:`MIN_STEP_BUDGET` (the surveys' established metastability
+    horizon).  Shared by :mod:`repro.asynchrony` and the random-delay
+    variant so "the default budget" means one thing at step
+    granularity, exactly as :func:`default_round_budget` does at round
+    granularity.
+    """
+    return max(MIN_STEP_BUDGET, default_round_budget(graph))
+
+
 class SynchronousEngine:
     """Runs a :class:`NodeAlgorithm` on a topology and records a trace.
 
@@ -67,6 +93,22 @@ class SynchronousEngine:
             node: tuple(sort_nodes(graph.neighbors(node)))
             for node in graph.nodes()
         }
+
+    # Pickling: the neighbour cache is a pure function of the graph, so
+    # strip it rather than shipping a per-process copy (REP004); it
+    # rebuilds on unpickle.
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "graph": self.graph,
+            "algorithm": self.algorithm,
+            "faults": self.faults,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["graph"], state["algorithm"], state["faults"]
+        )
 
     # ------------------------------------------------------------------
 

@@ -12,7 +12,7 @@ crashed node neither sends nor receives from its crash round onwards
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=REP003 -- legacy BernoulliLoss keeps its seeded sequential stream as a pinned reference; CounterBernoulliLoss is the sanctioned path
 from typing import Callable, Dict, Iterable, Optional, Protocol, Set
 
 from repro.graphs.graph import Node

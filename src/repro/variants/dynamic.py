@@ -14,13 +14,14 @@ which dynamics preserve termination.
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=REP003 -- schedule *generation* only: EdgeFlipSchedule replays a recorded fresh_seed; flood execution draws nothing from it
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError, NodeNotFoundError
 from repro.graphs.graph import Graph, Node
+from repro.rng import fresh_seed
 from repro.sync.engine import default_round_budget
 
 
@@ -69,7 +70,9 @@ class EdgeFlipSchedule:
 
     Starting from ``base``, each round flips ``flips_per_round``
     uniformly random pairs (edge appears/disappears).  Deterministic per
-    seed, and rounds are materialised lazily then cached so repeated
+    seed -- ``seed=None`` draws one :func:`repro.rng.fresh_seed` and
+    records it in ``.seed``, so even an unseeded schedule is replayable
+    -- and rounds are materialised lazily then cached so repeated
     queries agree.
     """
 
@@ -80,13 +83,25 @@ class EdgeFlipSchedule:
             raise ConfigurationError("flips_per_round must be >= 0")
         self.base = base
         self.flips_per_round = flips_per_round
-        self._rng = random.Random(seed)
+        self.seed = fresh_seed() if seed is None else seed
+        self._rng = random.Random(self.seed)
         self._cache: List[Graph] = [base]
 
     def graph_at(self, round_number: int) -> Graph:
         while len(self._cache) < round_number:
             self._cache.append(self._flip(self._cache[-1]))
         return self._cache[round_number - 1]
+
+    # Pickling: the cache and the advanced rng state are process-local
+    # couplings of (base, flips, seed); ship only the recipe and replay
+    # from round 1 on the other side -- same seed, same schedule.
+
+    def __getstate__(self) -> Tuple[Graph, int, int]:
+        return (self.base, self.flips_per_round, self.seed)
+
+    def __setstate__(self, state: Tuple[Graph, int, int]) -> None:
+        base, flips_per_round, seed = state
+        self.__init__(base, flips_per_round, seed)  # type: ignore[misc]
 
     def _flip(self, graph: Graph) -> Graph:
         nodes = list(graph.nodes())
@@ -154,8 +169,7 @@ def simulate_dynamic(
         if not first.has_node(source):
             raise NodeNotFoundError(source)
 
-    all_nodes = set(first.nodes())
-    receive_rounds: Dict[Node, List[int]] = {node: [] for node in all_nodes}
+    receive_rounds: Dict[Node, List[int]] = {node: [] for node in first.nodes()}
     round_edge_counts: List[int] = []
     total_messages = 0
 
@@ -173,6 +187,7 @@ def simulate_dynamic(
         round_edge_counts.append(len(frontier))
         total_messages += len(frontier)
         heard_from: Dict[Node, Set[Node]] = defaultdict(set)
+        # repro-lint: disable=REP002 -- order-free: set adds plus a per-round dedup guard on the rounds list
         for sender, receiver in frontier:
             heard_from[receiver].add(sender)
             rounds = receive_rounds[receiver]

@@ -24,7 +24,6 @@ degradation (how many nodes never hear the message) as loss grows.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -32,7 +31,7 @@ from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node
 from repro.core.amnesiac import AmnesiacFlooding
 from repro.fastpath.indexed import IndexedGraph
-from repro.rng import derive_key
+from repro.rng import derive_key, fresh_seed
 from repro.sync.engine import run_algorithm
 from repro.sync.faults import CounterBernoulliLoss
 from repro.sync.trace import ExecutionTrace
@@ -57,7 +56,7 @@ def lossy_flood(
     None`` draws a fresh random seed.
     """
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
     faults = CounterBernoulliLoss(
         loss_rate,
         derive_key(seed, trial_index),
@@ -113,7 +112,7 @@ def lossy_survey(
 
     component = set(bfs_distances(graph, source))
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
 
     terminated = 0
     rounds_total = 0
@@ -157,7 +156,7 @@ def loss_sweep(
     inserting or removing rates never changes another rate's trials.
     """
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
     return [
         lossy_survey(
             graph, source, rate, trials, seed=derive_key(seed, rate_index)

@@ -27,14 +27,13 @@ cut off only when round ``budget + 1`` actually carries messages.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, NodeNotFoundError
 from repro.fastpath.indexed import IndexedGraph
-from repro.graphs.graph import Graph, Node
-from repro.rng import derive_key, round_key, slot_draw, survival_threshold
+from repro.graphs.graph import Graph, Node, sort_nodes
+from repro.rng import derive_key, fresh_seed, round_key, slot_draw, survival_threshold
 from repro.sync.engine import default_round_budget
 
 
@@ -85,7 +84,7 @@ def probabilistic_flood(
     if budget < 1:
         raise ConfigurationError("max_rounds must be >= 1")
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
     key = derive_key(seed, trial_index)
     threshold = survival_threshold(forward_probability)
     arc_slot = IndexedGraph.of(graph).arc_slot
@@ -100,7 +99,7 @@ def probabilistic_flood(
             if slot_draw(rkey, arc_slot(*pair)) < threshold
         }
 
-    frontier = thin(((source, n) for n in graph.neighbors(source)), 1)
+    frontier = thin(((source, n) for n in sort_nodes(graph.neighbors(source))), 1)
     reached: Set[Node] = {source}
     total_messages = 0
     rounds_executed = 0
@@ -122,7 +121,10 @@ def probabilistic_flood(
             reached.add(receiver)
         candidates: List[Tuple[Node, Node]] = []
         for receiver, senders in heard_from.items():
-            for neighbour in graph.neighbors(receiver):
+            # Sorted walk: the draws are coordinate-keyed (arc slot), so
+            # order cannot change outcomes -- but the candidate list is
+            # result-adjacent state and stays deterministic this way.
+            for neighbour in sort_nodes(graph.neighbors(receiver)):
                 if neighbour not in senders:
                     candidates.append((receiver, neighbour))
         round_number += 1
@@ -170,7 +172,7 @@ def coverage_curve(
 
     component = len(bfs_distances(graph, source))
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
     points: List[CoveragePoint] = []
     for q_index, q in enumerate(probabilities):
         sub_seed = derive_key(seed, q_index)

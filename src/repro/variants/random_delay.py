@@ -27,7 +27,6 @@ the parity structure behind Theorem 3.1.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -35,29 +34,16 @@ from repro.errors import ConfigurationError
 from repro.graphs.graph import Graph, Node
 from repro.asynchrony.adversary import RandomDelayAdversary
 from repro.asynchrony.engine import AsyncOutcome, run_async
-from repro.rng import derive_key
-from repro.sync.engine import default_round_budget
+from repro.rng import derive_key, fresh_seed
 
-MIN_STEP_BUDGET = 5_000
-"""Floor of the default step budget.
-
-Asynchronous steps are sub-round (one delivery batch each), and the
-module's headline finding is that dense graphs are *metastable* --
-floods outliving thousands of steps.  A bare ``default_round_budget``
-would cut those trials off before the signal appears, so the default
-budget is the graph-derived round budget with this floor under it.
-"""
-
-
-def default_step_budget(graph: Graph) -> int:
-    """The default ``max_steps`` of the delay surveys.
-
-    The asynchronous normalisation of the core budget rule:
-    graph-derived via :func:`~repro.sync.engine.default_round_budget`,
-    never below :data:`MIN_STEP_BUDGET` (the survey's established
-    metastability horizon).
-    """
-    return max(MIN_STEP_BUDGET, default_round_budget(graph))
+# The step-granular budget rule moved next to its round-granular twin
+# (one module owns what "the default budget" means); these re-exports
+# keep the historical import path alive.
+from repro.sync.engine import (  # noqa: F401
+    MIN_STEP_BUDGET,
+    default_round_budget,
+    default_step_budget,
+)
 
 
 @dataclass(frozen=True)
@@ -99,7 +85,7 @@ def random_delay_survey(
     elif max_steps < 1:
         raise ConfigurationError("max_steps must be >= 1")
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
     terminated_steps: List[int] = []
     worst = 0
     for trial_index in range(trials):
@@ -147,7 +133,7 @@ def delay_sweep(
     :func:`default_step_budget`; explicit budgets must be ``>= 1``).
     """
     if seed is None:
-        seed = random.randrange(2**63)
+        seed = fresh_seed()
     if max_steps is None:
         max_steps = default_step_budget(graph)
     elif max_steps < 1:

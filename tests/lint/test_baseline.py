@@ -1,0 +1,64 @@
+"""Baseline round-trip: write, load, subtract, reject corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def finding(path="repro/core/a.py", line=3, rule="REP003", message="m"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_round_trip_subtracts_exactly_the_recorded_findings(tmp_path):
+    recorded = [finding(line=3), finding(line=9, rule="REP007")]
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(str(baseline_file), recorded)
+
+    keys = load_baseline(str(baseline_file))
+    fresh = finding(line=21)
+    survivors = apply_baseline([*recorded, fresh], keys)
+    assert survivors == [fresh]
+
+
+def test_render_is_sorted_and_stable():
+    shuffled = [finding(line=9), finding(line=3), finding(path="repro/b.py", line=1)]
+    text = render_baseline(shuffled)
+    assert text == render_baseline(list(reversed(shuffled)))
+    payload = json.loads(text)
+    entries = [(e["path"], e["line"]) for e in payload["findings"]]
+    assert entries == sorted(entries)
+    assert text.endswith("\n")
+
+
+def test_empty_baseline_round_trips_to_no_findings(tmp_path):
+    baseline_file = tmp_path / "empty.json"
+    write_baseline(str(baseline_file), [])
+    assert load_baseline(str(baseline_file)) == set()
+
+
+def test_malformed_baseline_raises(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError):
+        load_baseline(str(bad))
+
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text(json.dumps({"version": 1, "findings": [{"path": "x"}]}))
+    with pytest.raises(ValueError):
+        load_baseline(str(truncated))
+
+
+def test_baseline_may_adopt_rep000_hygiene_findings():
+    hygiene = finding(rule="REP000", message="missing justification")
+    keys = {("repro/core/a.py", 3, "REP000")}
+    assert apply_baseline([hygiene], keys) == []

@@ -1,0 +1,118 @@
+"""CLI behaviour: exit codes, formats, and cross-process determinism."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+DIRTY = (
+    "import random\n"
+    "\n"
+    "def order(graph, node):\n"
+    "    return [n for n in graph.neighbors(node)]\n"
+)
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A small virtual ``repro`` package with known findings."""
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "alpha.py").write_text(DIRTY)
+    (package / "beta.py").write_text("import secrets\n_STATE = {}\n")
+    return tmp_path / "repro"
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text("X = (1, 2, 3)\n")
+    assert main([str(tmp_path / "repro")]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_locations(dirty_tree, capsys):
+    assert main([str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "alpha.py:1:1: REP003" in out
+    assert "beta.py:2:1: REP007" in out
+
+
+def test_rule_filter_restricts_output(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--rule", "REP007"]) == 1
+    out = capsys.readouterr().out
+    assert "REP007" in out
+    assert "REP003" not in out
+
+
+def test_unknown_rule_is_a_usage_error(dirty_tree, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(dirty_tree), "--rule", "REP999"])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "does-not-exist")]) == 2
+
+
+def test_json_format_schema(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 2
+    assert set(payload["counts"]) >= {"REP003", "REP007"}
+    entry = payload["findings"][0]
+    assert set(entry) == {"path", "line", "col", "rule", "message"}
+
+
+def test_output_file(dirty_tree, tmp_path, capsys):
+    report = tmp_path / "report.json"
+    assert main([str(dirty_tree), "--format", "json", "--output", str(report)]) == 1
+    assert capsys.readouterr().out == ""
+    assert json.loads(report.read_text())["findings"]
+
+
+def test_baseline_round_trip_through_the_cli(dirty_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(dirty_tree), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(dirty_tree), "--baseline", str(baseline)]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_list_rules_names_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+        assert rule_id in out
+
+
+def _cli_json(tree: Path, hash_seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(tree), "--format", "json"],
+        capture_output=True,
+        env=env,
+    )
+    assert proc.returncode == 1, proc.stderr.decode()
+    return proc.stdout
+
+
+def test_output_is_identical_across_hash_seeds(dirty_tree):
+    """The analyzer holds itself to its own standard: byte-identical
+    reports under different ``PYTHONHASHSEED`` salts (satellite 6)."""
+    first = _cli_json(dirty_tree, "0")
+    second = _cli_json(dirty_tree, "1")
+    third = _cli_json(dirty_tree, "12345")
+    assert first == second == third

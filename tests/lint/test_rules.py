@@ -1,0 +1,418 @@
+"""Per-rule fixtures: one true positive and one must-not-flag negative each.
+
+Fixtures run through :func:`repro.lint.lint_source` with *virtual*
+``repro/...`` paths, which places a snippet inside (or outside) a
+scoped package without touching the real tree.  Each test restricts to
+its rule id so neighbouring rules cannot mask a regression.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.findings import Finding
+
+
+def run_rule(source: str, rule_id: str, path: str = "repro/core/fixture.py") -> List[Finding]:
+    return lint_source(textwrap.dedent(source), path, rule_ids=[rule_id])
+
+
+def rules_of(findings: List[Finding]) -> List[str]:
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# REP001: hash() escaping the process
+# ----------------------------------------------------------------------
+
+BUGGY_GRAPH = """
+    class Graph:
+        def __init__(self, edges):
+            self._edges = frozenset(edges)
+            self._hash = hash(self._edges)
+
+        def __hash__(self):
+            return self._hash
+"""
+
+FIXED_GRAPH = """
+    class Graph:
+        def __init__(self, edges):
+            self._edges = frozenset(edges)
+            self._hash = hash(self._edges)
+
+        def __hash__(self):
+            return self._hash
+
+        def __getstate__(self):
+            return {"edges": self._edges}
+
+        def __setstate__(self, state):
+            self.__init__(state["edges"])
+"""
+
+
+def test_rep001_flags_pickled_memoised_hash():
+    """The PR 5 ``Graph._hash`` bug: hash() memoised into a default-pickled attr."""
+    findings = run_rule(BUGGY_GRAPH, "REP001", path="repro/graphs/fixture.py")
+    assert rules_of(findings) == ["REP001"]
+    assert "_hash" in findings[0].message
+    assert "PYTHONHASHSEED" in findings[0].message
+
+
+def test_rep001_negative_getstate_strips_the_attr():
+    """The shipped fix: ``__getstate__`` omits ``_hash``, so nothing leaks."""
+    findings = run_rule(FIXED_GRAPH, "REP001", path="repro/graphs/fixture.py")
+    assert findings == []
+
+
+def test_rep001_flags_hash_inside_getstate():
+    findings = run_rule(
+        """
+        class Snapshot:
+            def __getstate__(self):
+                return {"token": hash(self.label)}
+        """,
+        "REP001",
+    )
+    assert rules_of(findings) == ["REP001"]
+
+
+def test_rep001_flags_hash_feeding_a_digest():
+    findings = run_rule(
+        """
+        import hashlib
+
+        def identity(spec):
+            return hashlib.sha256(str(hash(spec)).encode()).hexdigest()
+        """,
+        "REP001",
+    )
+    assert rules_of(findings) == ["REP001"]
+
+
+def test_rep001_negative_digest_from_stable_bytes():
+    findings = run_rule(
+        """
+        import hashlib
+
+        def identity(payload):
+            return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        """,
+        "REP001",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP002: unordered set iteration in result-producing packages
+# ----------------------------------------------------------------------
+
+
+def test_rep002_flags_iteration_over_a_set():
+    findings = run_rule(
+        """
+        def order(graph, node):
+            result = []
+            for neighbour in graph.neighbors(node):
+                result.append(neighbour)
+            return result
+        """,
+        "REP002",
+    )
+    assert rules_of(findings) == ["REP002"]
+
+
+def test_rep002_negative_sorted_wrap():
+    findings = run_rule(
+        """
+        def order(graph, node):
+            result = []
+            for neighbour in sorted(graph.neighbors(node)):
+                result.append(neighbour)
+            return result
+        """,
+        "REP002",
+    )
+    assert findings == []
+
+
+def test_rep002_negative_set_comprehension_output():
+    """A set-to-set comprehension leaves iteration order unobservable."""
+    findings = run_rule(
+        """
+        def grow(frontier):
+            return {node for node in frontier}
+        """,
+        "REP002",
+    )
+    assert findings == []
+
+
+def test_rep002_negative_generator_into_order_free_call():
+    findings = run_rule(
+        """
+        def total(values):
+            seen = set(values)
+            return sum(v for v in seen)
+        """,
+        "REP002",
+    )
+    assert findings == []
+
+
+def test_rep002_out_of_scope_path_is_ignored():
+    findings = lint_source(
+        "for x in {1, 2}:\n    print(x)\n",
+        "repro/viz/fixture.py",
+        rule_ids=["REP002"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP003: RNG discipline
+# ----------------------------------------------------------------------
+
+
+def test_rep003_flags_import_random():
+    findings = run_rule("import random\n", "REP003")
+    assert rules_of(findings) == ["REP003"]
+
+
+def test_rep003_flags_numpy_random_attribute():
+    findings = run_rule(
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng()
+        """,
+        "REP003",
+    )
+    assert rules_of(findings) == ["REP003"]
+    assert len(findings) == 1  # the chain flags once, at numpy.random
+
+
+def test_rep003_negative_inside_rng_module():
+    findings = lint_source("import os\n", "repro/rng.py", rule_ids=["REP003"])
+    assert findings == []
+
+
+def test_rep003_rng_module_itself_is_excluded():
+    findings = lint_source(
+        "import random\n", "repro/rng.py", rule_ids=["REP003"]
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP004: memo caches riding worker pickles
+# ----------------------------------------------------------------------
+
+
+def test_rep004_flags_cache_attr_without_getstate():
+    findings = run_rule(
+        """
+        class Warm:
+            def __init__(self):
+                self._send_cache = {}
+        """,
+        "REP004",
+    )
+    assert rules_of(findings) == ["REP004"]
+
+
+def test_rep004_flags_slots_cache_names():
+    findings = run_rule(
+        """
+        class Warm:
+            __slots__ = ("x", "_memo")
+        """,
+        "REP004",
+    )
+    assert rules_of(findings) == ["REP004"]
+
+
+def test_rep004_negative_getstate_present():
+    findings = run_rule(
+        """
+        class Warm:
+            def __init__(self):
+                self._send_cache = {}
+
+            def __getstate__(self):
+                return {}
+        """,
+        "REP004",
+    )
+    assert findings == []
+
+
+def test_rep004_negative_ordinary_attrs():
+    findings = run_rule(
+        """
+        class Plain:
+            def __init__(self, graph):
+                self.graph = graph
+                self.n = len(graph)
+        """,
+        "REP004",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP005: frozen-dataclass mutation
+# ----------------------------------------------------------------------
+
+
+def test_rep005_flags_setattr_outside_construction():
+    findings = run_rule(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class Spec:
+            budget: int
+
+            def bump(self):
+                object.__setattr__(self, "budget", self.budget + 1)
+        """,
+        "REP005",
+    )
+    assert rules_of(findings) == ["REP005"]
+
+
+def test_rep005_negative_post_init_canonicalisation():
+    findings = run_rule(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class Spec:
+            sources: tuple
+
+            def __post_init__(self):
+                object.__setattr__(self, "sources", tuple(self.sources))
+        """,
+        "REP005",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP006: integer-literal budget defaults
+# ----------------------------------------------------------------------
+
+
+def test_rep006_flags_literal_round_budget():
+    findings = run_rule(
+        """
+        def run(graph, max_rounds: int = 100):
+            return graph, max_rounds
+        """,
+        "REP006",
+    )
+    assert rules_of(findings) == ["REP006"]
+
+
+def test_rep006_flags_keyword_only_step_budget():
+    findings = run_rule(
+        """
+        def run(graph, *, max_steps=2000):
+            return graph, max_steps
+        """,
+        "REP006",
+    )
+    assert rules_of(findings) == ["REP006"]
+
+
+def test_rep006_negative_none_default():
+    findings = run_rule(
+        """
+        def run(graph, max_rounds=None):
+            return graph, max_rounds
+        """,
+        "REP006",
+    )
+    assert findings == []
+
+
+def test_rep006_negative_unrelated_int_default():
+    findings = run_rule(
+        """
+        def run(graph, workers=4):
+            return graph, workers
+        """,
+        "REP006",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP007: process-dependent state in worker-imported modules
+# ----------------------------------------------------------------------
+
+
+def test_rep007_flags_module_level_mutable_global():
+    findings = run_rule("_REGISTRY = {}\n", "REP007", path="repro/fastpath/fixture.py")
+    assert rules_of(findings) == ["REP007"]
+
+
+def test_rep007_flags_wall_clock_read():
+    findings = run_rule(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        "REP007",
+        path="repro/sync/fixture.py",
+    )
+    assert rules_of(findings) == ["REP007"]
+
+
+def test_rep007_negative_immutable_module_constants():
+    findings = run_rule(
+        """
+        from types import MappingProxyType
+
+        __all__ = ["TABLE"]
+        TABLE = MappingProxyType({"a": 1})
+        LIMITS = (1, 2, 3)
+        """,
+        "REP007",
+        path="repro/api/fixture.py",
+    )
+    assert findings == []
+
+
+def test_rep007_out_of_scope_path_is_ignored():
+    findings = run_rule(
+        "_REGISTRY = {}\n", "REP007", path="repro/experiments/fixture.py"
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Cross-cutting behaviour
+# ----------------------------------------------------------------------
+
+
+def test_syntax_errors_surface_as_e999():
+    findings = lint_source("def broken(:\n", "repro/core/broken.py")
+    assert rules_of(findings) == ["E999"]
+
+
+def test_findings_are_sorted_and_deduplicated():
+    findings = lint_source(
+        "import random\nimport secrets\n",
+        "repro/core/fixture.py",
+        rule_ids=["REP003"],
+    )
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    assert len(set(findings)) == len(findings)

@@ -1,0 +1,98 @@
+"""Suppression semantics: binding, mandatory justifications, hygiene."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.findings import Finding
+from repro.lint.suppress import parse_suppressions
+
+PATH = "repro/core/fixture.py"
+
+
+def run(source: str, rule_ids=None) -> List[Finding]:
+    return lint_source(textwrap.dedent(source), PATH, rule_ids=rule_ids)
+
+
+def test_trailing_suppression_silences_its_own_line():
+    findings = run(
+        "import random  # repro-lint: disable=REP003 -- fixture exercises the escape hatch\n"
+    )
+    assert [f for f in findings if f.rule == "REP003"] == []
+    assert [f for f in findings if f.rule == "REP000"] == []
+
+
+def test_standalone_suppression_silences_the_next_line():
+    findings = run(
+        """
+        # repro-lint: disable=REP003 -- fixture exercises the escape hatch
+        import random
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_covers_exactly_one_line():
+    findings = run(
+        """
+        import random  # repro-lint: disable=REP003 -- only this line
+        import secrets
+        """
+    )
+    assert [f.rule for f in findings] == ["REP003"]
+    assert "secrets" in findings[0].message
+
+
+def test_missing_justification_is_rep000_and_does_not_suppress():
+    findings = run("import random  # repro-lint: disable=REP003\n")
+    rules = sorted(f.rule for f in findings)
+    assert rules == ["REP000", "REP003"]
+    rep000 = next(f for f in findings if f.rule == "REP000")
+    assert "justification" in rep000.message
+
+
+def test_unknown_rule_id_is_rep000():
+    findings = run(
+        "x = 1  # repro-lint: disable=REP999 -- no such rule\n"
+    )
+    assert [f.rule for f in findings] == ["REP000"]
+    assert "REP999" in findings[0].message
+
+
+def test_rep000_cannot_suppress_itself():
+    findings = run(
+        "x = 1  # repro-lint: disable=REP000 -- nice try\n"
+    )
+    assert [f.rule for f in findings] == ["REP000"]
+
+
+def test_multi_rule_suppression():
+    findings = run(
+        "# repro-lint: disable=REP003, REP007 -- fixture silences both on one line\n"
+        "import random\n"
+    )
+    assert findings == []
+
+
+def test_directive_inside_a_string_literal_is_not_a_suppression():
+    suppressions, problems = parse_suppressions(
+        ('DOC = "write # repro-lint: disable=REP002 on the line"',), PATH
+    )
+    assert suppressions == {}
+    assert problems == []
+
+
+def test_suppressing_one_rule_leaves_others():
+    findings = run(
+        """
+        import time
+
+        # repro-lint: disable=REP003 -- wrong rule for this line
+        _CACHE_TABLE = {}
+        """,
+        rule_ids=["REP007"],
+    )
+    # the suppression names REP003; the REP007 finding must survive
+    assert [f.rule for f in findings] == ["REP007"]
