@@ -8,6 +8,9 @@
 #   make smoke  - CI smoke lane: scaled-down benchmark run (assertions
 #                 included, trajectory file untouched, summary written
 #                 to $(SMOKE_SUMMARY) for the CI artifact) + the
+#                 bitset-oracle equivalence subset (the word-packed
+#                 cover sweep pinned bit-identical to the per-source
+#                 oracle, fail-fast before the full suite) + the
 #                 examples suite (the facade-based examples run whole
 #                 per PR) + the tier-1 suite
 #   make bench  - full benchmark run; rewrites BENCH_fastpath.json
@@ -43,6 +46,7 @@ typecheck:
 
 smoke:
 	$(PYTHON) benchmarks/run_bench.py --quick --summary $(SMOKE_SUMMARY)
+	$(PYTHON) -m pytest -x -q tests/fastpath/test_bitset_oracle.py
 	$(PYTHON) -m pytest -x -q tests/integration/test_examples.py
 	$(PYTHON) -m pytest -x -q
 

@@ -51,12 +51,14 @@ BENCH_FILES = (
     "bench_service.py",
     "bench_variants.py",
     "bench_api.py",
+    "bench_allpairs.py",
 )
 QUICK_BENCH_FILES = (
     "bench_parallel.py",
     "bench_service.py",
     "bench_variants.py",
     "bench_api.py",
+    "bench_allpairs.py",
 )
 FASTPATH_PREFIXES = (
     "test_ext_scale_fastpath_backends",
@@ -65,6 +67,7 @@ FASTPATH_PREFIXES = (
     "test_ext_svc_",
     "test_ext_var_",
     "test_ext_api_",
+    "test_ext_ap_",
 )
 EXTRA_ROW_KEYS = (
     "workers",
@@ -74,6 +77,8 @@ EXTRA_ROW_KEYS = (
     "serial_seconds",
     "auto_backend",
     "pure_seconds",
+    "numpy_seconds",
+    "mean_degree",
     "mean_batch",
     "variant",
     "loss_rate",
@@ -141,6 +146,10 @@ def trim(raw: dict) -> list:
             # -- name them apart in the trajectory.
             if name.startswith(("test_ext_par_", "test_ext_api_")):
                 row["speedup_vs_serial"] = info["speedup"]
+            elif name.startswith("test_ext_ap_"):
+                # The all-pairs rows measure the bitset cover sweep
+                # against the per-source oracle backend.
+                row["speedup_vs_per_source"] = info["speedup"]
             elif name.startswith("test_ext_svc_"):
                 row["speedup_vs_sequential"] = info["speedup"]
             elif name.startswith("test_ext_var_") and "parallel" in name:

@@ -43,6 +43,7 @@ from repro.core.multisource import (
     MultiSourceBounds,
     ReceiptCensus,
     receipt_census,
+    receipt_census_batch,
     all_pairs_termination,
     flood_from_set,
     multi_source_bounds,
@@ -100,6 +101,7 @@ __all__ = [
     "MultiSourceBounds",
     "ReceiptCensus",
     "receipt_census",
+    "receipt_census_batch",
     "all_pairs_termination",
     "flood_from_set",
     "multi_source_bounds",

@@ -124,22 +124,53 @@ class ReceiptCensus:
 
 
 def receipt_census(graph: Graph, sources: Iterable[Node]) -> ReceiptCensus:
-    """Classify every node by how many times it will receive the message."""
-    prediction = predict(graph, list(sources))
-    once: List[Node] = []
-    twice: List[Node] = []
-    never: List[Node] = []
-    for node in graph.nodes():
-        count = len(prediction.receive_rounds[node])
-        if count == 0:
-            never.append(node)
-        elif count == 1:
-            once.append(node)
-        else:
-            twice.append(node)
-    return ReceiptCensus(
-        once=tuple(once), twice=tuple(twice), never=tuple(never)
-    )
+    """Classify every node by how many times it will receive the message.
+
+    A batch-of-one :func:`receipt_census_batch`; sweep many source sets
+    through the batch form instead, which rides the word-packed bitset
+    cover sweep.
+    """
+    return receipt_census_batch(graph, [list(sources)])[0]
+
+
+def receipt_census_batch(
+    graph: Graph,
+    source_sets: Iterable[Iterable[Node]],
+    workers: Optional[int] = None,
+) -> List[ReceiptCensus]:
+    """One :class:`ReceiptCensus` per source set, as a single batch.
+
+    The whole batch runs as one oracle-backed sweep through
+    :func:`repro.parallel.census.receipt_counts`: the graph indexes
+    once, large deterministic batches take the bitset cover sweep
+    (64 source sets per word pass), and the usual pool sharding rules
+    apply.  Each census is bit-identical to the per-call
+    :func:`receipt_census` (which is now a batch of one) and to the
+    original explicit-cover :func:`~repro.core.oracle.predict`
+    classification -- the regression tests pin both.
+    """
+    from repro.parallel.census import receipt_counts
+
+    count_rows = receipt_counts(graph, list(source_sets), workers=workers)
+    nodes = graph.nodes()
+    censuses: List[ReceiptCensus] = []
+    for counts in count_rows:
+        once: List[Node] = []
+        twice: List[Node] = []
+        never: List[Node] = []
+        for node, count in zip(nodes, counts):
+            if count == 0:
+                never.append(node)
+            elif count == 1:
+                once.append(node)
+            else:
+                twice.append(node)
+        censuses.append(
+            ReceiptCensus(
+                once=tuple(once), twice=tuple(twice), never=tuple(never)
+            )
+        )
+    return censuses
 
 
 def all_pairs_termination(
@@ -156,9 +187,13 @@ def all_pairs_termination(
     across the machine's cores (serial below the pool's batch floor),
     and each pair flood collects only the scalar statistics.  The
     double-cover oracle backend answers the termination round in
-    O(n + m) per pair independent of flood length; the equivalence
-    matrix holds it bit-for-bit equal to the frontier engines, so the
-    output is identical to simulating every pair.
+    O(n + m) per pair independent of flood length, and because the
+    batch is deterministic and oracle-resolved it rides the word-packed
+    bitset cover sweep (:mod:`repro.fastpath.bitset_oracle`): 64 pairs
+    flood per word pass, all pairs in O(n * (n + m)) words total.  The
+    equivalence matrix holds every lane bit-for-bit equal to the
+    frontier engines, so the output is identical to simulating every
+    pair.
     """
     nodes = graph.nodes()
     pairs: List[Tuple[Node, Node]] = []

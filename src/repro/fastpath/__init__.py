@@ -18,7 +18,11 @@ two engines:
   frontier at all: one BFS over the implicit double cover predicts the
   full statistics of a flood in O(n + m) total, independent of round
   count.  Never auto-selected; request it with ``backend="oracle"``
-  when you want sweep statistics at BFS cost.
+  when you want sweep statistics at BFS cost.  Deterministic oracle
+  batches of :data:`~repro.fastpath.engine.BITSET_MIN_BATCH` or more
+  runs additionally ride the word-packed bitset cover sweep
+  (:mod:`repro.fastpath.bitset_oracle`): 64 source sets flood per
+  ``uint64`` word pass, bit-identical to the per-source oracle.
 
 Pass ``backend="pure"`` / ``"numpy"`` / ``"oracle"`` to pin an engine,
 or ``backend=None`` (the default) to auto-select a frontier engine;
@@ -51,13 +55,16 @@ Entry points:
 """
 
 from repro.fastpath.engine import (
+    BITSET_MIN_BATCH,
     NUMPY_ARC_THRESHOLD,
+    NUMPY_MIN_MEAN_DEGREE,
     ORACLE,
     IndexedRun,
     arc_mask_of,
     available_backends,
     batch_key_of,
     configuration_of_mask,
+    dispatch_batch,
     ensure_homogeneous_specs,
     evolve_arc_mask,
     routed_sweep_backend,
@@ -86,7 +93,9 @@ from repro.fastpath.variants import (
 )
 
 __all__ = [
+    "BITSET_MIN_BATCH",
     "NUMPY_ARC_THRESHOLD",
+    "NUMPY_MIN_MEAN_DEGREE",
     "ORACLE",
     "ORACLE_ROUND_THRESHOLD",
     "IndexedGraph",
@@ -98,6 +107,7 @@ __all__ = [
     "batch_key_of",
     "bernoulli_loss",
     "configuration_of_mask",
+    "dispatch_batch",
     "ensure_homogeneous_specs",
     "evolve_arc_mask",
     "expected_rounds",

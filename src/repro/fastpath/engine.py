@@ -23,10 +23,18 @@ Backend selection
 
 ``backend=None`` auto-selects between the frontier engines: numpy when
 it is importable *and* the graph has at least
-:data:`NUMPY_ARC_THRESHOLD` directed arcs, else pure.  The oracle is
+:data:`NUMPY_ARC_THRESHOLD` directed arcs *and* mean degree at least
+:data:`NUMPY_MIN_MEAN_DEGREE` (sparse graphs run long floods, which
+punish the O(arcs)-per-round engine), else pure.  The oracle is
 never auto-selected -- it is a *prediction* of the process rather than
 an execution of it, so callers opt in explicitly (and the equivalence
-matrix holds it bit-for-bit equal to the executions).
+matrix holds it bit-for-bit equal to the executions).  Batches that
+*do* resolve to the oracle (explicitly or through the rounds probe)
+additionally ride the word-packed bitset sweep
+(:mod:`repro.fastpath.bitset_oracle`) when they are deterministic and
+at least :data:`BITSET_MIN_BATCH` runs -- an execution strategy, not a
+backend name: results still report ``backend="oracle"`` and stay
+bit-identical to the per-source oracle.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ from typing import (
 
 from repro.api.spec import BatchKey, FloodSpec
 from repro.errors import ConfigurationError, NonTerminationError
-from repro.fastpath import numpy_backend, oracle_backend, pure_backend
+from repro.fastpath import bitset_oracle, numpy_backend, oracle_backend, pure_backend
 from repro.fastpath.indexed import IndexedGraph
 from repro.fastpath.variants import VariantSpec, run_variant, variant_backend
 from repro.graphs.graph import Graph, Node
@@ -62,7 +70,32 @@ except AttributeError:  # pragma: no cover - Python 3.9
         return bin(value).count("1")
 
 NUMPY_ARC_THRESHOLD = 4096
-"""Auto-selection switches to numpy at this many directed arcs."""
+"""Auto-selection considers numpy from this many directed arcs."""
+
+NUMPY_MIN_MEAN_DEGREE = 4
+"""Auto-selection also requires this mean degree before picking numpy.
+
+Arc count alone is the wrong crossover signal: the numpy engine pays
+O(arcs) *per round*, so on sparse long-flood families the rounds
+multiply a small per-round win into a large total loss.  The committed
+trajectory rows (``BENCH_fastpath.json``) make this concrete -- on the
+degree-2 cycle ``C4095`` (8190 arcs, past the arc threshold) the numpy
+engine runs the 4096-round flood ~20x slower than pure, while on
+mean-degree >= 8 graphs of the same arc count it wins.  The
+``bench_allpairs.py`` crossover rows record the measurement per mean
+degree; auto-selection therefore takes numpy only when the graph is
+both large (arc threshold) *and* dense enough
+(``num_arcs >= NUMPY_MIN_MEAN_DEGREE * n``, i.e. mean degree >= 4)
+that floods stay short relative to the arc work."""
+
+BITSET_MIN_BATCH = 16
+"""Batch size at which oracle batches switch to the bitset sweep.
+
+Below this the word-packed pass cannot amortise its numpy setup over
+enough runs to beat the per-source Python BFS; at 16+ runs a single
+word sweep replaces 16+ full passes.  Chunked tiers shard at
+:data:`repro.parallel.pool.MAX_CHUNK` = 64 = one full word, so pool
+chunks of eligible batches arrive word-aligned."""
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -106,7 +139,11 @@ def select_backend(index: IndexedGraph, backend: Optional[str] = None) -> str:
     """
     validate_backend_name(backend)
     if backend is None:
-        if numpy_backend.HAS_NUMPY and index.num_arcs >= NUMPY_ARC_THRESHOLD:
+        if (
+            numpy_backend.HAS_NUMPY
+            and index.num_arcs >= NUMPY_ARC_THRESHOLD
+            and index.num_arcs >= NUMPY_MIN_MEAN_DEGREE * index.n
+        ):
             return NUMPY
         return PURE
     return backend
@@ -243,6 +280,50 @@ def _dispatch(
         collect_senders=key.collect_senders,
         collect_receives=key.collect_receives,
     )
+
+
+def dispatch_batch(
+    index: IndexedGraph,
+    id_lists: Sequence[Sequence[int]],
+    key: BatchKey,
+    run_keys: Optional[Sequence[int]] = None,
+) -> List[pure_backend.RawRun]:
+    """Run one resolved batch of source-id lists; one RawRun per list.
+
+    The batch-granular execution funnel layered over :func:`_dispatch`:
+    the serial spec sweep, the worker pool's chunk bodies and the
+    service's serial executor all run their batches through this
+    function.  Deterministic oracle batches of at least
+    :data:`BITSET_MIN_BATCH` runs take the word-packed bitset sweep
+    (:mod:`repro.fastpath.bitset_oracle`) when numpy is importable --
+    bit-identical to the per-run loop, 64 floods per cover pass;
+    everything else (variants, frontier backends, small batches, no
+    numpy) falls through to the per-run ``_dispatch`` loop.  Variants
+    never take the bitset lane: their steppers execute a stochastic
+    process per ``run_keys`` stream, not a cover prediction.
+    """
+    if (
+        key.variant is None
+        and key.backend == ORACLE
+        and bitset_oracle.HAS_NUMPY
+        and len(id_lists) >= BITSET_MIN_BATCH
+    ):
+        return bitset_oracle.run_batch(
+            index,
+            id_lists,
+            key.budget,
+            collect_senders=key.collect_senders,
+            collect_receives=key.collect_receives,
+        )
+    return [
+        _dispatch(
+            index,
+            ids,
+            key,
+            run_keys[position] if run_keys is not None else 0,
+        )
+        for position, ids in enumerate(id_lists)
+    ]
 
 
 def wrap_raw_run(
@@ -523,12 +604,15 @@ def sweep_specs(
     if index is None:
         index = specs[0].index()
     key = batch_key_of(specs, index)
-    runs: List[IndexedRun] = []
-    for spec in specs:
-        source_ids = index.resolve_sources(spec.sources)
-        raw = _dispatch(index, source_ids, key, spec.run_key())
-        runs.append(wrap_raw_run(index, source_ids, key.backend, raw, key.variant))
-    return runs
+    id_lists = [index.resolve_sources(spec.sources) for spec in specs]
+    run_keys = (
+        [spec.run_key() for spec in specs] if key.variant is not None else None
+    )
+    raw_runs = dispatch_batch(index, id_lists, key, run_keys)
+    return [
+        wrap_raw_run(index, source_ids, key.backend, raw, key.variant)
+        for source_ids, raw in zip(id_lists, raw_runs)
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -106,6 +106,31 @@ def run(
     round ``budget + 1`` would still send.
     """
     dist = cover_levels(index, source_ids)
+    return stats_from_levels(
+        index,
+        dist,
+        budget,
+        collect_senders=collect_senders,
+        collect_receives=collect_receives,
+    )
+
+
+def stats_from_levels(
+    index: IndexedGraph,
+    dist: Sequence[int],
+    budget: int,
+    collect_senders: bool = True,
+    collect_receives: bool = True,
+) -> RawRun:
+    """Turn one run's cover levels into its :data:`RawRun` statistics.
+
+    ``dist`` is a :func:`cover_levels` vector (length ``2 * n``, ``-1``
+    for unreachable cover states).  Split out of :func:`run` so the
+    word-packed batch oracle (:mod:`repro.fastpath.bitset_oracle`) can
+    feed its per-run level columns through *exactly* the per-source
+    statistics code -- one implementation of the edge-crossing
+    enumeration, so the two paths cannot drift.
+    """
     horizon = max(dist)  # the true termination round T (0 if no arcs)
     terminated = horizon <= budget
     executed = horizon if terminated else budget

@@ -24,7 +24,10 @@ all cores:
   (:mod:`repro.service`) drives; :func:`serial_sweep_ids` is the same
   post-validation loop without processes (the service's 1-core mode).
 * :func:`repro.parallel.census.classify_masks` -- the same sharding
-  for the configuration census's orbit detections.
+  for the configuration census's orbit detections; its sibling
+  :func:`repro.parallel.census.receipt_counts` batches per-node
+  receive-count censuses through the oracle backend (word-packed
+  bitset sweep on large deterministic batches).
 
 ``repro.core`` routes :func:`~repro.core.multisource.all_pairs_termination`
 and :func:`~repro.core.initial_conditions.classify_all_configurations`
@@ -33,7 +36,11 @@ scale to the machine without code changes.  See
 ``docs/architecture.md`` for the dataflow.
 """
 
-from repro.parallel.census import MIN_PARALLEL_CENSUS, classify_masks
+from repro.parallel.census import (
+    MIN_PARALLEL_CENSUS,
+    classify_masks,
+    receipt_counts,
+)
 from repro.parallel.pool import (
     MAX_CHUNK,
     MIN_PARALLEL_BATCH,
@@ -53,6 +60,7 @@ __all__ = [
     "classify_masks",
     "default_chunksize",
     "parallel_sweep",
+    "receipt_counts",
     "serial_batch_ids",
     "serial_sweep_ids",
     "worker_count",

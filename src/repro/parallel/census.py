@@ -1,4 +1,4 @@
-"""Sharded initial-conditions census: orbit detection across cores.
+"""Sharded censuses: orbit detection and receipt counting across cores.
 
 The configuration census of
 :func:`repro.core.initial_conditions.classify_all_configurations`
@@ -17,6 +17,14 @@ terminating count, and the *earliest* non-terminating witnesses -- so
 the merge tags every witness with its enumeration position and keeps
 the globally smallest ones, making the parallel census's output
 identical to the serial loop's for any worker count or chunk size.
+
+:func:`receipt_counts` is the second census lane: per-node receive
+counts for many source sets at once, batched through the oracle
+backend -- large deterministic batches ride the word-packed bitset
+cover sweep (:mod:`repro.fastpath.bitset_oracle`) inside whichever
+tier (serial or pool chunks) executes them.
+:func:`repro.core.multisource.receipt_census` classifies its output
+into the once/twice/never partition.
 """
 
 from __future__ import annotations
@@ -108,6 +116,43 @@ def classify_masks(
     # sort documents (and enforces) the order-insensitive merge.
     tagged_witnesses.sort()
     return terminating, [mask for _, mask in tagged_witnesses[:witness_cap]]
+
+
+def receipt_counts(
+    graph: Graph,
+    source_sets: Sequence[Iterable[object]],
+    max_rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """Per-node receive counts for many source sets, oracle-backed.
+
+    Row ``i`` is a tuple over ``graph.nodes()`` order: how many times
+    each node receives the message when flooding starts from
+    ``source_sets[i]`` (0, 1 or 2 -- never more, by the double-cover
+    correspondence).  The batch runs as one
+    :func:`~repro.parallel.parallel_sweep` on the oracle backend, so
+    large deterministic batches take the word-packed bitset cover
+    sweep and the pool sharding rules apply unchanged (serial below
+    the batch floor or on one core).
+    """
+    from repro.parallel.pool import parallel_sweep
+
+    runs = parallel_sweep(
+        graph,
+        source_sets,
+        max_rounds=max_rounds,
+        backend="oracle",
+        workers=workers,
+        chunksize=chunksize,
+        collect_receives=True,
+    )
+    # receive_rounds_by_id is indexed by CSR node id, which follows
+    # graph.nodes() order by construction.
+    return [
+        tuple(len(rounds) for rounds in run.receive_rounds_by_id)
+        for run in runs
+    ]
 
 
 def _classify_serial(

@@ -68,8 +68,8 @@ from repro.api.spec import BatchKey, FloodSpec
 from repro.errors import ConfigurationError
 from repro.fastpath.engine import (
     IndexedRun,
-    _dispatch,
     _resolve_budget,
+    dispatch_batch,
     ensure_homogeneous_specs,
     routed_sweep_backend,
     select_backend,
@@ -144,21 +144,13 @@ def _run_chunk(task: _Task) -> _TaskResult:
 
     The chunk carries the batch's :class:`BatchKey` verbatim -- the
     worker executes exactly the object the parent batched on, through
-    the same :func:`~repro.fastpath.engine._dispatch` funnel the serial
-    path uses.
+    the same :func:`~repro.fastpath.engine.dispatch_batch` funnel the
+    serial path uses (so eligible oracle chunks take the word-packed
+    bitset sweep inside the worker too; ``MAX_CHUNK`` = 64 keeps those
+    chunks word-aligned).
     """
     position, id_lists, key, run_keys = task
-    index = _WORKER_INDEX
-    results = [
-        _dispatch(
-            index,
-            ids,
-            key,
-            run_keys[offset] if run_keys is not None else 0,
-        )
-        for offset, ids in enumerate(id_lists)
-    ]
-    return position, results
+    return position, dispatch_batch(_WORKER_INDEX, id_lists, key, run_keys)
 
 
 def _wrap_runs(
@@ -527,15 +519,7 @@ def serial_batch_ids(
     """
     if run_keys is None:
         run_keys = _variant_run_keys(key.variant, len(id_lists))
-    raw_runs = [
-        _dispatch(
-            index,
-            ids,
-            key,
-            run_keys[position] if run_keys is not None else 0,
-        )
-        for position, ids in enumerate(id_lists)
-    ]
+    raw_runs = dispatch_batch(index, id_lists, key, run_keys)
     return _wrap_runs(index, id_lists, raw_runs, key)
 
 

@@ -10,6 +10,7 @@ from repro.errors import (
 from repro.core import simulate_reference
 from repro.fastpath import (
     NUMPY_ARC_THRESHOLD,
+    NUMPY_MIN_MEAN_DEGREE,
     IndexedGraph,
     arc_mask_of,
     available_backends,
@@ -42,10 +43,48 @@ class TestBackendSelection:
 
     @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not importable")
     def test_auto_selects_numpy_past_threshold(self):
+        # Dense enough (mean degree >= NUMPY_MIN_MEAN_DEGREE) and past
+        # the arc threshold: numpy wins and is selected.
+        n = NUMPY_ARC_THRESHOLD // 8 + 1
+        graph = erdos_renyi(n, 10 / n, seed=11, connected=True)
+        index = IndexedGraph.of(graph)
+        assert index.num_arcs >= NUMPY_ARC_THRESHOLD
+        assert index.num_arcs >= NUMPY_MIN_MEAN_DEGREE * index.n
+        assert select_backend(index, None) == "numpy"
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not importable")
+    def test_auto_keeps_pure_on_sparse_graphs_past_threshold(self):
+        # Arc count alone is not enough: a degree-2 cycle past the arc
+        # threshold runs ~n rounds, where the O(arcs)-per-round numpy
+        # engine is the catastrophic choice (the committed
+        # BENCH_fastpath.json rows measure ~20x slower than pure on
+        # C4095).  The selection rule pins mean degree >= 4 too.
         n = NUMPY_ARC_THRESHOLD // 2 + 1
         index = IndexedGraph.of(cycle_graph(n))
         assert index.num_arcs >= NUMPY_ARC_THRESHOLD
-        assert select_backend(index, None) == "numpy"
+        assert index.num_arcs < NUMPY_MIN_MEAN_DEGREE * index.n
+        assert select_backend(index, None) == "pure"
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not importable")
+    def test_selection_rule_is_threshold_and_mean_degree(self):
+        # The exact rule, pinned: numpy iff arcs >= NUMPY_ARC_THRESHOLD
+        # and arcs >= NUMPY_MIN_MEAN_DEGREE * n.
+        for graph in (
+            cycle_graph(16),  # small and sparse
+            cycle_graph(NUMPY_ARC_THRESHOLD // 2 + 1),  # big, sparse
+            erdos_renyi(256, 12 / 256, seed=5, connected=True),  # small, dense
+            erdos_renyi(1024, 12 / 1024, seed=5, connected=True),  # big, dense
+        ):
+            index = IndexedGraph.of(graph)
+            expected = (
+                "numpy"
+                if (
+                    index.num_arcs >= NUMPY_ARC_THRESHOLD
+                    and index.num_arcs >= NUMPY_MIN_MEAN_DEGREE * index.n
+                )
+                else "pure"
+            )
+            assert select_backend(index, None) == expected
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError):
