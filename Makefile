@@ -7,12 +7,18 @@
 #   make typecheck - mypy over src/repro (config in pyproject.toml)
 #   make smoke  - CI smoke lane: scaled-down benchmark run (assertions
 #                 included, trajectory file untouched, summary written
-#                 to $(SMOKE_SUMMARY) for the CI artifact) + the
+#                 to $(SMOKE_SUMMARY) for the CI artifact), the
+#                 benchmark drift check (quick summary vs the committed
+#                 BENCH_fastpath.json; warns on >25% regressions, never
+#                 fails and never rewrites the trajectory), the
 #                 bitset-oracle equivalence subset (the word-packed
 #                 cover sweep pinned bit-identical to the per-source
-#                 oracle, fail-fast before the full suite) + the
-#                 examples suite (the facade-based examples run whole
-#                 per PR) + the tier-1 suite
+#                 oracle, fail-fast before the full suite), the
+#                 cache-equivalence subset (cached/coalesced/persisted
+#                 results pinned bit-identical to fresh execution,
+#                 fail-fast likewise) + the examples suite (the
+#                 facade-based examples run whole per PR) + the
+#                 tier-1 suite
 #   make bench  - full benchmark run; rewrites BENCH_fastpath.json
 #   make examples - the examples suite (quick examples run end-to-end)
 #   make example- the quickstart example, as a living doc check
@@ -46,7 +52,9 @@ typecheck:
 
 smoke:
 	$(PYTHON) benchmarks/run_bench.py --quick --summary $(SMOKE_SUMMARY)
+	$(PYTHON) benchmarks/check_drift.py $(SMOKE_SUMMARY)
 	$(PYTHON) -m pytest -x -q tests/fastpath/test_bitset_oracle.py
+	$(PYTHON) -m pytest -x -q tests/cache/test_cache_equivalence.py
 	$(PYTHON) -m pytest -x -q tests/integration/test_examples.py
 	$(PYTHON) -m pytest -x -q
 

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Compare a benchmark-run summary against the committed perf trajectory.
+
+The CI smoke lane runs the quick benchmarks and writes a summary file
+(``run_bench.py --quick --summary``); this script diffs that summary
+against the committed ``BENCH_fastpath.json`` and *warns* -- it never
+fails the lane and never rewrites the trajectory.  Rows are matched on
+the exact ``(benchmark, n, backend)`` triple, so the scaled-down quick
+workloads simply fall out of the comparison: only rows whose workload
+is identical to a committed row are diffed, and the report says how
+many rows overlapped so a silently-empty comparison is visible.
+
+A row regresses when its ``mean_seconds`` exceeds the committed mean
+by more than ``--threshold`` (default 25%).  Regressions are printed
+as GitHub ``::warning::`` annotations and, when ``GITHUB_STEP_SUMMARY``
+is set, appended to the job summary as a markdown table -- visible on
+the PR without blocking it, because smoke-runner timings are noisy and
+the committed trajectory is only rewritten deliberately via
+``make bench``.
+
+Usage::
+
+    python benchmarks/check_drift.py SUMMARY [--trajectory BENCH_fastpath.json]
+                                     [--threshold 0.25]
+
+Exit status: 0 whenever the comparison ran (regressions included);
+1 when an input file is missing or malformed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_rows(path: Path) -> list:
+    """Read the ``rows`` list out of a summary/trajectory file."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"check_drift: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"check_drift: {path} is not valid JSON: {exc}")
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        raise SystemExit(f"check_drift: {path} has no 'rows' list")
+    return rows
+
+
+def row_key(row: dict):
+    return (row.get("benchmark"), row.get("n"), row.get("backend"))
+
+
+def compare(current: list, committed: list, threshold: float) -> dict:
+    """Diff mean_seconds on overlapping (benchmark, n, backend) rows."""
+    baseline = {}
+    for row in committed:
+        if isinstance(row.get("mean_seconds"), (int, float)):
+            baseline[row_key(row)] = row["mean_seconds"]
+    overlap = []
+    for row in current:
+        key = row_key(row)
+        mean = row.get("mean_seconds")
+        if key not in baseline or not isinstance(mean, (int, float)):
+            continue
+        before = baseline[key]
+        ratio = mean / before if before > 0 else float("inf")
+        overlap.append(
+            {
+                "benchmark": key[0],
+                "n": key[1],
+                "backend": key[2],
+                "committed_seconds": before,
+                "current_seconds": mean,
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + threshold,
+            }
+        )
+    return {
+        "overlap": overlap,
+        "regressions": [row for row in overlap if row["regressed"]],
+    }
+
+
+def write_step_summary(report: dict, threshold: float) -> None:
+    """Append a markdown drift table to the GitHub job summary, if any."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Benchmark drift (quick lane vs committed trajectory)", ""]
+    overlap, regressions = report["overlap"], report["regressions"]
+    if not overlap:
+        lines.append(
+            "No overlapping `(benchmark, n, backend)` rows -- the quick "
+            "workloads are scaled down, so this run has nothing to diff."
+        )
+    else:
+        lines.append(
+            f"{len(overlap)} overlapping rows, "
+            f"{len(regressions)} regressed beyond "
+            f"{threshold:.0%} (warn-only; `make bench` rewrites the "
+            f"trajectory deliberately)."
+        )
+        lines.append("")
+        lines.append("| benchmark | n | backend | committed s | current s | ratio |")
+        lines.append("| --- | --- | --- | --- | --- | --- |")
+        for row in overlap:
+            marker = " :warning:" if row["regressed"] else ""
+            lines.append(
+                f"| {row['benchmark']} | {row['n']} | {row['backend']} "
+                f"| {row['committed_seconds']:.4f} "
+                f"| {row['current_seconds']:.4f} "
+                f"| {row['ratio']:.2f}x{marker} |"
+            )
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "summary", type=Path, help="summary written by run_bench.py --summary"
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=REPO_ROOT / "BENCH_fastpath.json",
+        help="committed trajectory to diff against (read-only)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative mean_seconds slowdown that counts as a regression",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_rows(args.summary)
+    committed = load_rows(args.trajectory)
+    report = compare(current, committed, args.threshold)
+    overlap, regressions = report["overlap"], report["regressions"]
+
+    if not overlap:
+        print(
+            f"check_drift: no overlapping rows between {args.summary} "
+            f"({len(current)} rows) and {args.trajectory} "
+            f"({len(committed)} rows); nothing to diff"
+        )
+    else:
+        print(
+            f"check_drift: {len(overlap)} overlapping rows, "
+            f"{len(regressions)} regressed beyond {args.threshold:.0%}"
+        )
+        for row in regressions:
+            message = (
+                f"{row['benchmark']} (n={row['n']}, "
+                f"backend={row['backend']}) slowed to "
+                f"{row['ratio']:.2f}x the committed mean "
+                f"({row['committed_seconds']:.4f}s -> "
+                f"{row['current_seconds']:.4f}s)"
+            )
+            print(f"::warning title=Benchmark drift::{message}")
+    write_step_summary(report, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ BENCH_FILES = (
     "bench_variants.py",
     "bench_api.py",
     "bench_allpairs.py",
+    "bench_cache.py",
 )
 QUICK_BENCH_FILES = (
     "bench_parallel.py",
@@ -59,6 +60,7 @@ QUICK_BENCH_FILES = (
     "bench_variants.py",
     "bench_api.py",
     "bench_allpairs.py",
+    "bench_cache.py",
 )
 FASTPATH_PREFIXES = (
     "test_ext_scale_fastpath_backends",
@@ -68,6 +70,7 @@ FASTPATH_PREFIXES = (
     "test_ext_var_",
     "test_ext_api_",
     "test_ext_ap_",
+    "test_ext_cache_",
 )
 EXTRA_ROW_KEYS = (
     "workers",
@@ -83,6 +86,9 @@ EXTRA_ROW_KEYS = (
     "variant",
     "loss_rate",
     "facade_overhead",
+    "distinct",
+    "hit_rate",
+    "store_hits",
 )
 
 
@@ -152,6 +158,10 @@ def trim(raw: dict) -> list:
                 row["speedup_vs_per_source"] = info["speedup"]
             elif name.startswith("test_ext_svc_"):
                 row["speedup_vs_sequential"] = info["speedup"]
+            elif name.startswith("test_ext_cache_"):
+                # The cache rows measure the cache-equipped service
+                # against the same service without a cache.
+                row["speedup_vs_uncached"] = info["speedup"]
             elif name.startswith("test_ext_var_") and "parallel" in name:
                 # The variant pool row measures against the serial
                 # fast-path survey, not the reference engine.

@@ -45,16 +45,22 @@ _LAZY = MappingProxyType(
         "register_scenario": ("repro.api.scenarios", "register_scenario"),
         "scenario_names": ("repro.api.scenarios", "scenario_names"),
         "run_scenario": ("repro.api.scenarios", "run_scenario"),
+        "CacheStats": ("repro.cache", "CacheStats"),
+        "DirectoryStore": ("repro.cache", "DirectoryStore"),
+        "ResultCache": ("repro.cache", "ResultCache"),
     }
 )
 
 __all__ = [
     "BACKEND_NAMES",
     "BatchKey",
+    "CacheStats",
+    "DirectoryStore",
     "ExecutionPlan",
     "FloodResult",
     "FloodSession",
     "FloodSpec",
+    "ResultCache",
     "register_scenario",
     "run_scenario",
     "scenario_names",

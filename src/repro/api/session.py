@@ -70,6 +70,18 @@ class FloodSession:
         real ``n``-worker pools for every batched graph (and an
         ``n``-worker service).  Results are bit-identical in every
         mode.
+    cache:
+        Optional :class:`~repro.cache.ResultCache`.  When set,
+        :meth:`run` and :meth:`sweep` serve fast-path specs from stored
+        blobs when possible (a cache-aware sweep partitions its groups
+        into hits and misses, executes only the misses, and returns
+        results in input order, bit-identical to the uncached sweep),
+        and the session's service shares the same cache, so
+        :meth:`aquery` traffic warms synchronous calls and vice versa.
+        Set-based scenario specs always execute (their reference-engine
+        records have no codec); ``spec.cache = "bypass" | "refresh"``
+        opts individual requests out.  :meth:`cache_stats` snapshots
+        the counters.
 
     Usage::
 
@@ -89,10 +101,13 @@ class FloodSession:
     with``), :meth:`close`, or :meth:`aclose` when async queries ran.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, *, cache: Optional[Any] = None
+    ) -> None:
         if workers is not None and workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = serial mode)")
         self.workers = workers
+        self._results = cache
         self._pools: Dict[Graph, Any] = {}
         self._service: Optional[Any] = None
         self._closed = False
@@ -177,7 +192,32 @@ class FloodSession:
             return run_scenario(spec)
         from repro.fastpath.engine import run_spec
 
-        return FloodResult.from_indexed(spec, run_spec(spec))
+        cache = self._results
+        if cache is None or spec.cache == "bypass":
+            return FloodResult.from_indexed(spec, run_spec(spec))
+        from repro.cache import decode_run, encode_run, result_cache_key
+        from repro.fastpath.engine import select_backend
+        from repro.fastpath.variants import variant_backend
+
+        index = spec.index()
+        # Single-run resolution (no probe), matching run_spec exactly:
+        # the resolved name joins the cache key because batch routing
+        # may legitimately pick a different engine for the same spec.
+        if spec.variant is not None:
+            chosen = variant_backend(index, spec.backend, spec.variant)
+        else:
+            chosen = select_backend(index, spec.backend)
+        key = result_cache_key(spec, chosen)
+        if spec.cache == "use":
+            blob = cache.get(key)
+            if blob is not None:
+                run = decode_run(blob, spec, index)
+                if run is not None:
+                    return FloodResult.from_indexed(spec, run)
+                cache.note_corrupt(key)
+        run = run_spec(spec, index=index)
+        cache.put(key, encode_run(run))
+        return FloodResult.from_indexed(spec, run)
 
     def sweep(self, specs: Iterable[FloodSpec]) -> List[FloodResult]:
         """Execute many specs; results in input order.
@@ -228,17 +268,83 @@ class FloodSession:
             from repro.api.scenarios import run_scenario
 
             return [run_scenario(spec) for spec in group]
-        if self._pooled(len(group)):
-            pool = self._pool_for(group[0].graph)
-            runs = pool.sweep_specs(group)
+        if self._results is not None:
+            runs = self._run_group_cached(group)
         else:
-            from repro.fastpath.engine import sweep_specs
-
-            runs = sweep_specs(group)
+            runs = self._execute_group(group)
         return [
             FloodResult.from_indexed(spec, run)
             for spec, run in zip(group, runs)
         ]
+
+    def _execute_group(self, group: List[FloodSpec]) -> List[Any]:
+        if self._pooled(len(group)):
+            pool = self._pool_for(group[0].graph)
+            return pool.sweep_specs(group)
+        from repro.fastpath.engine import sweep_specs
+
+        return sweep_specs(group)
+
+    def _run_group_cached(self, group: List[FloodSpec]) -> List[Any]:
+        """Partition one homogeneous group into cache hits and misses.
+
+        Only the misses execute (as one sub-batch, pooled or serial by
+        the *remaining* batch size); in-batch duplicate misses execute
+        once and later positions decode private copies of the stored
+        blob.  The returned list is in group order -- the caller's
+        input-order contract and bit-identity to the uncached sweep are
+        preserved because every position's run comes through the same
+        rehydration funnel either way.
+        """
+        from repro.cache import decode_run, encode_run, result_cache_key
+        from repro.fastpath.engine import batch_key_of
+
+        cache = self._results
+        index = group[0].index()
+        # Batch-style resolution (probe-aware), matching _execute_group:
+        # the resolved name joins the key, so single-run (`run`) and
+        # batch (`sweep`) entries for the same spec never collide.
+        chosen = batch_key_of(group, index).backend
+        results: List[Optional[Any]] = [None] * len(group)
+        keys: List[Optional[str]] = [None] * len(group)
+        miss_positions: List[int] = []
+        leaders: Dict[str, int] = {}
+        dup_of: Dict[int, str] = {}
+        for position, spec in enumerate(group):
+            if spec.cache == "bypass":
+                miss_positions.append(position)
+                continue
+            key = result_cache_key(spec, chosen)
+            if spec.cache == "use":
+                blob = cache.get(key)
+                if blob is not None:
+                    run = decode_run(blob, spec, index)
+                    if run is not None:
+                        results[position] = run
+                        continue
+                    cache.note_corrupt(key)
+            if key in leaders:
+                dup_of[position] = key
+                cache.note_coalesced()
+                continue
+            leaders[key] = position
+            keys[position] = key
+            miss_positions.append(position)
+        stored: Dict[str, bytes] = {}
+        if miss_positions:
+            runs = self._execute_group([group[p] for p in miss_positions])
+            for position, run in zip(miss_positions, runs):
+                results[position] = run
+                key = keys[position]
+                if key is not None:
+                    blob = encode_run(run)
+                    stored[key] = blob
+                    cache.put(key, blob)
+        for position, key in dup_of.items():
+            run = decode_run(stored[key], group[position], index)
+            assert run is not None  # just encoded by this very process
+            results[position] = run
+        return results  # type: ignore[return-value]
 
     def _pool_for(self, graph: Graph) -> Any:
         from repro.parallel.pool import SweepPool
@@ -287,8 +393,22 @@ class FloodSession:
         if self._service is None:
             from repro.service import FloodService
 
-            self._service = FloodService(workers=self.workers)
+            # The service shares the session's cache object, so async
+            # and synchronous traffic warm each other.
+            self._service = FloodService(
+                workers=self.workers, cache=self._results
+            )
         return self._service
+
+    def cache_stats(self) -> Optional[Any]:
+        """Counter snapshot of this session's result cache (``None`` uncached).
+
+        One :class:`~repro.cache.CacheStats` view over everything the
+        shared cache served -- ``run``, ``sweep`` and ``aquery`` alike.
+        """
+        if self._results is None:
+            return None
+        return self._results.stats()
 
     # ------------------------------------------------------------------
     # Lifecycle

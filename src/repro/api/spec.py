@@ -45,6 +45,17 @@ from repro.sync.engine import default_round_budget
 BACKEND_NAMES = ("pure", "numpy", "oracle")
 """The concrete fast-path backend names a spec may pin."""
 
+CACHE_MODES = ("use", "bypass", "refresh")
+"""Cache policies a spec may carry (:mod:`repro.cache`).
+
+``"use"`` (the default) serves a cached result when one exists and
+stores fresh results; ``"bypass"`` never reads or writes the cache
+(benchmarks measuring raw execution stay honest); ``"refresh"``
+always executes and overwrites whatever the cache held.  The policy
+deliberately does **not** participate in :meth:`FloodSpec.digest` --
+it says how to treat the cache entry, not which entry the request
+names."""
+
 
 @dataclass(frozen=True)
 class BatchKey:
@@ -114,6 +125,10 @@ class FloodSpec:
     collect_senders / collect_receives:
         Per-round sender sets and per-node receive rounds are collected
         only on request (sweep-shaped work skips them for speed).
+    cache:
+        Cache policy for the content-addressed result cache, one of
+        :data:`CACHE_MODES`.  Excluded from :meth:`digest` -- two specs
+        differing only in policy name the same cached result.
 
     The class is a frozen dataclass: equality and ``hash()`` cover
     every field, so a spec is directly usable as a dict key, a service
@@ -132,6 +147,7 @@ class FloodSpec:
     stream: int = 0
     collect_senders: bool = False
     collect_receives: bool = False
+    cache: str = "use"
 
     def __post_init__(self) -> None:
         if not isinstance(self.graph, Graph):
@@ -192,6 +208,10 @@ class FloodSpec:
                 f"backend must be None"
             )
         self._validate_backend()
+        if self.cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"cache must be one of {CACHE_MODES}, got {self.cache!r}"
+            )
         if not isinstance(self.stream, int) or self.stream < 0:
             raise ConfigurationError("stream must be an int >= 0")
         if self.variant is None and self.scenario is None and self.stream:
@@ -292,17 +312,18 @@ class FloodSpec:
         ``hash()`` on a spec is salted per interpreter (string hashing),
         which is fine for dict keys but useless for pinning identity
         across workers or sessions.  The digest is a SHA-256 over a
-        canonical structural encoding -- node labels through their
-        ``repr`` -- so two processes building the same spec agree on it
-        (the cross-process regression test pins this).
+        canonical structural encoding -- the graph through its memoised
+        :meth:`~repro.graphs.graph.Graph.content_digest`, node labels
+        through their ``repr`` -- so two processes building the same
+        spec agree on it (the cross-process regression test pins this).
+        It is the content address of the result cache
+        (:mod:`repro.cache`); the ``cache`` policy field is therefore
+        deliberately absent from the payload.
         """
-        edges = ",".join(
-            f"{sender!r}-{receiver!r}" for sender, receiver in self.graph.edges()
-        )
         payload = "|".join(
             (
                 "floodspec",
-                edges,
+                self.graph.content_digest(),
                 repr(self.sources),
                 repr(self.max_rounds),
                 repr(self.backend),
@@ -333,4 +354,6 @@ class FloodSpec:
         for flag in ("collect_senders", "collect_receives"):
             if getattr(self, flag):
                 parts.append(f"{flag}=True")
+        if self.cache != "use":
+            parts.append(f"cache={self.cache!r}")
         return f"FloodSpec({', '.join(parts)})"

@@ -1,0 +1,121 @@
+"""Persistent stores behind the result cache.
+
+:class:`CacheStore` is the pluggable protocol the memory tier
+(:class:`~repro.cache.lru.ResultCache`) writes through to -- three
+methods over opaque bytes, so a Redis- or S3-shaped adapter for the
+gateway tier slots in without touching the cache or the codec.  The
+shipped implementation, :class:`DirectoryStore`, is a directory of
+digest-named blob files:
+
+* **Atomic visibility.**  ``save`` writes to a temporary file in the
+  same directory and ``os.replace``-renames it over the final name, so
+  a reader (including another process sharing the directory) only ever
+  sees complete payloads -- a crash mid-write leaves at worst a stray
+  temporary, never a half blob under a live key.
+* **Corruption degrades to a miss.**  The store itself is dumb bytes;
+  the version-stamped codec (:mod:`repro.cache.keys`) rejects anything
+  invalid at decode time, and unreadable files simply answer ``None``.
+* **No trust in keys.**  Keys are validated against a conservative
+  filename alphabet before touching the filesystem, so a malformed key
+  can never traverse out of the store directory.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Optional, Protocol, Union, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._:-]+$")
+
+
+@runtime_checkable
+class CacheStore(Protocol):
+    """What the cache needs from a persistent tier: bytes by key.
+
+    Implementations must treat every failure to produce stored bytes
+    (missing, unreadable, partial) as ``None`` from :meth:`load` --
+    the codec above handles invalid *content*, the store handles
+    invalid *retrieval*.  ``save`` must be atomic with respect to
+    concurrent readers of the same key.
+    """
+
+    def load(self, key: str) -> Optional[bytes]:
+        """The stored blob under ``key``, or ``None``."""
+        ...
+
+    def save(self, key: str, blob: bytes) -> None:
+        """Persist ``blob`` under ``key``, replacing any previous value."""
+        ...
+
+    def delete(self, key: str) -> None:
+        """Forget ``key`` (a no-op when absent)."""
+        ...
+
+
+class DirectoryStore:
+    """A :class:`CacheStore` over a directory of digest-named blob files.
+
+    Each key becomes one ``<key>.blob`` file (``:`` mapped to ``_`` for
+    portability).  The directory is created on first use; sharing it
+    between processes is safe because writes are rename-atomic and
+    reads of missing or vanishing files are misses.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ConfigurationError(
+                f"invalid cache key {key!r}: expected characters "
+                f"[A-Za-z0-9._:-] only"
+            )
+        return self.root / (key.replace(":", "_") + ".blob")
+
+    def load(self, key: str) -> Optional[bytes]:
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
+
+    def save(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=self.root, prefix=".tmp-", delete=False
+        )
+        try:
+            with handle:
+                handle.write(blob)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def keys(self) -> list:
+        """The stored keys (colon form restored), sorted."""
+        found = []
+        for path in self.root.glob("*.blob"):
+            name = path.name[: -len(".blob")]
+            found.append(name.replace("_", ":", 1) if "_" in name else name)
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.blob"))
+
+    def __repr__(self) -> str:
+        return f"DirectoryStore(root={str(self.root)!r})"

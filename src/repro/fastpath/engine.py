@@ -359,6 +359,30 @@ def wrap_raw_run(
     )
 
 
+def raw_run_of(run: IndexedRun) -> pure_backend.RawRun:
+    """Project an :class:`IndexedRun` back to its backend raw tuple.
+
+    The inverse of :func:`wrap_raw_run`, and the only other place the
+    ``RawRun`` shape is spelled out: the result cache
+    (:mod:`repro.cache`) persists this projection -- everything the
+    wrap funnel interprets, nothing process-local (no index, no label
+    tuples) -- so a cached entry rehydrates through the same funnel as
+    a fresh backend result and the two cannot drift apart field by
+    field.  Variant runs round-trip their reached-node count as the
+    sixth element, exactly as their steppers emit it.
+    """
+    raw = (
+        run.terminated,
+        run.round_edge_counts,
+        run.total_messages,
+        run.sender_ids,
+        run.receive_rounds_by_id,
+    )
+    if run.reached_count is not None:
+        return raw + (run.reached_count,)  # type: ignore[return-value]
+    return raw
+
+
 def _require_fastpath_spec(spec: FloodSpec) -> None:
     if spec.scenario is not None:
         raise ConfigurationError(

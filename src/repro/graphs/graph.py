@@ -16,6 +16,7 @@ reproductions use the paper's letter labels (``"a"``, ``"b"``, ...).
 
 from __future__ import annotations
 
+import hashlib
 from typing import (
     Dict,
     FrozenSet,
@@ -80,7 +81,7 @@ class Graph:
         graph; a node never messages itself).
     """
 
-    __slots__ = ("_adj", "_nodes", "_num_edges", "_hash")
+    __slots__ = ("_adj", "_nodes", "_num_edges", "_hash", "_digest")
 
     def __init__(self, adjacency: Mapping[Node, Iterable[Node]]) -> None:
         working: Dict[Node, set] = {}
@@ -97,6 +98,7 @@ class Graph:
         self._nodes: Tuple[Node, ...] = tuple(self._sorted_nodes(self._adj))
         self._num_edges: int = sum(len(nbrs) for nbrs in self._adj.values()) // 2
         self._hash: int | None = None
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -281,11 +283,37 @@ class Graph:
             self._hash = hash(frozenset((n, nbrs) for n, nbrs in self._adj.items()))
         return self._hash
 
-    # Pickling: drop the memoised hash.  Python salts string hashing
-    # per process, so a cached hash computed here is wrong in a worker
-    # that unpickles the graph (and carrying it would also make the
-    # pickled payload depend on whether the graph was ever used as a
-    # dict key).  The slot rebuilds lazily on first hash.
+    def content_digest(self) -> str:
+        """A process-independent SHA-256 of the labelled structure.
+
+        Unlike ``hash()`` (salted per interpreter for string labels),
+        the digest is a pure function of the node and edge lists
+        rendered through their ``repr``, so two processes building the
+        same graph agree on it.  It is the graph half of
+        :meth:`repro.api.spec.FloodSpec.digest` -- the key the
+        content-addressed result cache (:mod:`repro.cache`) is built
+        on -- and is memoised because under cached traffic it is
+        recomputed per request; the memo is stripped from pickles with
+        the hash below.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for node in self._nodes:
+                hasher.update(repr(node).encode("utf-8"))
+                hasher.update(b";")
+            hasher.update(b"|")
+            for u, v in self.edges():
+                hasher.update(f"{u!r}-{v!r}".encode("utf-8"))
+                hasher.update(b";")
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+    # Pickling: drop the memoised hash and content digest.  Python
+    # salts string hashing per process, so a cached hash computed here
+    # is wrong in a worker that unpickles the graph (and carrying
+    # either memo would also make the pickled payload depend on whether
+    # the graph was ever used as a dict key or cache key).  Both slots
+    # rebuild lazily on first use.
 
     def __getstate__(self) -> Tuple[Dict[Node, FrozenSet[Node]], Tuple[Node, ...], int]:
         return (self._adj, self._nodes, self._num_edges)
@@ -293,6 +321,7 @@ class Graph:
     def __setstate__(self, state) -> None:
         self._adj, self._nodes, self._num_edges = state
         self._hash = None
+        self._digest = None
 
     def __repr__(self) -> str:
         return f"Graph(n={self.num_nodes}, m={self.num_edges})"

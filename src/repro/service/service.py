@@ -57,6 +57,8 @@ from typing import (
 )
 
 from repro.api.spec import BatchKey, FloodSpec
+from repro.cache.keys import decode_run, encode_run, result_cache_key
+from repro.cache.lru import CacheStats, ResultCache
 from repro.errors import ConfigurationError
 from repro.fastpath.engine import IndexedRun
 from repro.fastpath.indexed import IndexedGraph
@@ -100,6 +102,15 @@ class ServiceStats:
     ``rejected`` counts :class:`~repro.service.errors.QueueFull`
     rejections, ``waited`` the admissions that blocked on a slot, and
     ``backends`` how routing actually distributed the traffic.
+
+    The ``cache_*`` counters are all zero unless the service was built
+    with a result cache: ``cache_hits`` are queries served straight
+    from a stored blob (no execution, no admission slot),
+    ``cache_misses`` are queries that executed and stored their result,
+    and ``cache_coalesced`` are queries that attached to an identical
+    in-flight execution instead of starting their own (the digest-keyed
+    future table -- distinct from ``coalesced_batches``, which counts
+    micro-batches that merely *shared a dispatch*).
     """
 
     queries: int = 0
@@ -110,6 +121,9 @@ class ServiceStats:
     rejected: int = 0
     waited: int = 0
     timeouts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_coalesced: int = 0
     backends: Dict[str, int] = field(default_factory=dict)
 
     def mean_batch_size(self) -> float:
@@ -192,11 +206,19 @@ class _Request:
     ``run_key`` is the RNG stream key of variant queries, derived per
     *request* (never from batch position) so micro-batch coalescing
     cannot move a query onto a different stream.
+
+    Cache-leader requests additionally carry their content address and
+    the in-flight ``pending`` future later identical queries join;
+    ``_resolve`` settles the pending (encoding and storing the blob)
+    before touching the caller's future, so a leader that times out or
+    cancels still populates the cache and serves its followers.
     """
 
     id_list: List[int]
     future: "asyncio.Future[IndexedRun]"
     run_key: int = 0
+    cache_key: Optional[str] = None
+    pending: Optional["asyncio.Future[bytes]"] = None
 
 
 class _GraphEntry:
@@ -262,6 +284,17 @@ class FloodService:
     default_timeout:
         Per-request timeout in seconds applied when a call does not
         pass its own; ``None`` means wait indefinitely.
+    cache:
+        Optional :class:`~repro.cache.ResultCache`.  When set, queries
+        whose spec allows it (``spec.cache != "bypass"``) are served
+        from stored blobs when possible, joined onto identical
+        in-flight executions otherwise (the digest-keyed future table:
+        K concurrent identical specs execute exactly once), and stored
+        after fresh execution.  Cached and coalesced results decode to
+        private copies through the same rehydration funnel as fresh
+        backend output, so they are bit-identical to uncached serving.
+        Omitted (the default), behaviour -- including the micro-batch
+        coalescing statistics -- is exactly the pre-cache service.
 
     Usage::
 
@@ -283,6 +316,7 @@ class FloodService:
         default_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
         probe_samples: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = serial mode)")
@@ -312,6 +346,8 @@ class FloodService:
         self.on_full = on_full
         self.default_timeout = default_timeout
         self.stats = ServiceStats()
+        self._results = cache
+        self._inflight_results: Dict[str, "asyncio.Future[bytes]"] = {}
         self._start_method = start_method
         self._router = Router(samples=probe_samples)
         self._gate = _AdmissionGate(max_pending)
@@ -577,32 +613,107 @@ class FloodService:
 
         The spec-native core of :meth:`query`: the spec was validated
         at construction, so the service only routes it, admits it, and
-        buckets it under ``(graph entry, spec.batch_key(backend))`` --
+        buckets it under ``(entry, spec.batch_key(backend))`` --
         equal specs (and kwarg queries that canonicalise to them)
         coalesce into the same pool batch.  The request runs on the RNG
         stream ``derive_key(variant.seed, spec.stream)``, derived here
         per *request* so coalescing can never move a query between
         streams.
+
+        With a result cache, the request first consults the stored
+        blobs (``spec.cache == "use"``), then the in-flight table
+        (joining an identical execution already running), and only then
+        becomes a leader: it registers its pending future *before*
+        admission, so every identical query arriving while it runs --
+        or waits for a slot -- coalesces onto it instead of executing.
         """
         entry, chosen = await self._prepare_spec(spec, slots=1)
+        cache = self._results
+        cache_key: Optional[str] = None
+        if cache is not None and spec.cache != "bypass":
+            key = result_cache_key(spec, chosen)
+            if spec.cache == "use":
+                blob = cache.get(key)
+                if blob is not None:
+                    run = decode_run(blob, spec, entry.index)
+                    if run is not None:
+                        entry.untrack(1)
+                        self.stats.queries += 1
+                        self.stats.cache_hits += 1
+                        return run
+                    cache.note_corrupt(key)
+                joinable = self._inflight_results.get(key)
+                if joinable is not None and not joinable.done():
+                    entry.untrack(1)
+                    self.stats.queries += 1
+                    self.stats.cache_coalesced += 1
+                    cache.note_coalesced()
+                    # Shield: this caller's cancellation or timeout must
+                    # not cancel the future every other joiner shares.
+                    blob = await self._await_result(
+                        asyncio.shield(joinable), timeout
+                    )
+                    return self._decode_joined(blob, spec, entry.index)
+            self.stats.cache_misses += 1
+            cache_key = key
+        pending: Optional["asyncio.Future[bytes]"] = None
+        if cache_key is not None:
+            pending = self._require_loop().create_future()
+            self._inflight_results[cache_key] = pending
         try:
             await self._admit(1, on_full)
-        except BaseException:
+        except BaseException as exc:
             entry.untrack(1)
+            self._abort_pending(cache_key, pending, exc)
             raise
         request = _Request(
             entry.index.resolve_sources(spec.sources),
             self._require_loop().create_future(),
             spec.run_key(),
+            cache_key=cache_key,
+            pending=pending,
         )
         try:
             self._batcher.add((entry, spec.batch_key(chosen)), request)
-        except BaseException:
+        except BaseException as exc:
             self._gate.release(1)
             entry.untrack(1)
+            self._abort_pending(cache_key, pending, exc)
             raise
         self.stats.queries += 1
         return await self._await_result(request.future, timeout)
+
+    @staticmethod
+    def _decode_joined(
+        blob: bytes, spec: FloodSpec, index: IndexedGraph
+    ) -> IndexedRun:
+        """Decode the blob a coalesced execution delivered (never a miss)."""
+        run = decode_run(blob, spec, index)
+        if run is None:
+            raise ServiceError(
+                "cache codec rejected a blob it just encoded; this is a bug"
+            )
+        return run
+
+    def _abort_pending(
+        self,
+        cache_key: Optional[str],
+        pending: Optional["asyncio.Future[bytes]"],
+        exc: BaseException,
+    ) -> None:
+        """Fail a leader's in-flight future when its execution never starts.
+
+        Joiners attached to it inherit the leader's admission/submission
+        failure -- they chose to ride this execution, and nothing else
+        will ever resolve it.
+        """
+        if pending is None or cache_key is None:
+            return
+        if self._inflight_results.get(cache_key) is pending:
+            del self._inflight_results[cache_key]
+        if not pending.done():
+            pending.set_exception(exc)
+            _consume_outcome(pending)
 
     async def query_batch(
         self,
@@ -659,39 +770,122 @@ class FloodService:
         (:func:`~repro.fastpath.engine.ensure_homogeneous_specs`); each
         runs on its own spec's RNG stream.  Results come back in input
         order, bit-identical to ``sweep_specs`` of the same batch.
+
+        With a result cache the batch is *partitioned*: positions whose
+        blob is stored are served from it, positions identical to an
+        in-flight execution (another caller's, or an earlier position
+        of this same batch) join it, and only the remaining unique
+        misses are admitted and dispatched -- output order and content
+        are unchanged.
         """
         if not specs:
             return []
         from repro.fastpath.engine import ensure_homogeneous_specs
 
-        head = ensure_homogeneous_specs(list(specs))
+        specs = list(specs)
+        head = ensure_homogeneous_specs(specs)
         entry, chosen = await self._prepare_spec(head, slots=len(specs))
-        try:
-            await self._admit(len(specs), on_full)
-        except BaseException:
-            entry.untrack(len(specs))
-            raise
-        loop = self._require_loop()
-        requests = [
-            _Request(
-                entry.index.resolve_sources(spec.sources),
-                loop.create_future(),
-                spec.run_key(),
-            )
-            for spec in specs
-        ]
-        self.stats.queries += len(requests)
-        self._dispatch((entry, head.batch_key(chosen)), requests)
+        cache = self._results
+        results: List[Optional[IndexedRun]] = [None] * len(specs)
+        miss_positions: List[int] = []
+        keys: List[Optional[str]] = [None] * len(specs)
+        joins: List[Tuple[int, "asyncio.Future[bytes]"]] = []
+        leaders: Dict[str, int] = {}
+        dup_of: Dict[int, str] = {}
+        if cache is None:
+            miss_positions = list(range(len(specs)))
+        else:
+            for position, spec in enumerate(specs):
+                if spec.cache == "bypass":
+                    miss_positions.append(position)
+                    continue
+                key = result_cache_key(spec, chosen)
+                if spec.cache == "use":
+                    blob = cache.get(key)
+                    if blob is not None:
+                        run = decode_run(blob, spec, entry.index)
+                        if run is not None:
+                            results[position] = run
+                            self.stats.cache_hits += 1
+                            continue
+                        cache.note_corrupt(key)
+                    joinable = self._inflight_results.get(key)
+                    if joinable is not None and not joinable.done():
+                        joins.append((position, joinable))
+                        self.stats.cache_coalesced += 1
+                        cache.note_coalesced()
+                        continue
+                if key in leaders:
+                    # In-batch dedupe: a later identical miss rides the
+                    # earlier position's execution.
+                    dup_of[position] = key
+                    self.stats.cache_coalesced += 1
+                    cache.note_coalesced()
+                    continue
+                self.stats.cache_misses += 1
+                leaders[key] = position
+                keys[position] = key
+                miss_positions.append(position)
+        executed = len(miss_positions)
+        if executed < len(specs):
+            # Hit/join/dedupe positions never occupy the entry.
+            entry.untrack(len(specs) - executed)
+        self.stats.queries += len(specs)
+        requests: List[_Request] = []
+        pending_by_key: Dict[str, "asyncio.Future[bytes]"] = {}
+        if executed:
+            loop = self._require_loop()
+            for position in miss_positions:
+                spec = specs[position]
+                key = keys[position]
+                pending: Optional["asyncio.Future[bytes]"] = None
+                if key is not None:
+                    pending = loop.create_future()
+                    self._inflight_results[key] = pending
+                    pending_by_key[key] = pending
+                requests.append(
+                    _Request(
+                        entry.index.resolve_sources(spec.sources),
+                        loop.create_future(),
+                        spec.run_key(),
+                        cache_key=key,
+                        pending=pending,
+                    )
+                )
+            try:
+                await self._admit(executed, on_full)
+            except BaseException as exc:
+                entry.untrack(executed)
+                for request in requests:
+                    self._abort_pending(request.cache_key, request.pending, exc)
+                raise
+            self._dispatch((entry, head.batch_key(chosen)), requests)
+        elif not joins:
+            return results  # type: ignore[return-value]  # fully served
         # return_exceptions so every future is retrieved even when one
         # fails (all requests of a batch share any failure anyway).
         gathered = asyncio.gather(
-            *(request.future for request in requests), return_exceptions=True
+            *(request.future for request in requests),
+            # Shield: this caller's cancellation or timeout must not
+            # cancel futures other joiners share.
+            *(asyncio.shield(joinable) for _, joinable in joins),
+            return_exceptions=True,
         )
         outcomes = await self._await_result(gathered, timeout)
         for outcome in outcomes:
             if isinstance(outcome, BaseException):
                 raise outcome
-        return list(outcomes)
+        for position, run in zip(miss_positions, outcomes[:executed]):
+            results[position] = run
+        for (position, _), blob in zip(joins, outcomes[executed:]):
+            results[position] = self._decode_joined(
+                blob, specs[position], entry.index
+            )
+        for position, key in dup_of.items():
+            results[position] = self._decode_joined(
+                pending_by_key[key].result(), specs[position], entry.index
+            )
+        return results  # type: ignore[return-value]
 
     # -- internals -----------------------------------------------------
 
@@ -834,8 +1028,18 @@ class FloodService:
         runs: Optional[List[IndexedRun]],
         exc: Optional[BaseException],
     ) -> None:
-        """Distribute one batch's outcome; always releases admission."""
+        """Distribute one batch's outcome; always releases admission.
+
+        Cache-leader pendings settle *first*, and regardless of the
+        caller future's state: a leader that cancelled or timed out
+        still encodes, stores and hands its result to every joiner --
+        the work completed either way.
+        """
         for position, request in enumerate(requests):
+            if request.pending is not None:
+                self._settle_pending(
+                    request, runs[position] if runs is not None else None, exc
+                )
             if request.future.done():  # caller cancelled; result dropped
                 continue
             if exc is not None:
@@ -845,6 +1049,30 @@ class FloodService:
                 request.future.set_result(runs[position])
         self._gate.release(len(requests))
         entry.untrack(len(requests))
+
+    def _settle_pending(
+        self,
+        request: _Request,
+        run: Optional[IndexedRun],
+        exc: Optional[BaseException],
+    ) -> None:
+        """Store a leader's fresh result and resolve its in-flight future."""
+        cache_key = request.cache_key
+        pending = request.pending
+        assert cache_key is not None and pending is not None
+        if self._inflight_results.get(cache_key) is pending:
+            del self._inflight_results[cache_key]
+        if exc is not None:
+            if not pending.done():
+                pending.set_exception(exc)
+                _consume_outcome(pending)
+            return
+        assert run is not None
+        blob = encode_run(run)
+        assert self._results is not None
+        self._results.put(cache_key, blob)
+        if not pending.done():
+            pending.set_result(blob)
 
     async def _await_result(self, future: Any, timeout: Any) -> Any:
         seconds = self.default_timeout if timeout is _UNSET else timeout
@@ -886,6 +1114,23 @@ class FloodService:
     def pending(self) -> int:
         """Admitted-but-unfinished requests (the backpressured quantity)."""
         return self._gate.used
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The result cache this service serves from (``None`` when uncached)."""
+        return self._results
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """The cache's counter snapshot, or ``None`` when uncached.
+
+        (``stats`` is the live :class:`ServiceStats` attribute --
+        service-side cache counters live there; this is the cache
+        object's own view, shared with whatever session handed the
+        cache in.)
+        """
+        if self._results is None:
+            return None
+        return self._results.stats()
 
     def __repr__(self) -> str:
         mode = f"workers={self.workers}" if self.workers else "serial"

@@ -1,0 +1,198 @@
+"""check_drift.py: warn-only drift reporting over overlapping rows.
+
+The smoke lane calls ``benchmarks/check_drift.py`` on the quick-run
+summary.  The contract pinned here: rows are matched on the exact
+``(benchmark, n, backend)`` triple, a >threshold slowdown on an
+overlapping row produces a ``::warning::`` annotation (and a job
+summary table when ``GITHUB_STEP_SUMMARY`` is set) while still exiting
+zero, a disjoint comparison says so explicitly, the committed
+trajectory file is never modified, and unreadable inputs exit
+non-zero so a misconfigured lane cannot silently report nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECK_DRIFT = REPO_ROOT / "benchmarks" / "check_drift.py"
+
+
+def row(benchmark, n, backend, mean):
+    return {
+        "benchmark": benchmark,
+        "n": n,
+        "backend": backend,
+        "mean_seconds": mean,
+    }
+
+
+def write_files(tmp_path, current_rows, committed_rows):
+    summary = tmp_path / "summary.json"
+    trajectory = tmp_path / "trajectory.json"
+    summary.write_text(json.dumps({"mode": "quick", "rows": current_rows}))
+    trajectory.write_text(json.dumps({"suite": "x", "rows": committed_rows}))
+    return summary, trajectory
+
+
+def run_check(summary, trajectory, *extra, step_summary=None):
+    env = dict(os.environ)
+    env.pop("GITHUB_STEP_SUMMARY", None)
+    if step_summary is not None:
+        env["GITHUB_STEP_SUMMARY"] = str(step_summary)
+    return subprocess.run(
+        [
+            sys.executable,
+            str(CHECK_DRIFT),
+            str(summary),
+            "--trajectory",
+            str(trajectory),
+            *extra,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestDriftDetection:
+    def test_regression_warns_but_exits_zero(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", 0.40)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory)
+        assert completed.returncode == 0, completed.stderr
+        assert "::warning" in completed.stdout
+        assert "4.00x" in completed.stdout
+        assert "1 regressed" in completed.stdout
+
+    def test_within_threshold_is_quiet(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", 0.119)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory)
+        assert completed.returncode == 0
+        assert "::warning" not in completed.stdout
+        assert "0 regressed" in completed.stdout
+
+    def test_threshold_is_configurable(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", 0.119)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory, "--threshold", "0.10")
+        assert completed.returncode == 0
+        assert "::warning" in completed.stdout
+
+    def test_improvement_never_warns(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", 0.01)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory)
+        assert completed.returncode == 0
+        assert "::warning" not in completed.stdout
+
+
+class TestRowMatching:
+    def test_scaled_down_workloads_do_not_overlap(self, tmp_path):
+        """The quick lane shrinks n -- those rows must fall out of the
+        diff rather than compare apples to scaled-down oranges."""
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1_000, "pure", 9.0)],
+            [row("test_ext_cache_hits", 10_000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory)
+        assert completed.returncode == 0
+        assert "no overlapping rows" in completed.stdout
+        assert "::warning" not in completed.stdout
+
+    def test_backend_is_part_of_the_key(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "numpy", 9.0)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory)
+        assert "no overlapping rows" in completed.stdout
+
+    def test_rows_without_timings_are_skipped(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", None)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        completed = run_check(summary, trajectory)
+        assert completed.returncode == 0
+        assert "no overlapping rows" in completed.stdout
+
+
+class TestSideEffects:
+    def test_never_rewrites_the_trajectory(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", 0.40)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        before = trajectory.read_bytes()
+        assert run_check(summary, trajectory).returncode == 0
+        assert trajectory.read_bytes() == before
+
+    def test_step_summary_gets_a_markdown_table(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("test_ext_cache_hits", 1000, "pure", 0.40)],
+            [row("test_ext_cache_hits", 1000, "pure", 0.10)],
+        )
+        step = tmp_path / "step_summary.md"
+        step.write_text("earlier content\n")
+        completed = run_check(summary, trajectory, step_summary=step)
+        assert completed.returncode == 0
+        text = step.read_text()
+        assert text.startswith("earlier content\n")  # appended, not replaced
+        assert "| test_ext_cache_hits | 1000 | pure |" in text
+        assert ":warning:" in text
+
+    def test_disjoint_step_summary_says_so(self, tmp_path):
+        summary, trajectory = write_files(
+            tmp_path,
+            [row("quick_only", 100, "pure", 1.0)],
+            [row("full_only", 10_000, "pure", 1.0)],
+        )
+        step = tmp_path / "step_summary.md"
+        run_check(summary, trajectory, step_summary=step)
+        assert "nothing to diff" in step.read_text()
+
+
+class TestBadInputs:
+    def test_missing_summary_exits_nonzero(self, tmp_path):
+        _, trajectory = write_files(tmp_path, [], [])
+        completed = run_check(tmp_path / "absent.json", trajectory)
+        assert completed.returncode != 0
+        assert "cannot read" in completed.stderr
+
+    def test_malformed_json_exits_nonzero(self, tmp_path):
+        summary, trajectory = write_files(tmp_path, [], [])
+        summary.write_text("{not json")
+        completed = run_check(summary, trajectory)
+        assert completed.returncode != 0
+        assert "not valid JSON" in completed.stderr
+
+    def test_rows_must_be_a_list(self, tmp_path):
+        summary, trajectory = write_files(tmp_path, [], [])
+        summary.write_text(json.dumps({"rows": "nope"}))
+        completed = run_check(summary, trajectory)
+        assert completed.returncode != 0
+        assert "no 'rows' list" in completed.stderr
