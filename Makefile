@@ -16,7 +16,11 @@
 #                 oracle, fail-fast before the full suite), the
 #                 cache-equivalence subset (cached/coalesced/persisted
 #                 results pinned bit-identical to fresh execution,
-#                 fail-fast likewise) + the examples suite (the
+#                 fail-fast likewise), the scenario-equivalence subset
+#                 (every built-in scenario's fast path pinned
+#                 bit-identical to its set-based reference across
+#                 budgets, seed streams, worker counts and cache
+#                 hits) + the examples suite (the
 #                 facade-based examples run whole per PR) + the
 #                 tier-1 suite
 #   make bench  - full benchmark run; rewrites BENCH_fastpath.json
@@ -55,6 +59,7 @@ smoke:
 	$(PYTHON) benchmarks/check_drift.py $(SMOKE_SUMMARY)
 	$(PYTHON) -m pytest -x -q tests/fastpath/test_bitset_oracle.py
 	$(PYTHON) -m pytest -x -q tests/cache/test_cache_equivalence.py
+	$(PYTHON) -m pytest -x -q tests/variants/test_scenario_fastpath_equivalence.py
 	$(PYTHON) -m pytest -x -q tests/integration/test_examples.py
 	$(PYTHON) -m pytest -x -q
 

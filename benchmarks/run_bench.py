@@ -50,6 +50,7 @@ BENCH_FILES = (
     "bench_parallel.py",
     "bench_service.py",
     "bench_variants.py",
+    "bench_scenarios.py",
     "bench_api.py",
     "bench_allpairs.py",
     "bench_cache.py",
@@ -58,6 +59,7 @@ QUICK_BENCH_FILES = (
     "bench_parallel.py",
     "bench_service.py",
     "bench_variants.py",
+    "bench_scenarios.py",
     "bench_api.py",
     "bench_allpairs.py",
     "bench_cache.py",
@@ -68,6 +70,7 @@ FASTPATH_PREFIXES = (
     "test_ext_par_",
     "test_ext_svc_",
     "test_ext_var_",
+    "test_ext_scn_",
     "test_ext_api_",
     "test_ext_ap_",
     "test_ext_cache_",

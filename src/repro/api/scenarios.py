@@ -6,22 +6,17 @@ so callers (config files, service clients, sweep scripts) can request
 any studied workload through the same declarative API without
 importing variant constructors.
 
-Two families of scenarios exist, reflecting where they execute:
-
-* **variant-backed** scenarios (``flood``, ``thinning``, ``lossy``,
-  ``kmemory``) bind to a
-  :class:`~repro.fastpath.variants.VariantSpec` (or to the plain
-  deterministic process) and run on the arc-mask fast path -- they
-  batch, shard and serve exactly like hand-built specs, because after
-  canonicalisation they *are* hand-built specs;
-* **set-based** scenarios (``periodic``, ``multi_message``,
-  ``random_delay``) have no arc-mask stepper yet; they canonicalise to
-  a normalised scenario string carried on the spec, and
-  :func:`run_scenario` executes them on their reference engines.  This
-  makes the remaining set-based variants nameable through the same API
-  today, and leaves one obvious seam to port each onto the fast path
-  later (swap the binder to emit a ``VariantSpec``; callers never
-  change).
+Every built-in scenario binds to a
+:class:`~repro.fastpath.variants.VariantSpec` (or to the plain
+deterministic process) and runs on the arc-mask fast path: after
+canonicalisation a scenario spec *is* a hand-built spec, so it
+batches, shards, serves and keys the result cache exactly like one.
+The set-based engines the scenarios started life on stay in the tree
+as **pinned references**: :func:`run_scenario` executes any spec on
+its reference engine (``FloodSession.run(spec, reference=True)`` is
+the public door), and the scenario equivalence matrix
+(``tests/variants/test_scenario_fastpath_equivalence.py``) holds fast
+and reference bit-for-bit equal per scenario.
 
 Built-in scenario grammar (``name`` or ``name:arg[,arg|key=value...]``)::
 
@@ -33,10 +28,19 @@ Built-in scenario grammar (``name`` or ``name:arg[,arg|key=value...]``)::
                                INJ times (default 3); exactly one source
     multi_message              every source floods its own distinct payload
     random_delay:P[,seed=S]    oblivious per-message delay probability P
+                               (step-granular: budget counts async steps)
+    dynamic:FLIPS[,seed=S]     seeded edge-flip dynamics: FLIPS random
+                               pair flips per round, frozen to an
+                               arc-diff :class:`~repro.fastpath.schedule.ArcSchedule`
 
 :func:`register_scenario` adds new names (downstream scenario families
--- round-delayed amnesiac flooding, terminating-case variants --
-plug in here without touching any tier).
+-- round-delayed amnesiac flooding, terminating-case variants -- plug
+in here without touching any tier).  Extensions whose dynamics have no
+arc-mask stepper yet may register a set-based ``runner``: their binder
+returns a canonical string instead of a variant, the string survives
+on ``FloodSpec.scenario``, and every tier routes those specs through
+:func:`run_scenario` -- the seam each built-in scenario used before it
+was ported.
 """
 
 from __future__ import annotations
@@ -57,7 +61,11 @@ from repro.errors import ConfigurationError
 from repro.fastpath.variants import (
     VariantSpec,
     bernoulli_loss,
+    dynamic_schedule,
     k_memory,
+    multi_message,
+    periodic_injection,
+    random_delay,
     thinning,
 )
 
@@ -67,10 +75,11 @@ if TYPE_CHECKING:
     from repro.graphs.graph import Graph
 
 # A binder parses one scenario's arguments against the (mid-construction)
-# spec and returns ``(variant, canonical_string)``: exactly one of the
-# two is non-None (variant-backed vs set-based).  A runner executes a
-# set-based scenario's spec and returns a FloodResult; variant-backed
-# scenarios have no runner (the fast path runs them).
+# spec and returns ``(variant, canonical_string)``: at most one of the
+# two is non-None.  Every built-in binder returns a variant (or None,
+# None for the plain flood); only extensions without an arc-mask
+# stepper return a canonical string, paired with a set-based runner
+# executing their spec into a FloodResult.
 Binder = Callable[[List[str], Dict[str, str], "FloodSpec"],
                   Tuple[Optional[VariantSpec], Optional[str]]]
 Runner = Callable[["FloodSpec"], "FloodResult"]
@@ -88,8 +97,13 @@ _BINDERS: Dict[str, Binder] = {}
 _RUNNERS: Dict[str, Runner] = {}
 # repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
 _BUDGETS: Dict[str, Callable[["Graph"], int]] = {}
+# The pinned reference engines, keyed by *variant kind*: run_scenario
+# executes any variant-backed spec on the set-based engine it was
+# ported from, for the equivalence matrix and the reference=True door.
 # repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
-_SEEDED: Set[str] = {"thinning", "lossy", "random_delay"}
+_REFERENCES: Dict[str, Runner] = {}
+# repro-lint: disable=REP007 -- write-once scenario registry, populated at import/startup; identical in every process
+_SEEDED: Set[str] = {"thinning", "lossy", "random_delay", "dynamic"}
 """Scenario names whose dynamics consume a seed."""
 
 
@@ -102,14 +116,16 @@ def register_scenario(
     """Register (or replace) a scenario name.
 
     ``binder`` parses arguments into a variant or a canonical string;
-    ``runner`` is required for set-based scenarios (those whose binder
-    returns a canonical string) and must accept a
-    :class:`~repro.api.spec.FloodSpec` and return a
+    ``runner`` is required for extension set-based scenarios (those
+    whose binder returns a canonical string; no built-in does) and
+    must accept a :class:`~repro.api.spec.FloodSpec` and return a
     :class:`~repro.api.result.FloodResult`.  ``default_budget`` maps a
     graph to the budget an unset ``max_rounds`` resolves to, for
-    scenarios whose natural budget unit is not synchronous rounds
-    (``random_delay`` counts sub-round async steps); scenarios without
-    one get :func:`~repro.sync.engine.default_round_budget`.
+    set-based extensions whose natural budget unit is not synchronous
+    rounds; scenarios without one get
+    :func:`~repro.sync.engine.default_round_budget` (variant-backed
+    scenarios instead inherit their variant's budget rule,
+    :func:`~repro.fastpath.variants.variant_default_budget`).
     """
     _BINDERS[name] = binder
     if runner is not None:
@@ -220,19 +236,37 @@ def bind_scenario(
 
 
 def run_scenario(spec: "FloodSpec") -> "FloodResult":
-    """Execute a set-based scenario spec on its reference engine."""
-    if spec.scenario is None:
-        raise ConfigurationError(
-            "run_scenario takes a spec carrying a set-based scenario"
-        )
-    name, _, _ = _split(spec.scenario)
-    runner = _RUNNERS.get(name)
-    if runner is None:
-        raise ConfigurationError(
-            f"scenario {name!r} has no set-based runner; it executes on "
-            f"the fast path"
-        )
-    return runner(spec)
+    """Execute a spec on its pinned *reference* engine.
+
+    The second opinion behind ``FloodSession.run(spec,
+    reference=True)``: variant-backed specs (including every built-in
+    scenario after canonicalisation) run on the set-based engine their
+    stepper was ported from, plain deterministic specs run on
+    :func:`repro.core.amnesiac.simulate_reference`, and extension
+    specs still carrying a scenario string run their registered
+    set-based runner.  Results come back as
+    :class:`~repro.api.result.FloodResult` with
+    ``backend="reference:<name>"`` and the engine-native record in
+    ``raw``.
+    """
+    if spec.scenario is not None:
+        name, _, _ = _split(spec.scenario)
+        runner = _RUNNERS.get(name)
+        if runner is None:
+            raise ConfigurationError(
+                f"scenario {name!r} carries a canonical string but no "
+                f"set-based runner; register_scenario() both or neither"
+            )
+        return runner(spec)
+    if spec.variant is not None:
+        reference = _REFERENCES.get(spec.variant.kind)
+        if reference is None:
+            raise ConfigurationError(
+                f"variant kind {spec.variant.kind!r} has no pinned "
+                f"reference engine"
+            )
+        return reference(spec)
+    return _reference_flood(spec)
 
 
 # ----------------------------------------------------------------------
@@ -312,14 +346,14 @@ def _bind_periodic(
             f"scenario 'periodic' re-injects from a single source; "
             f"got {len(spec.sources)} sources"
         )
-    return None, f"periodic:{period},{injections}"
+    return periodic_injection(period, injections), None
 
 
 def _bind_multi_message(
     args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
 ) -> Tuple[Optional[VariantSpec], Optional[str]]:
     _reject_extras(args, kwargs, "multi_message")
-    return None, "multi_message"
+    return multi_message(), None
 
 
 def _bind_random_delay(
@@ -331,52 +365,191 @@ def _bind_random_delay(
             "probability (e.g. 'random_delay:0.5')"
         )
     probability = _scalar(args[0], float, "random_delay", "delay probability")
-    if not 0.0 <= probability <= 1.0:
+    if not 0.0 <= probability < 1.0:
         raise ConfigurationError(
-            "scenario 'random_delay': delay probability must be in [0, 1]"
+            "scenario 'random_delay': delay probability must be in [0, 1) "
+            "(p = 1 would hold every message forever)"
         )
     seed = _seed_of(kwargs, "random_delay")
     _reject_extras([], kwargs, "random_delay")
-    return None, f"random_delay:{probability!r},seed={seed}"
+    return random_delay(probability, seed=seed), None
+
+
+def _bind_dynamic(
+    args: List[str], kwargs: Dict[str, str], spec: "FloodSpec"
+) -> Tuple[Optional[VariantSpec], Optional[str]]:
+    if len(args) != 1:
+        raise ConfigurationError(
+            "scenario 'dynamic' takes exactly one argument: the edge "
+            "flips per round (e.g. 'dynamic:2')"
+        )
+    flips = _scalar(args[0], int, "dynamic", "edge flips per round")
+    if flips < 0:
+        raise ConfigurationError(
+            "scenario 'dynamic': edge flips per round must be >= 0"
+        )
+    seed = _seed_of(kwargs, "dynamic")
+    _reject_extras([], kwargs, "dynamic")
+    from repro.variants.dynamic import EdgeFlipSchedule, export_arc_schedule
+
+    # Binding runs before budget resolution, but the frozen schedule's
+    # horizon must cover the run (round r forwards over the round-r+1
+    # topology), so replicate the budget rule here -- same error text
+    # as the resolver's.
+    if spec.max_rounds is None:
+        from repro.sync.engine import default_round_budget
+
+        budget = default_round_budget(spec.graph)
+    elif spec.max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
+    else:
+        budget = spec.max_rounds
+    schedule = EdgeFlipSchedule(spec.graph, flips, seed)
+    return dynamic_schedule(export_arc_schedule(schedule, budget + 1)), None
 
 
 # ----------------------------------------------------------------------
-# Built-in set-based runners
+# Pinned reference runners (per variant kind)
 # ----------------------------------------------------------------------
 #
-# Each runner maps its reference record into a FloodResult, keeping the
-# native record in ``raw``.  Imports are local: the variant reference
-# modules pull in the sync/asynchrony engines, which this module must
-# not load just to *parse* a scenario string.
+# Each runner executes a variant-backed spec on the set-based engine
+# its arc-mask stepper was ported from and maps the native record into
+# a FloodResult (record kept in ``raw``).  Imports are local: the
+# reference modules pull in the sync/asynchrony engines, which this
+# module must not load just to *parse* a scenario string.
 
 
-def _run_periodic(spec: "FloodSpec") -> "FloodResult":
+def _sole_source(spec: "FloodSpec", kind: str):
+    if len(spec.sources) != 1:
+        raise ConfigurationError(
+            f"the {kind} reference engine is single-source; "
+            f"got {len(spec.sources)} sources"
+        )
+    return spec.sources[0]
+
+
+def _reference_flood(spec: "FloodSpec") -> "FloodResult":
     from repro.api.result import FloodResult
-    from repro.variants.periodic import periodic_injection_flood
+    from repro.core.amnesiac import simulate_reference
 
-    assert spec.scenario is not None  # guarded by run_scenario
-    _, args, _ = _split(spec.scenario)
-    period, injections = int(args[0]), int(args[1])
-    run = periodic_injection_flood(
+    run = simulate_reference(spec.graph, spec.sources, max_rounds=spec.max_rounds)
+    return FloodResult(
+        spec=spec,
+        backend="reference:flood",
+        terminated=run.terminated,
+        termination_round=run.termination_round,
+        total_messages=run.total_messages,
+        round_edge_counts=list(run.round_edge_counts),
+        reached_count=len(run.nodes_reached()),
+        raw=run,
+    )
+
+
+def _reference_thinning(spec: "FloodSpec") -> "FloodResult":
+    from repro.api.result import FloodResult
+    from repro.variants.probabilistic import probabilistic_flood
+
+    variant = spec.variant
+    assert variant is not None  # guarded by run_scenario
+    run = probabilistic_flood(
         spec.graph,
-        spec.sources[0],
-        period,
-        injections,
+        _sole_source(spec, "thinning"),
+        variant.probability,
+        seed=variant.seed,
+        max_rounds=spec.max_rounds,
+        trial_index=spec.stream,
+    )
+    return FloodResult(
+        spec=spec,
+        backend="reference:thinning",
+        terminated=run.terminated,
+        termination_round=run.termination_round,
+        total_messages=run.total_messages,
+        round_edge_counts=[],
+        reached_count=len(run.nodes_reached),
+        raw=run,
+    )
+
+
+def _reference_loss(spec: "FloodSpec") -> "FloodResult":
+    from repro.api.result import FloodResult
+    from repro.variants.lossy import lossy_flood
+
+    variant = spec.variant
+    assert variant is not None  # guarded by run_scenario
+    # bernoulli_loss stores the *survival* probability; round() inside
+    # survival_threshold absorbs the 1-ulp float round trip, so the
+    # reconstructed rate draws the exact same thresholds.
+    trace = lossy_flood(
+        spec.graph,
+        _sole_source(spec, "lossy"),
+        1.0 - variant.probability,
+        seed=variant.seed,
+        max_rounds=spec.max_rounds,
+        trial_index=spec.stream,
+    )
+    return FloodResult(
+        spec=spec,
+        backend="reference:lossy",
+        terminated=trace.terminated,
+        termination_round=trace.termination_round,
+        total_messages=trace.total_messages(),
+        round_edge_counts=trace.per_round_message_counts(),
+        reached_count=len(trace.nodes_reached()),
+        raw=trace,
+    )
+
+
+def _reference_kmemory(spec: "FloodSpec") -> "FloodResult":
+    from repro.api.result import FloodResult
+    from repro.variants.k_memory import k_memory_trace
+
+    variant = spec.variant
+    assert variant is not None  # guarded by run_scenario
+    trace = k_memory_trace(
+        spec.graph,
+        _sole_source(spec, "kmemory"),
+        variant.k,
         max_rounds=spec.max_rounds,
     )
     return FloodResult(
         spec=spec,
-        backend="scenario:periodic",
+        backend="reference:kmemory",
+        terminated=trace.terminated,
+        termination_round=trace.termination_round,
+        total_messages=trace.total_messages(),
+        round_edge_counts=trace.per_round_message_counts(),
+        reached_count=len(trace.nodes_reached()),
+        raw=trace,
+    )
+
+
+def _reference_periodic(spec: "FloodSpec") -> "FloodResult":
+    from repro.api.result import FloodResult
+    from repro.variants.periodic import periodic_injection_flood
+
+    variant = spec.variant
+    assert variant is not None  # guarded by run_scenario
+    run = periodic_injection_flood(
+        spec.graph,
+        _sole_source(spec, "periodic"),
+        variant.period,
+        variant.injections,
+        max_rounds=spec.max_rounds,
+    )
+    return FloodResult(
+        spec=spec,
+        backend="reference:periodic",
         terminated=run.terminates,
         termination_round=run.total_rounds,
         total_messages=run.total_messages,
-        round_edge_counts=[],
+        round_edge_counts=list(run.round_message_counts),
         reached_count=None,
         raw=run,
     )
 
 
-def _run_multi_message(spec: "FloodSpec") -> "FloodResult":
+def _reference_multi_message(spec: "FloodSpec") -> "FloodResult":
     from repro.api.result import FloodResult
     from repro.variants.multi_message import concurrent_floods
 
@@ -384,36 +557,30 @@ def _run_multi_message(spec: "FloodSpec") -> "FloodResult":
         position: [source] for position, source in enumerate(spec.sources)
     }
     trace = concurrent_floods(spec.graph, origins, max_rounds=spec.max_rounds)
-    counts = [
-        len(trace.sent_in_round(round_number))
-        for round_number in range(1, trace.rounds_executed + 1)
-    ]
     return FloodResult(
         spec=spec,
-        backend="scenario:multi_message",
+        backend="reference:multi_message",
         terminated=trace.terminated,
         termination_round=trace.rounds_executed,
         total_messages=trace.total_messages(),
-        round_edge_counts=counts,
-        reached_count=None,
+        round_edge_counts=trace.per_round_message_counts(),
+        reached_count=len(trace.nodes_reached()),
         raw=trace,
     )
 
 
-def _run_random_delay(spec: "FloodSpec") -> "FloodResult":
+def _reference_random_delay(spec: "FloodSpec") -> "FloodResult":
     from repro.api.result import FloodResult
-    from repro.asynchrony.adversary import RandomDelayAdversary
+    from repro.asynchrony.adversary import CounterDelayAdversary
     from repro.asynchrony.engine import AsyncOutcome, run_async
-    from repro.rng import derive_key
 
-    assert spec.scenario is not None  # guarded by run_scenario
-    _, args, kwargs = _split(spec.scenario)
-    probability = float(args[0])
-    seed = int(kwargs.get("seed", "0"))
-    # The spec's stream folds into the trial key exactly like a variant
-    # run's batch position, so sweeps over streams are reshard-stable.
-    adversary = RandomDelayAdversary(
-        probability, seed=derive_key(seed, spec.stream)
+    variant = spec.variant
+    assert variant is not None  # guarded by run_scenario
+    # spec.run_key() = derive_key(variant.seed, spec.stream): the exact
+    # key the fast-path stepper draws from, so reference and fast runs
+    # consume identical per-(step, arc) coordinates.
+    adversary = CounterDelayAdversary(
+        variant.probability, spec.run_key(), spec.index()
     )
     run = run_async(
         spec.graph,
@@ -425,7 +592,7 @@ def _run_random_delay(spec: "FloodSpec") -> "FloodResult":
     counts = [len(batch) for batch in run.deliveries]
     return FloodResult(
         spec=spec,
-        backend="scenario:random_delay",
+        backend="reference:random_delay",
         terminated=run.outcome is AsyncOutcome.TERMINATED,
         termination_round=run.steps,
         total_messages=sum(counts),
@@ -435,21 +602,42 @@ def _run_random_delay(spec: "FloodSpec") -> "FloodResult":
     )
 
 
-def _random_delay_default_budget(graph: "Graph") -> int:
-    from repro.variants.random_delay import default_step_budget
+def _reference_dynamic(spec: "FloodSpec") -> "FloodResult":
+    from repro.api.result import FloodResult
+    from repro.variants.dynamic import simulate_dynamic
 
-    return default_step_budget(graph)
+    variant = spec.variant
+    assert variant is not None and variant.schedule is not None
+    run = simulate_dynamic(
+        variant.schedule.as_graph_schedule(),
+        spec.sources,
+        max_rounds=spec.max_rounds,
+    )
+    return FloodResult(
+        spec=spec,
+        backend="reference:dynamic",
+        terminated=run.terminated,
+        termination_round=run.termination_round,
+        total_messages=run.total_messages,
+        round_edge_counts=list(run.round_edge_counts),
+        reached_count=len(run.nodes_reached()),
+        raw=run,
+    )
 
 
 register_scenario("flood", _bind_flood)
 register_scenario("thinning", _bind_thinning)
 register_scenario("lossy", _bind_lossy)
 register_scenario("kmemory", _bind_kmemory)
-register_scenario("periodic", _bind_periodic, _run_periodic)
-register_scenario("multi_message", _bind_multi_message, _run_multi_message)
-register_scenario(
-    "random_delay",
-    _bind_random_delay,
-    _run_random_delay,
-    default_budget=_random_delay_default_budget,
-)
+register_scenario("periodic", _bind_periodic)
+register_scenario("multi_message", _bind_multi_message)
+register_scenario("random_delay", _bind_random_delay)
+register_scenario("dynamic", _bind_dynamic)
+
+_REFERENCES["thinning"] = _reference_thinning
+_REFERENCES["loss"] = _reference_loss
+_REFERENCES["kmemory"] = _reference_kmemory
+_REFERENCES["periodic"] = _reference_periodic
+_REFERENCES["multi_message"] = _reference_multi_message
+_REFERENCES["random_delay"] = _reference_random_delay
+_REFERENCES["dynamic"] = _reference_dynamic

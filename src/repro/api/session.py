@@ -5,9 +5,10 @@ tiers need -- per-graph :class:`~repro.parallel.SweepPool` workers for
 batch work, one :class:`~repro.service.FloodService` for async queries
 -- and plans each request from its spec alone:
 
-* :meth:`FloodSession.run` -- one spec, serially: the fast-path engine
-  for variant/deterministic specs, the reference engines for set-based
-  scenarios.
+* :meth:`FloodSession.run` -- one spec, serially, on the fast-path
+  engine (every built-in scenario canonicalises to a variant or plain
+  spec); ``reference=True`` reruns the request on its pinned set-based
+  reference engine instead.
 * :meth:`FloodSession.sweep` -- many specs: grouped by execution shape
   (graph, budget, backend request, probe policy, variant, collection
   flags), each group routed through the probe-aware backend selection
@@ -17,8 +18,8 @@ batch work, one :class:`~repro.service.FloodService` for async queries
   input order and bit-identical to the serial path.
 * :meth:`FloodSession.aquery` -- one spec, asynchronously: coalesced
   with concurrent callers through the service's spec-keyed
-  micro-batches (set-based scenarios run on an executor thread
-  instead; they have no pool lane yet).
+  micro-batches (extension scenarios with set-based runners go to an
+  executor thread instead; they have no pool lane).
 
 Every result comes back as a :class:`~repro.api.result.FloodResult`
 wrapping the tier-native record, so switching tiers never changes what
@@ -78,10 +79,10 @@ class FloodSession:
         results in input order, bit-identical to the uncached sweep),
         and the session's service shares the same cache, so
         :meth:`aquery` traffic warms synchronous calls and vice versa.
-        Set-based scenario specs always execute (their reference-engine
-        records have no codec); ``spec.cache = "bypass" | "refresh"``
-        opts individual requests out.  :meth:`cache_stats` snapshots
-        the counters.
+        Reference runs and extension set-based scenarios always
+        execute (their engine-native records have no codec);
+        ``spec.cache = "bypass" | "refresh"`` opts individual requests
+        out.  :meth:`cache_stats` snapshots the counters.
 
     Usage::
 
@@ -176,17 +177,21 @@ class FloodSession:
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, spec: FloodSpec) -> FloodResult:
+    def run(self, spec: FloodSpec, *, reference: bool = False) -> FloodResult:
         """Execute one spec serially; the facade form of ``simulate``.
 
-        Set-based scenario specs run on their reference engines
-        (:func:`repro.api.scenarios.run_scenario`); everything else
-        runs on the fast path with the legacy single-run backend
+        Every built-in scenario (and plain/variant spec) runs on the
+        arc-mask fast path with the legacy single-run backend
         selection, so the result is bit-identical to
-        ``simulate_indexed`` of the same request.
+        ``simulate_indexed`` of the same request.  ``reference=True``
+        is the escape hatch onto the pinned set-based engines
+        (:func:`repro.api.scenarios.run_scenario`) -- the second
+        opinion the equivalence matrix compares against; reference
+        runs never touch the result cache.  Extension scenario specs
+        still carrying a canonical string route there unconditionally.
         """
         self._require_open()
-        if spec.scenario is not None:
+        if reference or spec.scenario is not None:
             from repro.api.scenarios import run_scenario
 
             return run_scenario(spec)
@@ -227,7 +232,8 @@ class FloodSession:
         probe policy); each fast-path group runs as one batch --
         serially, or across this session's warm pool for that graph
         when the batch and the machine justify one -- and each
-        scenario spec runs on its reference engine.  Grouping changes
+        extension set-based scenario spec runs on its registered
+        runner.  Grouping changes
         scheduling, never content: every group's results are
         bit-identical to the serial spec sweep, which is itself
         bit-identical to the legacy ``sweep``/``parallel_sweep`` of the
@@ -369,8 +375,8 @@ class FloodSession:
         the micro-batch key, and the result is bit-identical to
         :meth:`run` of the same spec modulo probe routing (the service
         routes ``backend=None`` through the rounds probe, exactly like
-        a batch).  Set-based scenario specs run on an executor thread.
-        ``timeout`` / ``on_full`` follow
+        a batch).  Extension set-based scenario specs run on an
+        executor thread.  ``timeout`` / ``on_full`` follow
         :meth:`repro.service.FloodService.query`.
         """
         self._require_open()

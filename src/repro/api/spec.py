@@ -20,9 +20,11 @@ construction:
   may share a pool task or a service micro-batch; this object replaces
   the ad-hoc key tuples the pool and the service each used to build.
 * :meth:`FloodSpec.from_scenario` -- the string scenario registry
-  (``"lossy:0.1"``, ``"kmemory:2"``, ``"periodic:3,4"`` ...), which
-  also makes the still-set-based variants nameable through the same
-  API (see :mod:`repro.api.scenarios`).
+  (``"lossy:0.1"``, ``"kmemory:2"``, ``"periodic:3,4"``,
+  ``"random_delay:0.5"``, ``"dynamic:2"`` ...).  Every built-in
+  scenario canonicalises into a ``VariantSpec`` (or the plain
+  deterministic process) and executes on the arc-mask fast path; see
+  :mod:`repro.api.scenarios`.
 
 Validation errors are :class:`~repro.errors.ConfigurationError` (or
 :class:`~repro.errors.NodeNotFoundError` for unknown sources) and always
@@ -109,19 +111,21 @@ class FloodSpec:
         the stochastic/memory stepper instead of the deterministic
         process.
     scenario:
-        Canonical scenario string for the set-based scenarios
-        (``"periodic:..."``, ``"multi_message"``, ``"random_delay:..."``).
-        Variant-backed scenario strings passed here are canonicalised
-        *into* ``variant`` (so ``FloodSpec(scenario="lossy:0.1", ...)``
-        equals ``FloodSpec(variant=bernoulli_loss(0.1), ...)``).
+        Scenario string input.  Every built-in scenario string is
+        canonicalised *into* ``variant`` at construction (so
+        ``FloodSpec(scenario="lossy:0.1", ...)`` equals
+        ``FloodSpec(variant=bernoulli_loss(0.1), ...)`` and the field
+        ends up ``None``); only extension scenarios registered with a
+        set-based runner keep their canonical string here and execute
+        through :func:`repro.api.scenarios.run_scenario`.
     stream:
         The RNG stream position of this request within
         ``variant.seed`` (the run executes on
         ``derive_key(variant.seed, stream)``).  Canonicalised to 0 for
-        deterministic requests, which consume no randomness -- so
-        deterministic specs differing only by ``stream`` batch
-        together.  Set-based random scenarios fold it into their trial
-        key the same way.
+        deterministic requests -- including the deterministic variant
+        kinds (``kmemory``, ``periodic``, ``multi_message``,
+        ``dynamic``), which consume no randomness -- so such specs
+        differing only by ``stream`` batch (and cache) together.
     collect_senders / collect_receives:
         Per-round sender sets and per-node receive rounds are collected
         only on request (sweep-shaped work skips them for speed).
@@ -192,11 +196,17 @@ class FloodSpec:
             object.__setattr__(self, "variant", bound_variant)
             object.__setattr__(self, "scenario", canonical_scenario)
         # Budget: resolve None once so equal requests carry equal keys.
+        # Variants own their budget granularity (random_delay counts
+        # async steps); extension scenario strings may register one.
         if self.max_rounds is None:
             if self.scenario is not None:
                 from repro.api.scenarios import scenario_default_budget
 
                 budget = scenario_default_budget(self.scenario, self.graph)
+            elif self.variant is not None:
+                from repro.fastpath.variants import variant_default_budget
+
+                budget = variant_default_budget(self.variant, self.graph)
             else:
                 budget = default_round_budget(self.graph)
             object.__setattr__(self, "max_rounds", budget)
@@ -214,9 +224,15 @@ class FloodSpec:
             )
         if not isinstance(self.stream, int) or self.stream < 0:
             raise ConfigurationError("stream must be an int >= 0")
-        if self.variant is None and self.scenario is None and self.stream:
+        if (
+            self.stream
+            and self.scenario is None
+            and (self.variant is None or not self.variant.stochastic)
+        ):
             # Deterministic runs consume no randomness: canonicalise the
             # stream away so such specs batch (and hash) together.
+            # (Extension scenario strings keep theirs -- their runners
+            # may fold it into a trial key.)
             object.__setattr__(self, "stream", 0)
 
     def _validate_backend(self) -> None:

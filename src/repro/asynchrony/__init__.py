@@ -11,6 +11,7 @@ adversarial non-termination on small topologies.
 from repro.asynchrony.adversary import (
     Adversary,
     ConvergecastHoldAdversary,
+    CounterDelayAdversary,
     FixedScheduleAdversary,
     HoldEdgeAdversary,
     RandomDelayAdversary,
@@ -52,6 +53,7 @@ from repro.asynchrony.search import (
 __all__ = [
     "Adversary",
     "ConvergecastHoldAdversary",
+    "CounterDelayAdversary",
     "FixedScheduleAdversary",
     "HoldEdgeAdversary",
     "RandomDelayAdversary",

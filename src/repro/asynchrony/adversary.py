@@ -16,7 +16,14 @@ scheduling adversary "can always ensure non-termination"; we implement:
 * :class:`RandomDelayAdversary` -- each message independently delayed
   with probability ``p`` (non-adversarial asynchrony; empirically this
   almost always terminates, sharpening the contrast with the adaptive
-  adversary).
+  adversary).  Draws from a sequential seeded stream, so it is bound to
+  one trial at a time.
+* :class:`CounterDelayAdversary` -- the same random-delay model with
+  counter-based coordinates instead of a sequential stream: every
+  hold/deliver decision is ``slot_draw(round_key(run_key, step),
+  arc_slot)``, the exact draws the fast-path ``random_delay`` stepper
+  consumes, making reference and fast runs bit-identical per
+  ``(seed, stream)``.
 * :class:`FixedScheduleAdversary` -- replays an explicit schedule, used
   to execute certificates found by the searching adversary.
 """
@@ -24,10 +31,14 @@ scheduling adversary "can always ensure non-termination"; we implement:
 from __future__ import annotations
 
 import random  # repro-lint: disable=REP003 -- adversary schedule streams: seeded per instance and sequential by design (the adversary owns one trial); cross-trial keys are counter-derived by callers
-from typing import FrozenSet, Optional, Protocol, Sequence, Set
+from typing import TYPE_CHECKING, FrozenSet, Optional, Protocol, Sequence, Set
 
 from repro.errors import ConfigurationError
 from repro.asynchrony.configurations import Configuration, DirectedMessage
+from repro.rng import round_key, slot_draw, survival_threshold
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.fastpath.indexed import IndexedGraph
 
 
 class Adversary(Protocol):
@@ -115,6 +126,60 @@ class RandomDelayAdversary:
         if not deliver:
             deliver = {self._rng.choice(sorted(configuration, key=repr))}
         return frozenset(deliver)
+
+
+class CounterDelayAdversary:
+    """Random delays drawn from counter-based per-(step, arc) coordinates.
+
+    The same oblivious model as :class:`RandomDelayAdversary` --
+    independently hold each in-transit message with probability ``p``,
+    delivering at least one so time progresses -- but every decision is
+    a pure function of ``(run_key, step, arc slot)`` through
+    :func:`repro.rng.slot_draw`, with no sequential stream.  These are
+    exactly the draws the fast-path ``random_delay`` stepper
+    (:mod:`repro.fastpath.variants`) consumes, so an async reference
+    run under this adversary is bit-identical to the fast run with the
+    same ``run_key``.  Hold iff the draw falls below
+    ``survival_threshold(p)``; the all-held fallback delivers the
+    single message minimising ``(draw, slot)``.
+    """
+
+    def __init__(
+        self,
+        delay_probability: float,
+        run_key: int,
+        index: "IndexedGraph",
+    ) -> None:
+        if not 0.0 <= delay_probability < 1.0:
+            raise ConfigurationError("delay_probability must be in [0, 1)")
+        self.delay_probability = delay_probability
+        self.run_key = run_key
+        self.index = index
+        self._threshold = survival_threshold(delay_probability)
+
+    def choose(
+        self, configuration: Configuration, step: int
+    ) -> FrozenSet[DirectedMessage]:
+        if not configuration:
+            return configuration
+        rkey = round_key(self.run_key, step)
+        arc_slot = self.index.arc_slot
+        threshold = self._threshold
+        deliver = frozenset(
+            message  # repro-lint: disable=REP002 -- per-message draws are order-free (keyed by arc slot, not iteration position)
+            for message in configuration
+            if slot_draw(rkey, arc_slot(*message)) >= threshold
+        )
+        if deliver:
+            return deliver
+        slots = {
+            arc_slot(*message): message  # repro-lint: disable=REP002 -- dict keyed by unique arc slot; min below is order-free
+            for message in configuration
+        }
+        best_slot = min(
+            slots, key=lambda slot: (slot_draw(rkey, slot), slot)
+        )
+        return frozenset({slots[best_slot]})
 
 
 class FixedScheduleAdversary:

@@ -48,10 +48,14 @@ Entry points:
   (bare ``sweep(backend=None)`` and the service layer route long
   floods to the oracle through these);
 * :class:`VariantSpec` (:func:`thinning` / :func:`bernoulli_loss` /
-  :func:`k_memory`) and :func:`variant_survey` -- arc-mask steppers for
-  the stochastic/memory variants with counter-based per-(run, round)
-  randomness, pluggable into ``sweep``/``parallel_sweep``/the service
-  via ``variant=`` (:mod:`repro.fastpath.variants`).
+  :func:`k_memory` / :func:`periodic_injection` / :func:`multi_message`
+  / :func:`random_delay` / :func:`dynamic_schedule`) and
+  :func:`variant_survey` -- arc-mask steppers for every built-in
+  process variant with counter-based per-(run, round) randomness,
+  pluggable into ``sweep``/``parallel_sweep``/the service via
+  ``variant=`` (:mod:`repro.fastpath.variants`); dynamic topologies
+  travel as the arc-diff :class:`ArcSchedule` format
+  (:mod:`repro.fastpath.schedule`).
 """
 
 from repro.fastpath.engine import (
@@ -82,13 +86,19 @@ from repro.fastpath.probe import (
     probe_termination_rounds,
     routed_backend,
 )
+from repro.fastpath.schedule import ArcSchedule
 from repro.fastpath.variants import (
     VariantSpec,
     VariantSummary,
     bernoulli_loss,
+    dynamic_schedule,
     k_memory,
+    multi_message,
+    periodic_injection,
+    random_delay,
     thinning,
     variant_backend,
+    variant_default_budget,
     variant_survey,
 )
 
@@ -98,6 +108,7 @@ __all__ = [
     "NUMPY_MIN_MEAN_DEGREE",
     "ORACLE",
     "ORACLE_ROUND_THRESHOLD",
+    "ArcSchedule",
     "IndexedGraph",
     "IndexedRun",
     "VariantSpec",
@@ -108,11 +119,15 @@ __all__ = [
     "bernoulli_loss",
     "configuration_of_mask",
     "dispatch_batch",
+    "dynamic_schedule",
     "ensure_homogeneous_specs",
     "evolve_arc_mask",
     "expected_rounds",
     "k_memory",
+    "multi_message",
+    "periodic_injection",
     "probe_termination_rounds",
+    "random_delay",
     "routed_backend",
     "routed_sweep_backend",
     "run_spec",
@@ -123,5 +138,6 @@ __all__ = [
     "sweep_specs",
     "thinning",
     "variant_backend",
+    "variant_default_budget",
     "variant_survey",
 ]

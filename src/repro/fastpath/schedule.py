@@ -1,0 +1,182 @@
+"""Arc-diff schedules: dynamic graphs as per-round masks over one CSR index.
+
+``repro.variants.dynamic`` models a dynamic network as a
+``GraphSchedule`` -- an object that materialises a full ``Graph`` per
+round.  That is the right interface for *describing* dynamics, but the
+wrong shape for the fast path: every round would re-index a fresh
+topology, and the schedule itself (an arbitrary Python object, often
+seeded and stateful) cannot serve as a content-addressed cache key.
+
+:class:`ArcSchedule` freezes a dynamic graph into fast-path form:
+
+* ``graph`` -- the **superset graph**: one immutable :class:`Graph`
+  containing every edge that is live in *any* round.  Its CSR index
+  (:class:`~repro.fastpath.indexed.IndexedGraph`) fixes the slot
+  numbering once for the whole run;
+* ``masks`` -- one activation bitmask per round, over the superset's
+  arc slots: bit ``j`` set means the directed arc at slot ``j`` is
+  live that round.  Masks are symmetric (an edge is live in both
+  directions or neither), matching the undirected graphs the schedule
+  protocol produces;
+* ``cycle_from`` -- how rounds beyond ``len(masks)`` behave: ``None``
+  holds the last mask forever (the exporter uses this for a finite
+  horizon that already covers the run budget), while an index ``c``
+  repeats ``masks[c:]`` cyclically (exact for periodic schedules).
+
+The dataclass is frozen, hashable and picklable with no hidden state,
+so an ``ArcSchedule`` rides :class:`~repro.api.spec.FloodSpec` through
+the sweep pool and the result cache exactly like a probability or a
+seed.  Its :meth:`content_digest` covers the superset graph's content
+digest plus every mask, and ``repr`` embeds that digest so
+``FloodSpec.digest()`` (which hashes field reprs) keys cache entries by
+schedule *content*, not object identity.
+
+Build one by hand, or export one from any ``GraphSchedule`` with
+:func:`repro.variants.dynamic.export_arc_schedule`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fastpath.indexed import IndexedGraph
+from repro.fastpath.pure_backend import _BYTE_BITS
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass(frozen=True)
+class ArcSchedule:
+    """A dynamic graph frozen into per-round arc masks over one index.
+
+    ``masks[i]`` is the activation mask of round ``i + 1`` (rounds are
+    1-based everywhere in this repo).  See the module docstring for the
+    ``cycle_from`` extension rule.
+    """
+
+    graph: Graph
+    masks: Tuple[int, ...]
+    cycle_from: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.masks, tuple) or not self.masks:
+            raise ConfigurationError(
+                "an ArcSchedule needs a non-empty tuple of round masks"
+            )
+        index = IndexedGraph.of(self.graph)
+        full = (1 << index.num_arcs) - 1
+        reverse_slot = index.reverse_slot
+        mask_bytes = (index.num_arcs + 7) // 8
+        byte_bits = _BYTE_BITS
+        for position, mask in enumerate(self.masks):
+            if not isinstance(mask, int) or mask < 0 or mask > full:
+                raise ConfigurationError(
+                    f"round-{position + 1} mask is outside the superset "
+                    f"graph's {index.num_arcs} arc slots"
+                )
+            # Byte-table walk: testing the reverse bit against the byte
+            # buffer keeps validation linear in the mask width (big-int
+            # shifts per set bit would be quadratic on large graphs).
+            data = mask.to_bytes(mask_bytes, "little")
+            for byte_index, byte in enumerate(data):
+                if not byte:
+                    continue
+                base = byte_index * 8
+                for k in byte_bits[byte]:
+                    slot = base + k
+                    reverse = reverse_slot[slot]
+                    if not (data[reverse >> 3] >> (reverse & 7)) & 1:
+                        raise ConfigurationError(
+                            f"round-{position + 1} mask is asymmetric: "
+                            f"slot {slot} is live but its reverse "
+                            f"{reverse} is not (undirected edges "
+                            "are live in both directions or neither)"
+                        )
+        if self.cycle_from is not None and not (
+            0 <= self.cycle_from < len(self.masks)
+        ):
+            raise ConfigurationError(
+                f"cycle_from={self.cycle_from!r} must index into the "
+                f"{len(self.masks)} masks"
+            )
+
+    def mask_at(self, round_number: int) -> int:
+        """The activation mask of 1-based round ``round_number``."""
+        if round_number < 1:
+            raise ConfigurationError("rounds are 1-based")
+        i = round_number - 1
+        if i < len(self.masks):
+            return self.masks[i]
+        if self.cycle_from is None:
+            return self.masks[-1]
+        period = len(self.masks) - self.cycle_from
+        return self.masks[self.cycle_from + (i - self.cycle_from) % period]
+
+    def content_digest(self) -> str:
+        """SHA-256 over the superset graph's content plus every mask.
+
+        Two schedules with the same digest produce the same per-round
+        topology for every round -- this is what keys the result cache.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.graph.content_digest().encode("ascii"))
+        hasher.update(f"|cycle_from={self.cycle_from!r}|".encode("ascii"))
+        for mask in self.masks:
+            hasher.update(format(mask, "x").encode("ascii"))
+            hasher.update(b",")
+        return hasher.hexdigest()
+
+    def __repr__(self) -> str:
+        # FloodSpec.digest() hashes field *reprs*; Graph's repr is not
+        # content-complete, so the schedule repr embeds the full content
+        # digest to make spec digests collision-safe by construction.
+        return (
+            f"ArcSchedule(rounds={len(self.masks)}, "
+            f"cycle_from={self.cycle_from!r}, "
+            f"digest={self.content_digest()})"
+        )
+
+    def as_graph_schedule(self) -> "ArcScheduleView":
+        """A ``GraphSchedule``-shaped view for the set-based reference."""
+        return ArcScheduleView(self)
+
+
+class ArcScheduleView:
+    """Adapts an :class:`ArcSchedule` to the ``GraphSchedule`` protocol.
+
+    ``graph_at`` materialises the round's live edges as a full
+    :class:`Graph` (isolated nodes included, so the node set is shared
+    across rounds as ``simulate_dynamic`` requires).  Graphs are built
+    once per *distinct mask value* -- periodic and eventually-static
+    schedules touch only a handful of masks however long the run.
+    """
+
+    def __init__(self, schedule: ArcSchedule) -> None:
+        self.schedule = schedule
+        self._graphs_by_mask: Dict[int, Graph] = {}
+
+    def graph_at(self, round_number: int) -> Graph:
+        mask = self.schedule.mask_at(round_number)
+        built = self._graphs_by_mask.get(mask)
+        if built is not None:
+            return built
+        index = IndexedGraph.of(self.schedule.graph)
+        edges: List[Tuple[Node, Node]] = []
+        reverse_slot = index.reverse_slot
+        # Ascending byte-table walk; masks are symmetric (validated at
+        # construction), so each undirected edge is emitted at the
+        # smaller of its two slots -- same order the low-bit walk gave.
+        data = mask.to_bytes((index.num_arcs + 7) // 8, "little")
+        for byte_index, byte in enumerate(data):
+            if not byte:
+                continue
+            base = byte_index * 8
+            for k in _BYTE_BITS[byte]:
+                slot = base + k
+                if slot < reverse_slot[slot]:
+                    edges.append(index.arc_of_slot(slot))
+        built = Graph.from_edges(edges, isolated=index.labels)
+        self._graphs_by_mask[mask] = built
+        return built

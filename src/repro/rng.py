@@ -112,6 +112,47 @@ def slot_draw(rkey: int, slot: int) -> int:
     return mix64(rkey ^ ((slot * GAMMA) & MASK64)) >> (64 - DRAW_BITS)
 
 
+def mask_hold_split(rkey: int, base: int, mask: int, threshold: int) -> tuple:
+    """Batched :func:`slot_draw` over the set bits of an arc mask.
+
+    For each set bit ``position`` of ``mask`` (an arc block starting at
+    absolute slot ``base``), draws ``slot_draw(rkey, base + position)``
+    and accumulates the bit in the *held* submask iff the draw falls
+    below ``threshold``.  Returns ``(held, best_position, best_draw)``
+    where ``best`` is the smallest ``(draw, position)`` pair of the
+    block -- the forced-delivery candidate of the random-delay stepper
+    when every coin says hold.  ``best_position`` is ``-1`` for an
+    empty mask.
+
+    This is the hot per-step loop of the delay variant, so the
+    SplitMix64 finalizer is inlined (one call per *mask* instead of one
+    per arc); the draws are bit-identical to per-slot
+    :func:`slot_draw` calls, which the scenario equivalence matrix
+    holds against the set-based adversary consuming the same
+    coordinates one slot at a time.
+    """
+    held = 0
+    best_draw = -1
+    best_position = -1
+    position = 0
+    shift = 64 - DRAW_BITS
+    while mask:
+        if mask & 1:
+            value = rkey ^ (((base + position) * GAMMA) & MASK64)
+            value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+            value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+            draw = (value ^ (value >> 31)) >> shift
+            if draw < threshold:
+                held |= 1 << position
+            # Ascending positions with strict <: ties keep the lowest.
+            if best_draw < 0 or draw < best_draw:
+                best_draw = draw
+                best_position = position
+        mask >>= 1
+        position += 1
+    return held, best_position, best_draw
+
+
 def slot_uniform(rkey: int, slot: int) -> float:
     """:func:`slot_draw` scaled to a float in ``[0, 1)``."""
     return slot_draw(rkey, slot) * (1.0 / _DRAW_SPACE)

@@ -29,6 +29,7 @@ from repro.variants.dynamic import (
     GraphSchedule,
     PeriodicSchedule,
     StaticSchedule,
+    export_arc_schedule,
     simulate_dynamic,
 )
 from repro.variants.k_memory import (
@@ -68,6 +69,7 @@ __all__ = [
     "GraphSchedule",
     "PeriodicSchedule",
     "StaticSchedule",
+    "export_arc_schedule",
     "simulate_dynamic",
     "KMemoryFlooding",
     "MemorySweepPoint",

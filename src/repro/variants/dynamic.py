@@ -117,6 +117,78 @@ class EdgeFlipSchedule:
         return current
 
 
+def export_arc_schedule(schedule: GraphSchedule, rounds: int):
+    """Freeze a ``GraphSchedule`` into a fast-path ``ArcSchedule``.
+
+    Materialises the schedule's first ``rounds`` topologies, builds the
+    **superset graph** (every edge live in any sampled round, over the
+    shared node set) and encodes each round as an activation mask over
+    the superset's CSR arc slots -- the
+    :class:`repro.fastpath.schedule.ArcSchedule` format the
+    ``dynamic`` variant stepper executes.
+
+    ``rounds`` must cover the run: round ``r`` of the flood consults
+    the round-``r + 1`` topology for forwarding, so export
+    ``budget + 1`` rounds for a budget-``budget`` run.  Beyond the
+    horizon the frozen schedule holds its last mask -- exact for
+    :class:`StaticSchedule` and :class:`PeriodicSchedule`, which
+    instead export one full period with ``cycle_from=0`` (their frozen
+    form is exact for *every* round, any horizon).
+    """
+    # Local import: fastpath depends on graphs/rng only; variants
+    # depending on fastpath.schedule here keeps the layering acyclic.
+    from repro.fastpath.indexed import IndexedGraph
+    from repro.fastpath.schedule import ArcSchedule
+
+    if rounds < 1:
+        raise ConfigurationError("export_arc_schedule needs rounds >= 1")
+    cycle_from: Optional[int] = None
+    if isinstance(schedule, StaticSchedule):
+        graphs = [schedule.graph]
+        cycle_from = 0
+    elif isinstance(schedule, PeriodicSchedule):
+        graphs = list(schedule.graphs)
+        cycle_from = 0
+    else:
+        graphs = [schedule.graph_at(r) for r in range(1, rounds + 1)]
+
+    nodes = set(graphs[0].nodes())
+    for graph in graphs[1:]:
+        if set(graph.nodes()) != nodes:
+            raise ConfigurationError(
+                "all graphs in a schedule must share one node set"
+            )
+
+    edge_lists = [graph.edges() for graph in graphs]
+    union_edges: List[Tuple[Node, Node]] = []
+    seen: Set[frozenset] = set()
+    for edge_list in edge_lists:
+        for u, v in edge_list:
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                union_edges.append((u, v))
+    superset = Graph.from_edges(union_edges, isolated=graphs[0].nodes())
+    index = IndexedGraph.of(superset)
+
+    # One pass over the CSR arrays builds the directed-arc bit table;
+    # per-edge ``arc_slot`` lookups (a bisect each) would dominate the
+    # export on large schedules.
+    labels, offsets, targets = index.labels, index.offsets, index.targets
+    arc_bit: Dict[Tuple[Node, Node], int] = {}
+    for position, u in enumerate(labels):
+        for slot in range(offsets[position], offsets[position + 1]):
+            arc_bit[(u, labels[targets[slot]])] = 1 << slot
+
+    masks: List[int] = []
+    for edge_list in edge_lists:
+        mask = 0
+        for u, v in edge_list:
+            mask |= arc_bit[(u, v)] | arc_bit[(v, u)]
+        masks.append(mask)
+    return ArcSchedule(superset, tuple(masks), cycle_from)
+
+
 @dataclass
 class DynamicRun:
     """Result of a dynamic amnesiac flood.

@@ -24,7 +24,7 @@ Empirical findings (tested in ``tests/variants/test_periodic.py``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, NodeNotFoundError
@@ -48,6 +48,10 @@ class PeriodicRun:
     with no cycle certificate (on every graph measured the orbit
     resolves well inside the default budget; the budget exists so the
     uniform ``max_rounds`` rule holds on this variant too).
+    ``round_message_counts[r - 1]`` is the number of messages sent in
+    round ``r``; every counted round appears (including empty rounds of
+    the injection phase), so its length equals ``total_rounds`` and its
+    sum equals ``total_messages``.
     """
 
     source: Node
@@ -59,6 +63,7 @@ class PeriodicRun:
     total_messages: int
     limit_cycle_length: Optional[int]
     cut_off: bool = False
+    round_message_counts: List[int] = field(default_factory=list)
 
 
 def periodic_injection_flood(
@@ -99,6 +104,7 @@ def periodic_injection_flood(
     }
     frontier: Set[DirectedEdge] = set()
     total_messages = 0
+    round_counts: List[int] = []
     round_number = 0
 
     injection_rounds = [1 + i * period for i in range(injections)]
@@ -106,10 +112,12 @@ def periodic_injection_flood(
         while round_number + 1 < target_round:
             round_number += 1
             total_messages += len(frontier)
+            round_counts.append(len(frontier))
             frontier = step_frontier(graph, frontier)
         round_number += 1
         frontier |= source_edges
         total_messages += len(frontier)
+        round_counts.append(len(frontier))
         frontier = step_frontier(graph, frontier)
 
     # After the final injection: exact decision by memoisation, under
@@ -126,6 +134,7 @@ def periodic_injection_flood(
             cut_off = True
             break
         total_messages += len(frontier)
+        round_counts.append(len(frontier))
         frontier = step_frontier(graph, frontier)
         settle += 1
         key = frozenset(frontier)
@@ -145,6 +154,7 @@ def periodic_injection_flood(
         total_messages=total_messages,
         limit_cycle_length=cycle_length,
         cut_off=cut_off,
+        round_message_counts=round_counts,
     )
 
 

@@ -1,9 +1,10 @@
 """The string scenario registry: parsing, canonicalisation, execution.
 
-Variant-backed scenario strings must canonicalise into the same specs
-hand-built variants produce (so they batch together), and the
-set-based scenarios must reproduce their reference entry points
-exactly -- same records, same statistics, same budget rule.
+Every built-in scenario string must canonicalise into the same spec
+the hand-built variant constructor produces (so they batch together)
+and execute on the arc-mask fast path; :func:`run_scenario` must keep
+reproducing the pinned set-based reference entry points exactly --
+same records, same statistics, same budget rule.
 """
 
 import pytest
@@ -12,12 +13,12 @@ from repro.api import FloodSpec, scenario_names
 from repro.api.scenarios import register_scenario, run_scenario
 from repro.errors import ConfigurationError
 from repro.fastpath import bernoulli_loss, k_memory, thinning
+from repro.fastpath.variants import periodic_injection
 from repro.graphs import cycle_graph, paper_triangle
 from repro.rng import derive_key
 from repro.variants import (
     concurrent_floods,
     periodic_injection_flood,
-    random_delay_survey,
 )
 
 GRAPH = cycle_graph(9)
@@ -33,6 +34,7 @@ class TestRegistry:
             "periodic",
             "multi_message",
             "random_delay",
+            "dynamic",
         }
 
     def test_custom_scenario_registers_and_runs(self):
@@ -95,9 +97,13 @@ class TestVariantBackedScenarios:
         ) == FloodSpec.from_scenario("lossy:0.1", GRAPH, [0], seed=7)
 
 
-class TestSetBasedScenarios:
-    def test_periodic_matches_reference(self):
+class TestPortedScenarios:
+    """The ex-set-based scenarios, now variant-backed on the fast path."""
+
+    def test_periodic_reference_matches_legacy_engine(self):
         spec = FloodSpec.from_scenario("periodic:3,4", GRAPH, [0])
+        assert spec.scenario is None
+        assert spec.variant == periodic_injection(3, 4)
         result = run_scenario(spec)
         reference = periodic_injection_flood(
             GRAPH, 0, 3, 4, max_rounds=spec.max_rounds
@@ -106,11 +112,11 @@ class TestSetBasedScenarios:
         assert result.terminated == reference.terminates
         assert result.termination_round == reference.total_rounds
         assert result.total_messages == reference.total_messages
-        assert result.backend == "scenario:periodic"
+        assert result.backend == "reference:periodic"
 
     def test_periodic_default_injections(self):
         spec = FloodSpec.from_scenario("periodic:2", GRAPH, [0])
-        assert spec.scenario == "periodic:2,3"
+        assert spec.variant == periodic_injection(2, 3)
 
     def test_multi_message_matches_reference(self):
         spec = FloodSpec.from_scenario("multi_message", GRAPH, [0, 4])
@@ -122,19 +128,25 @@ class TestSetBasedScenarios:
         assert result.total_messages == trace.total_messages()
         assert result.terminated == trace.terminated
 
-    def test_random_delay_matches_reference_stream(self):
-        """Stream 0 of the scenario is trial 0 of the reference survey."""
+    def test_random_delay_fast_matches_reference_per_stream(self):
         triangle = paper_triangle()
-        spec = FloodSpec.from_scenario(
-            "random_delay:0.3", triangle, ["b"], seed=2, max_rounds=5_000
-        )
-        result = run_scenario(spec)
-        survey = random_delay_survey(
-            triangle, "b", 0.3, trials=1, seed=2, max_steps=5_000
-        )
-        assert result.terminated == (survey.termination_rate == 1.0)
-        if result.terminated:
-            assert result.termination_round == survey.mean_steps
+        from repro.api import FloodSession
+
+        with FloodSession(workers=0) as session:
+            for stream in (0, 1):
+                spec = FloodSpec.from_scenario(
+                    "random_delay:0.3",
+                    triangle,
+                    ["b"],
+                    seed=2,
+                    max_rounds=5_000,
+                    stream=stream,
+                )
+                fast = session.run(spec)
+                reference = session.run(spec, reference=True)
+                assert fast.terminated == reference.terminated
+                assert fast.termination_round == reference.termination_round
+                assert fast.round_edge_counts == reference.round_edge_counts
 
     def test_random_delay_default_budget_is_the_step_budget(self):
         """Unset max_rounds resolves to the ASYNC step budget, not the
@@ -166,30 +178,77 @@ class TestSetBasedScenarios:
             run1.round_edge_counts,
         )
 
-    def test_scenario_session_and_run_scenario_agree(self):
+    def test_session_reference_door_agrees_with_run_scenario(self):
         from repro.api import FloodSession
 
         spec = FloodSpec.from_scenario("periodic:3,4", GRAPH, [0])
         with FloodSession(workers=0) as session:
-            assert session.run(spec).raw == run_scenario(spec).raw
+            reference = session.run(spec, reference=True)
+            assert reference.raw == run_scenario(spec).raw
+            assert reference.backend == "reference:periodic"
+            fast = session.run(spec)
+            assert fast.backend == "pure"
+            assert fast.terminated == reference.terminated
+            assert fast.termination_round == reference.termination_round
+            assert fast.total_messages == reference.total_messages
 
-    def test_fast_path_refuses_set_based_scenarios(self):
+    def test_fast_path_runs_ported_scenarios(self):
         from repro.fastpath import run_spec
 
         spec = FloodSpec.from_scenario("periodic:3", GRAPH, [0])
-        with pytest.raises(ConfigurationError, match="scenario"):
-            run_spec(spec)
+        run = run_spec(spec)
+        assert run.backend == "pure"
+        reference = run_scenario(spec)
+        assert run.terminated == reference.terminated
+        assert run.total_messages == reference.total_messages
 
-    def test_service_refuses_set_based_scenarios(self):
+    def test_fast_path_refuses_extension_scenario_strings(self):
+        """Extensions without a stepper keep the run_scenario seam --
+        and every other tier keeps refusing their canonical strings."""
+        from repro.fastpath import run_spec
+
+        def binder(args, kwargs, spec):
+            return None, "setonly"
+
+        def runner(spec):
+            from repro.api.result import FloodResult
+
+            return FloodResult(
+                spec=spec,
+                backend="scenario:setonly",
+                terminated=True,
+                termination_round=0,
+                total_messages=0,
+                round_edge_counts=[],
+            )
+
+        register_scenario("setonly", binder, runner)
+        try:
+            spec = FloodSpec.from_scenario("setonly", GRAPH, [0])
+            assert spec.scenario == "setonly"
+            with pytest.raises(ConfigurationError, match="scenario"):
+                run_spec(spec)
+            assert run_scenario(spec).terminated
+        finally:
+            from repro.api import scenarios
+
+            scenarios._BINDERS.pop("setonly", None)
+            scenarios._RUNNERS.pop("setonly", None)
+
+    def test_service_runs_ported_scenarios(self):
         import asyncio
 
         from repro.service import FloodService
 
-        spec = FloodSpec.from_scenario("multi_message", GRAPH, [0])
+        spec = FloodSpec.from_scenario("multi_message", GRAPH, [0, 4])
+        reference = run_scenario(spec)
 
         async def main():
             async with FloodService(workers=0) as service:
-                with pytest.raises(ConfigurationError, match="scenario"):
-                    await service.query_spec(spec)
+                return await service.query_spec(spec)
 
-        asyncio.run(main())
+        run = asyncio.run(main())
+        assert run.terminated == reference.terminated
+        assert run.termination_round == reference.termination_round
+        assert run.total_messages == reference.total_messages
+        assert run.round_edge_counts == reference.round_edge_counts

@@ -155,14 +155,21 @@ class TestValidationMatrix:
         with pytest.raises(ConfigurationError):
             FloodSpec(graph=GRAPH, sources=(0,), scenario="lossy:1.5")
 
-    def test_set_based_scenario_rejects_explicit_backend(self):
-        with pytest.raises(ConfigurationError, match="backend"):
-            FloodSpec(
-                graph=GRAPH,
-                sources=(0,),
-                scenario="periodic:3",
-                backend="pure",
-            )
+    def test_ported_scenario_backend_rules(self):
+        # Built-in scenarios are variant-backed now: the pure stepper
+        # is legal to pin, the deterministic-only engines still raise.
+        spec = FloodSpec(
+            graph=GRAPH, sources=(0,), scenario="periodic:3", backend="pure"
+        )
+        assert spec.backend == "pure"
+        for backend in ("oracle", "numpy"):
+            with pytest.raises(ConfigurationError, match=backend):
+                FloodSpec(
+                    graph=GRAPH,
+                    sources=(0,),
+                    scenario="periodic:3",
+                    backend=backend,
+                )
 
     def test_periodic_scenario_needs_one_source(self):
         with pytest.raises(ConfigurationError, match="periodic"):
