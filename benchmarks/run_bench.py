@@ -75,6 +75,14 @@ FASTPATH_PREFIXES = (
     "test_ext_ap_",
     "test_ext_cache_",
 )
+TRAJECTORY_OPTIONAL = (
+    # The forced-failure benchmark is an exit-code canary: it is always
+    # skipped unless REPRO_BENCH_FORCE_FAIL is set, so it never produces
+    # a trajectory row.  Read by the REP302 bench-coverage lint rule --
+    # every other family matching FASTPATH_PREFIXES must have a row in
+    # BENCH_fastpath.json.
+    "test_ext_par_forced_failure",
+)
 EXTRA_ROW_KEYS = (
     "workers",
     "batch",

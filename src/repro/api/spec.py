@@ -58,6 +58,41 @@ deliberately does **not** participate in :meth:`FloodSpec.digest` --
 it says how to treat the cache entry, not which entry the request
 names."""
 
+DIGEST_EXCLUDED = frozenset({"cache"})
+"""The :class:`FloodSpec` fields deliberately absent from :meth:`FloodSpec.digest`.
+
+Read by the ``REP201`` digest-coverage lint rule: every dataclass field
+must either appear in the digest payload or be listed here with its
+reason.  ``cache`` is the transport *policy* -- how to treat the cache
+entry, never which entry the request names (see :data:`CACHE_MODES`);
+putting it in the digest would split identical results across three
+cache addresses."""
+
+BATCH_KEY_EXCLUDED = frozenset(
+    {"graph", "sources", "backend", "probe", "scenario", "stream"}
+)
+"""Digest-participating fields deliberately absent from :meth:`FloodSpec.batch_key`.
+
+Read by the ``REP202`` batch-key-coverage lint rule: every field the
+digest covers must either split the coalescing bucket (be read by
+``batch_key()``) or be declared bucket-irrelevant here.  The reasons:
+
+* ``graph`` / ``sources`` -- batching is *per graph entry* (the bucket
+  key pairs the entry with the ``BatchKey``) and a batch is exactly a
+  set of source lists sharing everything else, so neither belongs in
+  the shared projection.
+* ``backend`` -- reaches :class:`BatchKey` as the *resolved* backend
+  parameter; the raw field still contains ``None`` (auto) after
+  routing decided.
+* ``probe`` -- a routing input, fully consumed in producing that
+  resolved backend before ``batch_key()`` is called.
+* ``scenario`` -- extension-scenario specs run on the reference
+  engines and are rejected by the batching service before any bucket
+  is chosen.
+* ``stream`` -- the per-request RNG position; requests on different
+  streams batch together by design, each carrying its own
+  ``run_key()`` into the pool."""
+
 
 @dataclass(frozen=True)
 class BatchKey:

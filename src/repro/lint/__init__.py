@@ -17,29 +17,66 @@ REP004    memo-cache attributes with no ``__getstate__`` strip
 REP005    ``object.__setattr__`` on frozen dataclasses post-construction
 REP006    integer-literal round/step budget defaults
 REP007    wall-clock / module-level mutable state in worker modules
+REP101    registered futures with settle-free ``except`` branches
+REP102    ``await`` between future registration and settlement guard
+REP103    blocking calls (``time.sleep``, file I/O...) in ``async def``
+========  ===========================================================
+
+Plus the *project* rules, which run once per tree against a
+:class:`~repro.lint.project.ProjectContext` (``--project``, default on
+for directory targets):
+
+========  ===========================================================
+REP201    ``FloodSpec`` fields outside ``digest()`` + ``DIGEST_EXCLUDED``
+REP202    digest fields outside ``batch_key()`` + ``BATCH_KEY_EXCLUDED``
+REP301    scenarios/backends missing from the equivalence matrix
+REP302    trajectory bench families without a ``BENCH_fastpath.json`` row
 ========  ===========================================================
 
 Usage::
 
-    python -m repro.lint src/ [--rule REP001] [--format text|json]
+    python -m repro.lint src/ [--rule REP001] [--format text|json|sarif]
     some_code()  # repro-lint: disable=REP002 -- why this is safe
 
 The analyzer is itself deterministic: findings sort by ``(path, line,
 col, rule)`` and nothing in the pipeline depends on ``PYTHONHASHSEED``
 or directory walk order.  The full contract, rule rationale, and the
-historical bug each rule encodes live in ``docs/determinism.md``.
+historical bug each rule encodes live in ``docs/determinism.md`` and
+``docs/static-analysis.md``.
 """
 
 from repro.lint.findings import Finding, sort_findings
-from repro.lint.registry import Rule, all_rules, register_rule, rule_docs
-from repro.lint.walker import lint_paths, lint_source
+from repro.lint.project import (
+    ProjectContext,
+    build_project,
+    find_project_root,
+    lint_project,
+)
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    register_project_rule,
+    register_rule,
+    rule_docs,
+)
+from repro.lint.walker import lint_files, lint_paths, lint_source
 
 __all__ = [
     "Finding",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "build_project",
+    "find_project_root",
+    "lint_files",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "register_project_rule",
     "register_rule",
     "rule_docs",
     "sort_findings",

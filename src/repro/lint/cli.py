@@ -1,22 +1,46 @@
 """The ``python -m repro.lint`` command line.
 
+Two passes: the *file* pass runs the per-file AST rules over every
+discovered ``.py`` file, and the *project* pass (``--project``, on by
+default when any target is a directory) builds one
+:class:`~repro.lint.project.ProjectContext` and runs the cross-module
+contract rules against it.  ``--changed-only`` scopes the file pass to
+git's working-tree delta while the project pass stays whole-tree.
+
 Exit codes follow the convention of the other gates in this repo:
 
 * ``0`` -- clean (no unsuppressed, unbaselined findings)
 * ``1`` -- findings reported
-* ``2`` -- usage or I/O error (bad rule id, unreadable baseline...)
+* ``2`` -- usage or I/O error (unknown rule id, unreadable baseline,
+  ``--changed-only`` outside a git checkout...)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.changed import ChangedOnlyError, restrict_to_changed
+from repro.lint.findings import sort_findings
+from repro.lint.project import lint_project
 from repro.lint.registry import known_rule_ids, rule_docs
-from repro.lint.report import render_json, render_text
-from repro.lint.walker import discover_files, lint_paths
+from repro.lint.report import (
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.lint.walker import discover_files, lint_files
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+    "github": render_github,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,8 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "AST-based determinism and cross-process-safety analyzer for "
-            "the flooding reproduction (rules REP001-REP007; see "
-            "docs/determinism.md)"
+            "the flooding reproduction (file rules REP001-REP103, project "
+            "rules REP201-REP302; see docs/determinism.md and "
+            "docs/static-analysis.md)"
         ),
     )
     parser.add_argument(
@@ -42,6 +67,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to one rule id (repeatable)",
     )
     parser.add_argument(
+        "--project",
+        dest="project",
+        action="store_true",
+        default=None,
+        help=(
+            "run the cross-module project rules too "
+            "(default: on when any target is a directory)"
+        ),
+    )
+    parser.add_argument(
+        "--no-project",
+        dest="project",
+        action="store_false",
+        help="skip the project rules",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "file pass: only files git reports changed vs HEAD (plus "
+            "untracked); the project pass still sees the whole tree"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         metavar="FILE",
         help="subtract the findings recorded in this baseline file",
@@ -53,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="report format (default: text)",
     )
@@ -74,7 +123,8 @@ def _list_rules() -> str:
     lines = []
     for doc in rule_docs():
         scope = f" [scope: {', '.join(doc.scope)}]" if doc.scope else ""
-        lines.append(f"{doc.rule_id}  {doc.name}: {doc.summary}{scope}")
+        kind = " [project]" if doc.kind == "project" else ""
+        lines.append(f"{doc.rule_id}  {doc.name}: {doc.summary}{kind}{scope}")
     return "\n".join(lines) + "\n"
 
 
@@ -87,17 +137,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rules: Optional[List[str]] = options.rules
     if rules is not None:
         known = known_rule_ids()
-        for rule_id in rules:
-            if rule_id not in known:
-                parser.error(
-                    f"unknown rule {rule_id!r}; known rules: {', '.join(known)}"
-                )
+        unknown = sorted(set(rules) - set(known))
+        if unknown:
+            names = ", ".join(repr(rule_id) for rule_id in unknown)
+            sys.stderr.write(
+                f"repro.lint: unknown rule {names}; "
+                f"known rules: {', '.join(known)}\n"
+            )
+            return 2
+    project_enabled = options.project
+    if project_enabled is None:
+        project_enabled = any(os.path.isdir(path) for path in options.paths)
     try:
         files = discover_files(options.paths)
-        findings = lint_paths(options.paths, rules)
     except (FileNotFoundError, OSError) as exc:
         sys.stderr.write(f"repro.lint: {exc}\n")
         return 2
+    if options.changed_only:
+        try:
+            files = restrict_to_changed(files)
+        except ChangedOnlyError as exc:
+            sys.stderr.write(f"repro.lint: {exc}\n")
+            return 2
+    try:
+        findings = lint_files(files, rules)
+    except OSError as exc:
+        sys.stderr.write(f"repro.lint: {exc}\n")
+        return 2
+    if project_enabled:
+        findings = sort_findings(
+            findings + lint_project(options.paths, rules)
+        )
     if options.write_baseline:
         write_baseline(options.write_baseline, findings)
         sys.stderr.write(
@@ -112,11 +182,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sys.stderr.write(f"repro.lint: {exc}\n")
             return 2
         findings = apply_baseline(findings, baselined)
-    rendered = (
-        render_json(findings, len(files))
-        if options.format == "json"
-        else render_text(findings, len(files))
-    )
+    rendered = _RENDERERS[options.format](findings, len(files))
     if options.output:
         with open(options.output, "w", encoding="utf-8") as handle:
             handle.write(rendered)

@@ -1,0 +1,238 @@
+"""Intra-function dataflow over asyncio futures, for REP101/REP102.
+
+The bug class (shipped in PR 8, fixed by settlement-order discipline in
+``service.py``): a coalescing future is created with
+``loop.create_future()`` and *registered* into a pending table
+(``self._inflight[key] = fut``) so later requests can join it -- and
+then an exception path exits without ever settling it.  Every joiner
+awaits a future nobody will resolve.  The cure is mechanical: every
+``except`` branch overlapping the at-risk window must settle the future
+(``set_result``/``set_exception``/``cancel``) or hand it off to
+something that owns settlement.
+
+This module is the shared lifecycle analysis.  Per function it finds
+each ``var = <expr>.create_future()`` assignment and classifies every
+subsequent mention of ``var`` in the same scope (nested ``def``/
+``lambda``/``class`` bodies are separate scopes and are skipped):
+
+* **registration** -- ``var`` stored through a subscript or attribute
+  target (``table[key] = var``, ``self._slot = var``): the future is
+  now visible to other coroutines, so this function is on the hook for
+  settling it until it hands that duty away.
+* **settlement** -- ``var.set_result(...)`` / ``var.set_exception(...)``
+  / ``var.cancel()``.
+* **hand-off** -- ``var`` passed as a call argument (at any nesting
+  depth: ``waiters.append((n, var))`` counts), returned, or yielded.
+  Responsibility transfers to the callee/caller; tracking ends at the
+  first hand-off.
+
+The analysis is deliberately lexical (line spans, not a real CFG): the
+service code it guards is straight-line with ``try`` blocks, and a
+lexical over-approximation keeps the rule implementable, predictable
+and fast.  Rules consume :class:`FutureFlow` plus the coverage helpers
+below; the flag decisions live in the rule modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+SETTLE_METHODS = ("set_result", "set_exception", "cancel")
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class FutureFlow:
+    """The lifecycle of one ``create_future()`` variable in one function.
+
+    Line numbers are 1-based and lexical; ``registrations``/``settles``/
+    ``handoffs`` are sorted.  ``end_line()`` is where this function's
+    settlement duty lexically ends (the first hand-off, else the end of
+    the function).
+    """
+
+    name: str
+    created_line: int
+    created_col: int
+    registrations: Tuple[int, ...]
+    settles: Tuple[int, ...]
+    handoffs: Tuple[int, ...]
+    function_end: int
+
+    def first_registration(self) -> Optional[int]:
+        return self.registrations[0] if self.registrations else None
+
+    def end_line(self) -> int:
+        return self.handoffs[0] if self.handoffs else self.function_end
+
+    def is_dead(self) -> bool:
+        """Created but never registered, settled, or handed off."""
+        return not (self.registrations or self.settles or self.handoffs)
+
+
+def walk_scope(func: FunctionNode) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested scopes."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_BARRIERS):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function/method in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _name_occurs(node: ast.AST, name: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False
+
+
+def is_settle_call(node: ast.AST, name: str) -> bool:
+    """``name.set_result(...)`` / ``name.set_exception(...)`` / ``name.cancel()``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in SETTLE_METHODS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == name
+    )
+
+
+def is_handoff(node: ast.AST, name: str) -> bool:
+    """``name`` given away: as a call argument (any depth), returned, yielded."""
+    if isinstance(node, ast.Call) and not is_settle_call(node, name):
+        arguments: List[ast.AST] = list(node.args)
+        arguments.extend(keyword.value for keyword in node.keywords)
+        return any(_name_occurs(argument, name) for argument in arguments)
+    if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+        return node.value is not None and _name_occurs(node.value, name)
+    return False
+
+
+def _is_registration(node: ast.AST, name: str) -> bool:
+    if not isinstance(node, ast.Assign):
+        return False
+    if not _name_occurs(node.value, name):
+        return False
+    return any(
+        isinstance(target, (ast.Subscript, ast.Attribute))
+        for target in node.targets
+    )
+
+
+def _is_create_future_assign(node: ast.AST) -> Optional[Tuple[str, ast.Assign]]:
+    if (
+        isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+        and isinstance(node.value, ast.Call)
+        and isinstance(node.value.func, ast.Attribute)
+        and node.value.func.attr == "create_future"
+    ):
+        return node.targets[0].id, node
+    return None
+
+
+def _node_end(node: ast.AST) -> int:
+    end = getattr(node, "end_lineno", None)
+    return end if end is not None else getattr(node, "lineno", 0)
+
+
+def future_flows(func: FunctionNode) -> List[FutureFlow]:
+    """Every ``create_future()`` variable's lifecycle within ``func``."""
+    creations: List[Tuple[str, ast.Assign]] = []
+    for node in walk_scope(func):
+        found = _is_create_future_assign(node)
+        if found is not None:
+            creations.append(found)
+    flows: List[FutureFlow] = []
+    function_end = _node_end(func)
+    for name, assign in creations:
+        registrations: List[int] = []
+        settles: List[int] = []
+        handoffs: List[int] = []
+        for node in walk_scope(func):
+            line = getattr(node, "lineno", 0)
+            if line <= assign.lineno and node is not assign:
+                # Lexical window: only events at/after creation count.
+                # (A same-named future from an earlier loop iteration is
+                # the same variable; re-creation restarts its window.)
+                if line < assign.lineno:
+                    continue
+            if node is assign:
+                continue
+            if _is_registration(node, name):
+                registrations.append(line)
+            elif is_settle_call(node, name):
+                settles.append(line)
+            elif is_handoff(node, name):
+                handoffs.append(line)
+        flows.append(
+            FutureFlow(
+                name=name,
+                created_line=assign.lineno,
+                created_col=assign.col_offset + 1,
+                registrations=tuple(sorted(registrations)),
+                settles=tuple(sorted(settles)),
+                handoffs=tuple(sorted(handoffs)),
+                function_end=function_end,
+            )
+        )
+    return sorted(flows, key=lambda flow: (flow.created_line, flow.name))
+
+
+# ---------------------------------------------------------------------------
+# try/except coverage
+# ---------------------------------------------------------------------------
+
+
+def scope_tries(func: FunctionNode) -> List[ast.Try]:
+    """Every ``try`` statement in ``func``'s own scope, by line order."""
+    tries = [node for node in walk_scope(func) if isinstance(node, ast.Try)]
+    return sorted(tries, key=lambda node: node.lineno)
+
+
+def try_body_span(node: ast.Try) -> Tuple[int, int]:
+    """The 1-based line span of the ``try:`` body (not handlers/finally)."""
+    start = node.body[0].lineno if node.body else node.lineno
+    end = _node_end(node.body[-1]) if node.body else node.lineno
+    return start, end
+
+
+def block_covers(statements: Sequence[ast.stmt], name: str) -> bool:
+    """Does this block settle or hand off ``name`` on some path through it?"""
+    for statement in statements:
+        for node in ast.walk(statement):
+            if isinstance(node, _SCOPE_BARRIERS):
+                continue
+            if is_settle_call(node, name) or is_handoff(node, name):
+                return True
+    return False
+
+
+def uncovered_handlers(node: ast.Try, name: str) -> List[ast.ExceptHandler]:
+    """The ``except`` clauses that neither settle nor hand off ``name``.
+
+    A ``finally`` block that covers ``name`` covers every handler (and
+    the no-handler propagation path), so it empties the result.
+    """
+    if block_covers(node.finalbody, name):
+        return []
+    return [
+        handler
+        for handler in node.handlers
+        if not block_covers(handler.body, name)
+    ]

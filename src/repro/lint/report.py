@@ -1,9 +1,12 @@
-"""Report rendering: ``text`` for humans, ``json`` for CI artifacts.
+"""Report rendering: ``text`` for humans, ``json``/``sarif`` for CI
+artifacts, ``github`` for workflow annotations.
 
-Both formats consume findings already in canonical order and add
+Every format consumes findings already in canonical order and adds
 nothing nondeterministic (no timestamps, no absolute paths, no
 environment echoes), so a report is a pure function of the tree --
-CI uploads the JSON artifact and diffs between runs are meaningful.
+CI uploads the JSON/SARIF artifacts and diffs between runs are
+meaningful, and the hash-seed subprocess test holds all four formats
+byte-identical.
 """
 
 from __future__ import annotations
@@ -12,8 +15,12 @@ import json
 from typing import Dict, List, Sequence
 
 from repro.lint.findings import Finding
+from repro.lint.registry import rule_docs
 
 REPORT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def counts_by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
@@ -50,3 +57,77 @@ def render_json(findings: Sequence[Finding], files_checked: int) -> str:
         "findings": [finding.as_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings: Sequence[Finding], files_checked: int) -> str:
+    """SARIF 2.1.0, the format GitHub code scanning ingests.
+
+    The driver advertises every registered rule (sorted by id, so the
+    rule table is stable even when a run has no findings); each finding
+    becomes one ``error``-level result.  ``files_checked`` is not
+    representable in SARIF and is deliberately dropped rather than
+    smuggled into a property bag CI would never read.
+    """
+    del files_checked
+    rules = [
+        {
+            "id": doc.rule_id,
+            "name": doc.name,
+            "shortDescription": {"text": doc.summary},
+        }
+        for doc in rule_docs()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_github(findings: Sequence[Finding], files_checked: int) -> str:
+    """GitHub Actions workflow commands: one ``::error`` line per finding.
+
+    Emitted to stdout by the CI lint step so findings surface as inline
+    PR annotations.  Clean runs produce a single summary line (a
+    workflow command with no findings would be empty output, which
+    reads as a broken step).
+    """
+    if not findings:
+        return f"clean: 0 findings in {files_checked} files\n"
+    lines = [
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.rule}::{finding.message}"
+        for finding in findings
+    ]
+    return "\n".join(lines) + "\n"

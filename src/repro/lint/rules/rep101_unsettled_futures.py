@@ -1,0 +1,100 @@
+"""REP101: a registered future with an exception path that never settles it.
+
+The PR 8 bug class.  ``FloodService`` coalesces identical in-flight
+queries by registering a ``loop.create_future()`` into a pending table;
+every later identical request *joins* that future instead of executing.
+If the leader's admission or submission then fails and the ``except``
+branch exits without settling the pending future, every joiner awaits
+a future nobody will ever resolve -- a silent deadlock that only shows
+up under concurrent load.
+
+Two shapes are flagged (lifecycle model in :mod:`repro.lint.flow`):
+
+* a future that is created and then never registered, settled, or
+  handed off at all -- a dead future nobody can resolve;
+* a *registered* future whose at-risk window (registration up to the
+  first hand-off) overlaps a ``try`` whose ``except`` branch neither
+  settles the future nor hands it off (a covering ``finally`` counts
+  for every handler).
+
+Settling the pending future *before* touching caller futures -- the
+PR 8 fix -- is exactly the pattern that passes: the settle/hand-off
+mention in each handler is the evidence the rule looks for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.flow import (
+    future_flows,
+    iter_functions,
+    scope_tries,
+    try_body_span,
+    uncovered_handlers,
+)
+from repro.lint.registry import FileContext, Rule, register_rule
+
+RULE_ID = "REP101"
+
+
+def check(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for func in iter_functions(tree):
+        tries = scope_tries(func)
+        for flow in future_flows(func):
+            if flow.is_dead():
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=flow.created_line,
+                        col=flow.created_col,
+                        rule=RULE_ID,
+                        message=(
+                            f"future {flow.name!r} is created but never "
+                            "settled, registered, or handed off; nothing "
+                            "can ever resolve it"
+                        ),
+                    )
+                )
+                continue
+            first_registration = flow.first_registration()
+            if first_registration is None:
+                continue
+            window_end = flow.end_line()
+            for try_node in tries:
+                body_start, body_end = try_body_span(try_node)
+                if body_end < first_registration or body_start > window_end:
+                    continue
+                for handler in uncovered_handlers(try_node, flow.name):
+                    findings.append(
+                        Finding(
+                            path=ctx.path,
+                            line=handler.lineno,
+                            col=handler.col_offset + 1,
+                            rule=RULE_ID,
+                            message=(
+                                f"except branch leaves registered future "
+                                f"{flow.name!r} unsettled; joiners of the "
+                                "pending table will await it forever -- "
+                                "settle it (set_exception) or hand it off "
+                                "on this branch"
+                            ),
+                        )
+                    )
+    return findings
+
+
+register_rule(
+    Rule(
+        rule_id=RULE_ID,
+        name="unsettled-futures",
+        summary=(
+            "a registered create_future() has an except branch that "
+            "neither settles nor hands it off"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,92 @@
+"""REP201: every ``FloodSpec`` field flows into ``digest()`` or is excluded.
+
+The cache-aliasing bug class.  The result cache keys on the spec
+digest; a dataclass field that never reaches the ``digest()`` payload
+makes two *different* requests share one cache entry, and the second
+silently gets the first's answer.  PR 8 shipped the one sanctioned
+exception -- ``cache`` is a transport policy, not an input -- and the
+exception lives in an explicit ``DIGEST_EXCLUDED`` frozenset next to
+the class, which this rule reads.  Adding a field without routing it
+into the digest (or consciously excluding it with a reason on the
+frozenset) is a finding at the field's declaration.
+
+The frozenset is also held honest both ways: an entry naming a
+non-existent field is stale, and an entry naming a field the digest
+*does* read is a contradiction -- both are findings at the frozenset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+from repro.lint.registry import ProjectRule, register_project_rule
+
+RULE_ID = "REP201"
+
+
+def check(ctx: ProjectContext) -> Iterable[Finding]:
+    spec = ctx.spec
+    if spec is None or not spec.has_digest:
+        return []
+    findings: List[Finding] = []
+    digest_fields = set(spec.digest_fields)
+    excluded = set(spec.digest_excluded)
+    for field_name, line in sorted(spec.fields.items()):
+        if field_name in digest_fields or field_name in excluded:
+            continue
+        findings.append(
+            Finding(
+                path=spec.path,
+                line=line,
+                col=1,
+                rule=RULE_ID,
+                message=(
+                    f"FloodSpec field {field_name!r} reaches neither the "
+                    "digest() payload nor DIGEST_EXCLUDED; two specs "
+                    "differing only in it would alias one cache entry"
+                ),
+            )
+        )
+    for field_name in sorted(excluded):
+        if field_name not in spec.fields:
+            findings.append(
+                Finding(
+                    path=spec.path,
+                    line=spec.digest_excluded_line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"DIGEST_EXCLUDED names {field_name!r}, which is "
+                        "not a FloodSpec field; remove the stale entry"
+                    ),
+                )
+            )
+        elif field_name in digest_fields:
+            findings.append(
+                Finding(
+                    path=spec.path,
+                    line=spec.digest_excluded_line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"DIGEST_EXCLUDED names {field_name!r}, but "
+                        "digest() reads it; drop the contradictory entry"
+                    ),
+                )
+            )
+    return findings
+
+
+register_project_rule(
+    ProjectRule(
+        rule_id=RULE_ID,
+        name="digest-coverage",
+        summary=(
+            "a FloodSpec field is missing from both the digest() payload "
+            "and DIGEST_EXCLUDED"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,95 @@
+"""REP202: every digest-participating field reaches ``batch_key()`` or
+a declared exclusion.
+
+The coalescing-misbucket bug class.  The service micro-batches requests
+by ``batch_key()``: two requests sharing a bucket are executed as one
+sharded sweep, so every spec field that changes the *answer* (i.e.
+participates in the digest) must either split the bucket (be read by
+``batch_key()``) or be declared bucket-irrelevant in an explicit
+``BATCH_KEY_EXCLUDED`` frozenset with the reason recorded next to it.
+A field in the digest but silently absent from both is how requests
+with different semantics end up fused into one execution.
+
+Like REP201's frozenset, ``BATCH_KEY_EXCLUDED`` is held honest: stale
+entries (not a field) and contradictions (``batch_key()`` reads it) are
+findings at the frozenset assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+from repro.lint.registry import ProjectRule, register_project_rule
+
+RULE_ID = "REP202"
+
+
+def check(ctx: ProjectContext) -> Iterable[Finding]:
+    spec = ctx.spec
+    if spec is None or not (spec.has_digest and spec.has_batch_key):
+        return []
+    findings: List[Finding] = []
+    digest_fields = set(spec.digest_fields)
+    batch_fields = set(spec.batch_key_fields)
+    excluded = set(spec.batch_key_excluded)
+    for field_name, line in sorted(spec.fields.items()):
+        if field_name not in digest_fields:
+            continue  # not answer-bearing; REP201's problem if wrong
+        if field_name in batch_fields or field_name in excluded:
+            continue
+        findings.append(
+            Finding(
+                path=spec.path,
+                line=line,
+                col=1,
+                rule=RULE_ID,
+                message=(
+                    f"digest field {field_name!r} reaches neither "
+                    "batch_key() nor BATCH_KEY_EXCLUDED; requests "
+                    "differing in it could coalesce into one bucket"
+                ),
+            )
+        )
+    for field_name in sorted(excluded):
+        if field_name not in spec.fields:
+            findings.append(
+                Finding(
+                    path=spec.path,
+                    line=spec.batch_key_excluded_line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"BATCH_KEY_EXCLUDED names {field_name!r}, which "
+                        "is not a FloodSpec field; remove the stale entry"
+                    ),
+                )
+            )
+        elif field_name in batch_fields:
+            findings.append(
+                Finding(
+                    path=spec.path,
+                    line=spec.batch_key_excluded_line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"BATCH_KEY_EXCLUDED names {field_name!r}, but "
+                        "batch_key() reads it; drop the contradictory entry"
+                    ),
+                )
+            )
+    return findings
+
+
+register_project_rule(
+    ProjectRule(
+        rule_id=RULE_ID,
+        name="batch-key-coverage",
+        summary=(
+            "a digest-participating FloodSpec field is missing from both "
+            "batch_key() and BATCH_KEY_EXCLUDED"
+        ),
+        check=check,
+    )
+)

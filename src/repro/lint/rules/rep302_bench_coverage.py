@@ -1,0 +1,81 @@
+"""REP302: every trajectory-scoped bench family has a committed row.
+
+``BENCH_fastpath.json`` is the perf trajectory future PRs diff against;
+a ``test_ext_*`` benchmark that matches ``run_bench.py``'s
+``FASTPATH_PREFIXES`` but has no row in the committed file is a perf
+surface with no baseline -- its first regression is invisible because
+there is nothing to diff.  The escape hatch is declarative, like the
+spec-coverage frozensets: ``run_bench.py`` may list always-skipped or
+environment-gated families in a ``TRAJECTORY_OPTIONAL`` tuple, and the
+tuple is held honest (an entry matching no defined family is stale).
+
+Rows are matched by family: the committed ``benchmark`` names are
+stripped of their ``[param]`` suffix, so one row covers the whole
+parametrization.  Findings attach to the benchmark definition (missing
+row) or the ``TRAJECTORY_OPTIONAL`` assignment (stale entry).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+from repro.lint.registry import ProjectRule, register_project_rule
+
+RULE_ID = "REP302"
+
+
+def check(ctx: ProjectContext) -> Iterable[Finding]:
+    bench = ctx.bench
+    if bench is None or not bench.trajectory_present:
+        return []
+    findings: List[Finding] = []
+    committed = set(bench.trajectory_families)
+    optional = set(bench.optional)
+    family_names = {family.value for family in bench.families}
+    for family in bench.families:
+        if family.value in committed or family.value in optional:
+            continue
+        findings.append(
+            Finding(
+                path=family.path,
+                line=family.line,
+                col=1,
+                rule=RULE_ID,
+                message=(
+                    f"bench family {family.value!r} matches the trajectory "
+                    "prefixes but has no row in BENCH_fastpath.json; "
+                    "regenerate the trajectory or declare it in "
+                    "TRAJECTORY_OPTIONAL"
+                ),
+            )
+        )
+    for name in sorted(optional):
+        if name not in family_names:
+            findings.append(
+                Finding(
+                    path=bench.runner_path,
+                    line=bench.optional_line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"TRAJECTORY_OPTIONAL names {name!r}, which matches "
+                        "no defined bench family; remove the stale entry"
+                    ),
+                )
+            )
+    return findings
+
+
+register_project_rule(
+    ProjectRule(
+        rule_id=RULE_ID,
+        name="bench-coverage",
+        summary=(
+            "a trajectory-scoped bench family has no row in "
+            "BENCH_fastpath.json and no TRAJECTORY_OPTIONAL entry"
+        ),
+        check=check,
+    )
+)

@@ -105,14 +105,22 @@ def lint_source(
     return sort_findings(findings)
 
 
+def lint_files(
+    files: Sequence[str],
+    rule_ids: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyse an explicit, already-discovered file list."""
+    findings: List[Finding] = []
+    for filename in sorted(set(files)):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, filename, rule_ids))
+    return sort_findings(findings)
+
+
 def lint_paths(
     paths: Sequence[str],
     rule_ids: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
     """Analyse every ``.py`` file under ``paths`` (sorted, deduplicated)."""
-    findings: List[Finding] = []
-    for filename in discover_files(paths):
-        with open(filename, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        findings.extend(lint_source(source, filename, rule_ids))
-    return sort_findings(findings)
+    return lint_files(discover_files(paths), rule_ids)

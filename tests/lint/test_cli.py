@@ -54,10 +54,11 @@ def test_rule_filter_restricts_output(dirty_tree, capsys):
     assert "REP003" not in out
 
 
-def test_unknown_rule_is_a_usage_error(dirty_tree, capsys):
-    with pytest.raises(SystemExit) as excinfo:
-        main([str(dirty_tree), "--rule", "REP999"])
-    assert excinfo.value.code == 2
+def test_unknown_rule_is_a_usage_error_naming_the_id(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--rule", "REP999"]) == 2
+    err = capsys.readouterr().err
+    assert "REP999" in err
+    assert "known rules" in err
 
 
 def test_missing_path_exits_two(tmp_path, capsys):
@@ -92,16 +93,90 @@ def test_baseline_round_trip_through_the_cli(dirty_tree, tmp_path, capsys):
 def test_list_rules_names_every_rule(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+    file_rules = (
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007", "REP101", "REP102", "REP103",
+    )
+    for rule_id in file_rules:
         assert rule_id in out
+    for rule_id in ("REP201", "REP202", "REP301", "REP302"):
+        assert rule_id in out
+        line = next(l for l in out.splitlines() if l.startswith(rule_id))
+        assert "[project]" in line
 
 
-def _cli_json(tree: Path, hash_seed: str) -> bytes:
+def test_sarif_format_schema(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert "REP301" in rule_ids
+    result = run["results"][0]
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("alpha.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_github_format_emits_error_annotations(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert ",title=REP003::" in out
+
+
+def test_no_project_flag_skips_the_project_pass(dirty_tree, capsys):
+    # Fixture trees have no src/repro layout, so the project pass is a
+    # no-op either way -- this pins that both spellings parse and agree.
+    assert main([str(dirty_tree), "--no-project"]) == 1
+    first = capsys.readouterr().out
+    assert main([str(dirty_tree), "--project"]) == 1
+    assert capsys.readouterr().out == first
+
+
+def _run_git(cwd: Path, *arguments: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=l@i.nt", "-c", "user.name=lint", *arguments],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_only_scopes_the_file_pass(tmp_path, monkeypatch, capsys):
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "committed.py").write_text("import random\n")
+    _run_git(tmp_path, "init", "-q")
+    _run_git(tmp_path, "add", ".")
+    _run_git(tmp_path, "commit", "-qm", "seed")
+    (package / "fresh.py").write_text("import secrets\n")
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--changed-only"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+    assert "committed.py" not in out
+
+
+def test_changed_only_outside_git_is_a_usage_error(tmp_path, monkeypatch, capsys):
+    package = tmp_path / "repro"
+    package.mkdir()
+    (package / "x.py").write_text("X = 1\n")
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-git-dir"))
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--changed-only"]) == 2
+    assert "--changed-only" in capsys.readouterr().err
+
+
+def _cli_report(tree: Path, hash_seed: str, fmt: str) -> bytes:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC
     env["PYTHONHASHSEED"] = hash_seed
     proc = subprocess.run(
-        [sys.executable, "-m", "repro.lint", str(tree), "--format", "json"],
+        [sys.executable, "-m", "repro.lint", str(tree), "--format", fmt],
         capture_output=True,
         env=env,
     )
@@ -109,10 +184,11 @@ def _cli_json(tree: Path, hash_seed: str) -> bytes:
     return proc.stdout
 
 
-def test_output_is_identical_across_hash_seeds(dirty_tree):
+@pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+def test_output_is_identical_across_hash_seeds(dirty_tree, fmt):
     """The analyzer holds itself to its own standard: byte-identical
-    reports under different ``PYTHONHASHSEED`` salts (satellite 6)."""
-    first = _cli_json(dirty_tree, "0")
-    second = _cli_json(dirty_tree, "1")
-    third = _cli_json(dirty_tree, "12345")
+    text/JSON/SARIF reports under different ``PYTHONHASHSEED`` salts."""
+    first = _cli_report(dirty_tree, "0", fmt)
+    second = _cli_report(dirty_tree, "1", fmt)
+    third = _cli_report(dirty_tree, "12345", fmt)
     assert first == second == third

@@ -10,13 +10,23 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import lint_paths, lint_project
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def test_src_tree_has_zero_findings():
     findings = lint_paths([str(REPO_ROOT / "src")])
+    assert findings == [], "\n" + "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in findings
+    )
+
+
+def test_project_pass_has_zero_findings():
+    """The cross-module contracts hold tree-wide with no baseline: every
+    FloodSpec field digested or excluded, every scenario/backend in the
+    equivalence matrix, every trajectory bench family with a row."""
+    findings = lint_project([str(REPO_ROOT / "src")], root=str(REPO_ROOT))
     assert findings == [], "\n" + "\n".join(
         f"{f.location()}: {f.rule} {f.message}" for f in findings
     )
